@@ -1,0 +1,356 @@
+// Benchmarks regenerating the paper's evaluation (see EXPERIMENTS.md):
+//
+//   - BenchmarkFig6_* — one benchmark per bar of Figure 6: {Lightweight,
+//     Heavyweight} × {Junicon, Go} × {Sequential, Pipeline, DataParallel,
+//     MapReduce}, the go-test counterpart of `go run ./cmd/fig6`.
+//   - BenchmarkFig2_* — the pipeline vs data-parallel decomposition of
+//     Figure 2 on one workload.
+//   - BenchmarkAblation* — the ablations indexed in DESIGN.md: pipe-buffer
+//     throttling (B), chunk size (C), and interpreted vs translated
+//     embedding (D).
+//   - BenchmarkKernel* / BenchmarkQueue* — supporting microbenchmarks for
+//     the substrate costs discussed in §5B (zero-cost suspend, queue ops).
+package junicon_test
+
+import (
+	"sync"
+	"testing"
+
+	"junicon"
+	"junicon/internal/core"
+	"junicon/internal/pipe"
+	"junicon/internal/queue"
+	"junicon/internal/value"
+	"junicon/internal/wordcount"
+)
+
+var (
+	corpusOnce  sync.Once
+	lightCorpus []string
+	heavyCorpus []string
+)
+
+func corpora() ([]string, []string) {
+	corpusOnce.Do(func() {
+		lightCorpus = wordcount.GenerateLines(200, 10, 1)
+		heavyCorpus = wordcount.GenerateLines(25, 10, 1)
+	})
+	return lightCorpus, heavyCorpus
+}
+
+func embCfg(lines []string) wordcount.EmbeddedConfig {
+	chunk := len(lines) / 8
+	if chunk < 1 {
+		chunk = 1
+	}
+	return wordcount.EmbeddedConfig{ChunkSize: chunk}
+}
+
+// ---- Figure 6, lightweight ----
+
+func BenchmarkFig6_Light_Junicon_Sequential(b *testing.B) {
+	lines, _ := corpora()
+	for i := 0; i < b.N; i++ {
+		wordcount.JuniconSequential(lines, wordcount.Light, embCfg(lines))
+	}
+}
+
+func BenchmarkFig6_Light_Junicon_Pipeline(b *testing.B) {
+	lines, _ := corpora()
+	for i := 0; i < b.N; i++ {
+		wordcount.JuniconPipeline(lines, wordcount.Light, embCfg(lines))
+	}
+}
+
+func BenchmarkFig6_Light_Junicon_DataParallel(b *testing.B) {
+	lines, _ := corpora()
+	for i := 0; i < b.N; i++ {
+		wordcount.JuniconDataParallel(lines, wordcount.Light, embCfg(lines))
+	}
+}
+
+func BenchmarkFig6_Light_Junicon_MapReduce(b *testing.B) {
+	lines, _ := corpora()
+	for i := 0; i < b.N; i++ {
+		wordcount.JuniconMapReduce(lines, wordcount.Light, embCfg(lines))
+	}
+}
+
+func BenchmarkFig6_Light_Go_Sequential(b *testing.B) {
+	lines, _ := corpora()
+	for i := 0; i < b.N; i++ {
+		wordcount.NativeSequential(lines, wordcount.Light)
+	}
+}
+
+func BenchmarkFig6_Light_Go_Pipeline(b *testing.B) {
+	lines, _ := corpora()
+	for i := 0; i < b.N; i++ {
+		wordcount.NativePipeline(lines, wordcount.Light, wordcount.NativeConfig{})
+	}
+}
+
+func BenchmarkFig6_Light_Go_DataParallel(b *testing.B) {
+	lines, _ := corpora()
+	for i := 0; i < b.N; i++ {
+		wordcount.NativeDataParallel(lines, wordcount.Light, wordcount.NativeConfig{})
+	}
+}
+
+func BenchmarkFig6_Light_Go_MapReduce(b *testing.B) {
+	lines, _ := corpora()
+	for i := 0; i < b.N; i++ {
+		wordcount.NativeMapReduce(lines, wordcount.Light, wordcount.NativeConfig{})
+	}
+}
+
+// ---- Figure 6, heavyweight ----
+
+func BenchmarkFig6_Heavy_Junicon_Sequential(b *testing.B) {
+	_, lines := corpora()
+	for i := 0; i < b.N; i++ {
+		wordcount.JuniconSequential(lines, wordcount.Heavy, embCfg(lines))
+	}
+}
+
+func BenchmarkFig6_Heavy_Junicon_Pipeline(b *testing.B) {
+	_, lines := corpora()
+	for i := 0; i < b.N; i++ {
+		wordcount.JuniconPipeline(lines, wordcount.Heavy, embCfg(lines))
+	}
+}
+
+func BenchmarkFig6_Heavy_Junicon_DataParallel(b *testing.B) {
+	_, lines := corpora()
+	for i := 0; i < b.N; i++ {
+		wordcount.JuniconDataParallel(lines, wordcount.Heavy, embCfg(lines))
+	}
+}
+
+func BenchmarkFig6_Heavy_Junicon_MapReduce(b *testing.B) {
+	_, lines := corpora()
+	for i := 0; i < b.N; i++ {
+		wordcount.JuniconMapReduce(lines, wordcount.Heavy, embCfg(lines))
+	}
+}
+
+func BenchmarkFig6_Heavy_Go_Sequential(b *testing.B) {
+	_, lines := corpora()
+	for i := 0; i < b.N; i++ {
+		wordcount.NativeSequential(lines, wordcount.Heavy)
+	}
+}
+
+func BenchmarkFig6_Heavy_Go_Pipeline(b *testing.B) {
+	_, lines := corpora()
+	for i := 0; i < b.N; i++ {
+		wordcount.NativePipeline(lines, wordcount.Heavy, wordcount.NativeConfig{})
+	}
+}
+
+func BenchmarkFig6_Heavy_Go_DataParallel(b *testing.B) {
+	_, lines := corpora()
+	for i := 0; i < b.N; i++ {
+		wordcount.NativeDataParallel(lines, wordcount.Heavy, wordcount.NativeConfig{})
+	}
+}
+
+func BenchmarkFig6_Heavy_Go_MapReduce(b *testing.B) {
+	_, lines := corpora()
+	for i := 0; i < b.N; i++ {
+		wordcount.NativeMapReduce(lines, wordcount.Heavy, wordcount.NativeConfig{})
+	}
+}
+
+// ---- Figure 2: pipeline vs data-parallel decomposition ----
+
+func BenchmarkFig2_PipelineDecomposition(b *testing.B) {
+	lines, _ := corpora()
+	for i := 0; i < b.N; i++ {
+		wordcount.JuniconPipeline(lines, wordcount.Light, embCfg(lines))
+	}
+}
+
+func BenchmarkFig2_DataParallelDecomposition(b *testing.B) {
+	lines, _ := corpora()
+	for i := 0; i < b.N; i++ {
+		wordcount.JuniconDataParallel(lines, wordcount.Light, embCfg(lines))
+	}
+}
+
+// ---- Ablation B: pipe buffer bound as throttle (§3B) ----
+
+func benchBuffer(b *testing.B, buf int) {
+	lines, _ := corpora()
+	cfg := wordcount.EmbeddedConfig{Buffer: buf}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wordcount.JuniconPipeline(lines, wordcount.Light, cfg)
+	}
+}
+
+func BenchmarkAblationBuffer_1(b *testing.B)    { benchBuffer(b, 1) }
+func BenchmarkAblationBuffer_4(b *testing.B)    { benchBuffer(b, 4) }
+func BenchmarkAblationBuffer_64(b *testing.B)   { benchBuffer(b, 64) }
+func BenchmarkAblationBuffer_1024(b *testing.B) { benchBuffer(b, 1024) }
+
+// ---- Ablation C: map-reduce chunk size (Figure 4) ----
+
+func benchChunk(b *testing.B, chunk int) {
+	lines, _ := corpora()
+	cfg := wordcount.EmbeddedConfig{ChunkSize: chunk}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wordcount.JuniconMapReduce(lines, wordcount.Light, cfg)
+	}
+}
+
+func BenchmarkAblationChunk_10(b *testing.B)   { benchChunk(b, 10) }
+func BenchmarkAblationChunk_50(b *testing.B)   { benchChunk(b, 50) }
+func BenchmarkAblationChunk_200(b *testing.B)  { benchChunk(b, 200) }
+func BenchmarkAblationChunk_1000(b *testing.B) { benchChunk(b, 1000) }
+
+// ---- Ablation D: interpreted vs translated embedding ----
+
+func BenchmarkAblationInterp_Sequential(b *testing.B) {
+	lines, _ := corpora()
+	small := lines[:50]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wordcount.InterpretedSequential(small, wordcount.Light); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTranslated_Sequential(b *testing.B) {
+	lines, _ := corpora()
+	small := lines[:50]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wordcount.JuniconSequential(small, wordcount.Light, wordcount.EmbeddedConfig{})
+	}
+}
+
+// ---- Kernel and substrate microbenchmarks ----
+
+func BenchmarkKernelProduct(b *testing.B) {
+	g := core.Product(core.IntRange(1, 100), core.IntRange(1, 10))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.Count(g)
+	}
+}
+
+func BenchmarkKernelSuspendResume(b *testing.B) {
+	// The cost of suspend/resume in a generator function (§5B's
+	// "zero cost for suspends" claim, here coroutine-based).
+	g := core.NewGen(func(yield func(core.V) bool) {
+		for {
+			if !yield(value.NewInt(1)) {
+				return
+			}
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+	b.StopTimer()
+	g.Restart()
+}
+
+func BenchmarkKernelPipeThroughput(b *testing.B) {
+	lines := int64(b.N)
+	p := junicon.PipeOf(junicon.Range(1, lines, 1), 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.Next(); !ok {
+			break
+		}
+	}
+	b.StopTimer()
+	p.Stop()
+}
+
+func BenchmarkQueuePutTake(b *testing.B) {
+	q := queue.NewArrayBlocking[int](64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, err := q.Take(); err != nil {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Put(i)
+	}
+	b.StopTimer()
+	q.Close()
+	<-done
+}
+
+func BenchmarkInterpEvalExpression(b *testing.B) {
+	in := junicon.NewInterp(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Eval("(1 to 10) + (1 to 10)", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablation E: pipe transport queue type ----
+
+func benchQueueType(b *testing.B, mk func() queue.Queue[value.V]) {
+	lines, _ := corpora()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A single pipeline stage over the chosen transport.
+		src := core.NewFirstClass(core.IntRange(1, 2000))
+		p := pipe.NewWithQueue(src, mk)
+		core.Drain(p, 0)
+	}
+	_ = lines
+}
+
+func BenchmarkAblationQueueArray(b *testing.B) {
+	benchQueueType(b, func() queue.Queue[value.V] { return queue.NewArrayBlocking[value.V](64) })
+}
+
+func BenchmarkAblationQueueLinked(b *testing.B) {
+	benchQueueType(b, func() queue.Queue[value.V] { return queue.NewLinkedBlocking[value.V](64) })
+}
+
+func BenchmarkAblationQueueSynchronous(b *testing.B) {
+	benchQueueType(b, func() queue.Queue[value.V] { return queue.NewSynchronous[value.V]() })
+}
+
+func BenchmarkKernelScanTokenize(b *testing.B) {
+	in := junicon.NewInterp(nil)
+	if err := in.LoadProgram(`
+def tokens(s) {
+  s ? {
+    while not pos(0) do {
+      tab(many(' '));
+      if pos(0) then break;
+      w := tab(many(&letters ++ &digits)) | move(1);
+      suspend w;
+    };
+  };
+}`); err != nil {
+		b.Fatal(err)
+	}
+	g, err := in.EvalGen(`tokens("the quick brown fox 42 jumps over 13 lazy dogs")`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Count(g) // auto-restarts each cycle
+	}
+}

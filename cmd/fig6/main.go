@@ -1,0 +1,150 @@
+// Command fig6 regenerates Figure 6 of the paper: the relative performance
+// of embedded concurrent generators (the Junicon suite, compiled to kernel
+// compositions) against native stream-based programs (the Go analogue of
+// the Java suite), for the four word-count variants — Sequential,
+// Pipeline, DataParallel, MapReduce — under lightweight and heavyweight
+// hash functions, normalized to the native MapReduce (parallel-stream)
+// time of each weight class, with 99% confidence intervals.
+//
+// Usage:
+//
+//	fig6 [-lines N] [-words N] [-warmup N] [-iters N] [-quick]
+//	     [-sweep weight|buffer|chunk]
+//
+// The -sweep flags run the ablations indexed in DESIGN.md instead of the
+// main figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"junicon/internal/bench"
+	"junicon/internal/wordcount"
+)
+
+func main() {
+	var (
+		lines  = flag.Int("lines", 400, "corpus lines")
+		words  = flag.Int("words", 10, "words per line")
+		warmup = flag.Int("warmup", 20, "warmup iterations (paper: 20)")
+		iters  = flag.Int("iters", 20, "measured iterations (paper: 20)")
+		quick  = flag.Bool("quick", false, "tiny run for smoke-testing (overrides warmup/iters)")
+		sweep  = flag.String("sweep", "", "run an ablation: weight | buffer | chunk")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Warmup: *warmup, Iterations: *iters, MinIterTime: 5 * time.Millisecond}
+	if *quick {
+		cfg = bench.Config{Warmup: 2, Iterations: 3, MinIterTime: time.Millisecond}
+	}
+
+	fmt.Printf("fig6: %d lines x %d words, %d+%d iterations, GOMAXPROCS=%d\n\n",
+		*lines, *words, cfg.Warmup, cfg.Iterations, runtime.GOMAXPROCS(0))
+
+	switch *sweep {
+	case "":
+		corpus := wordcount.GenerateLines(*lines, *words, 1)
+		runFigure6(corpus, wordcount.Light, cfg)
+		fmt.Println()
+		heavyCorpus := corpus
+		if !*quick && *lines > 100 {
+			// The heavyweight set uses a smaller corpus: per-task weight is
+			// ~80x, so wall-clock stays comparable (the paper scales JMH
+			// time budgets the same way).
+			heavyCorpus = wordcount.GenerateLines(*lines/8, *words, 1)
+		}
+		runFigure6(heavyCorpus, wordcount.Heavy, cfg)
+	case "weight":
+		sweepWeight(cfg, *lines, *words)
+	case "buffer":
+		sweepBuffer(cfg, *lines, *words)
+	case "chunk":
+		sweepChunk(cfg, *lines, *words)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+}
+
+// runFigure6 produces one half (one weight class) of Figure 6.
+func runFigure6(lines []string, w wordcount.Weight, cfg bench.Config) {
+	ncfg := wordcount.NativeConfig{}
+	ecfg := wordcount.EmbeddedConfig{ChunkSize: max(len(lines)/8, 1)}
+	results := []bench.Result{
+		bench.Run("Junicon/Sequential", cfg, func() { wordcount.JuniconSequential(lines, w, ecfg) }),
+		bench.Run("Junicon/Pipeline", cfg, func() { wordcount.JuniconPipeline(lines, w, ecfg) }),
+		bench.Run("Junicon/DataParallel", cfg, func() { wordcount.JuniconDataParallel(lines, w, ecfg) }),
+		bench.Run("Junicon/MapReduce", cfg, func() { wordcount.JuniconMapReduce(lines, w, ecfg) }),
+		bench.Run("Go/Sequential", cfg, func() { wordcount.NativeSequential(lines, w) }),
+		bench.Run("Go/Pipeline", cfg, func() { wordcount.NativePipeline(lines, w, ncfg) }),
+		bench.Run("Go/DataParallel", cfg, func() { wordcount.NativeDataParallel(lines, w, ncfg) }),
+		bench.Run("Go/MapReduce", cfg, func() { wordcount.NativeMapReduce(lines, w, ncfg) }),
+	}
+	norm, err := bench.Normalize(results, "Go/MapReduce")
+	if err != nil {
+		panic(err)
+	}
+	title := fmt.Sprintf("Figure 6 (%s, %d lines): normalized to Go/MapReduce", w, len(lines))
+	bench.Table(os.Stdout, title, norm)
+	fmt.Println()
+	bench.Bars(os.Stdout, title, norm)
+}
+
+// sweepWeight: the §VII claim — the relative overhead of embedded
+// concurrent generators decreases as the weight of the computational nodes
+// increases. Ablation A of DESIGN.md.
+func sweepWeight(cfg bench.Config, nlines, words int) {
+	fmt.Println("Ablation A: embedded/native overhead vs task weight (MapReduce variant)")
+	fmt.Printf("%-12s %14s %14s %10s\n", "weight", "junicon", "native", "ratio")
+	for _, w := range []wordcount.Weight{wordcount.Light, wordcount.Heavy} {
+		n := nlines
+		if w == wordcount.Heavy {
+			n = max(nlines/8, 8)
+		}
+		lines := wordcount.GenerateLines(n, words, 1)
+		ecfg := wordcount.EmbeddedConfig{ChunkSize: max(n/8, 1)}
+		jr := bench.Run("junicon", cfg, func() { wordcount.JuniconMapReduce(lines, w, ecfg) })
+		nr := bench.Run("native", cfg, func() { wordcount.NativeMapReduce(lines, w, wordcount.NativeConfig{}) })
+		fmt.Printf("%-12s %14.6fs %14.6fs %9.2fx\n", w, jr.Mean, nr.Mean, jr.Mean/nr.Mean)
+	}
+}
+
+// sweepBuffer: pipe buffer bound as a throttle (§3B). Ablation B.
+func sweepBuffer(cfg bench.Config, nlines, words int) {
+	lines := wordcount.GenerateLines(nlines, words, 1)
+	fmt.Println("Ablation B: pipeline time vs pipe buffer bound (§3B throttling)")
+	fmt.Printf("%-10s %14s\n", "buffer", "mean")
+	for _, buf := range []int{1, 4, 64, 1024} {
+		ecfg := wordcount.EmbeddedConfig{Buffer: buf}
+		r := bench.Run(fmt.Sprintf("buffer-%d", buf), cfg, func() {
+			wordcount.JuniconPipeline(lines, wordcount.Light, ecfg)
+		})
+		fmt.Printf("%-10d %14.6fs\n", buf, r.Mean)
+	}
+}
+
+// sweepChunk: map-reduce chunk-size sensitivity (Figure 4's knob).
+// Ablation C.
+func sweepChunk(cfg bench.Config, nlines, words int) {
+	lines := wordcount.GenerateLines(nlines, words, 1)
+	fmt.Println("Ablation C: map-reduce time vs chunk size (Figure 4)")
+	fmt.Printf("%-10s %14s %8s\n", "chunk", "mean", "tasks")
+	for _, chunk := range []int{10, 50, 200, 1000} {
+		ecfg := wordcount.EmbeddedConfig{ChunkSize: chunk}
+		r := bench.Run(fmt.Sprintf("chunk-%d", chunk), cfg, func() {
+			wordcount.JuniconMapReduce(lines, wordcount.Light, ecfg)
+		})
+		fmt.Printf("%-10d %14.6fs %8d\n", chunk, r.Mean, (nlines+chunk-1)/chunk)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,116 @@
+// Command junicon is the interpretive harness of §6: it loads Junicon
+// programs — plain .jn files or mixed-language files with scoped
+// annotations — and either interprets them or emits their Go translation.
+//
+// Usage:
+//
+//	junicon [flags] [file]
+//
+//	junicon prog.jn                  load program, run main() if defined
+//	junicon -x 'expr' prog.jn        load program, evaluate expression
+//	junicon -e '(1 to 3) * 2'        evaluate a standalone expression
+//	junicon -emit -pkg gen prog.jn   emit the Go translation to stdout
+//	junicon -xml 'expr'              print the parsed XML term form
+//
+// Mixed-language files (any file containing @<script …> annotations) are
+// fed through the metaparser first; every junicon region is loaded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"junicon"
+	"junicon/internal/ast"
+	"junicon/internal/parser"
+)
+
+func main() {
+	var (
+		expr   = flag.String("e", "", "evaluate a standalone expression and print its results")
+		exec   = flag.String("x", "", "expression to evaluate after loading the file")
+		emit   = flag.Bool("emit", false, "emit the Go translation instead of interpreting")
+		pkg    = flag.String("pkg", "translated", "package name for -emit")
+		xml    = flag.String("xml", "", "parse an expression and print its XML term form")
+		maxRes = flag.Int("n", 0, "maximum results to print per expression (0 = all)")
+		trace  = flag.Bool("trace", false, "enable Icon-style procedure tracing (&trace)")
+	)
+	flag.Parse()
+
+	if *xml != "" {
+		n, err := parser.ParseExpression(*xml)
+		fail(err)
+		fmt.Print(ast.ToXML(n))
+		return
+	}
+
+	in := junicon.NewInterp(os.Stdout)
+	if *trace {
+		in.EnableTrace(os.Stderr)
+	}
+
+	if *expr != "" && flag.NArg() == 0 {
+		evalPrint(in, *expr, *maxRes)
+		return
+	}
+
+	if flag.NArg() < 1 {
+		// No file, no -e: interactive mode (the paper's interactive
+		// extension; §6).
+		runREPL(in)
+		return
+	}
+	path := flag.Arg(0)
+	srcBytes, err := os.ReadFile(path)
+	fail(err)
+	src := string(srcBytes)
+	mixed := strings.Contains(src, "@<")
+
+	if *emit {
+		var out string
+		if mixed {
+			out, err = junicon.TranslateMixed(src, junicon.TranslateOptions{Package: *pkg})
+		} else {
+			out, err = junicon.Translate(src, junicon.TranslateOptions{Package: *pkg})
+		}
+		fail(err)
+		fmt.Print(out)
+		return
+	}
+
+	if mixed {
+		fail(junicon.LoadMixed(in, src))
+	} else {
+		fail(in.LoadProgram(src))
+	}
+
+	switch {
+	case *exec != "":
+		evalPrint(in, *exec, *maxRes)
+	case *expr != "":
+		evalPrint(in, *expr, *maxRes)
+	default:
+		// Run main() if the program defines one.
+		if _, ok := in.Global("main"); ok {
+			_, _, err := in.EvalFirst("main()")
+			fail(err)
+		}
+	}
+}
+
+func evalPrint(in *junicon.Interp, expr string, max int) {
+	vs, err := in.Eval(expr, max)
+	fail(err)
+	for _, v := range vs {
+		fmt.Println(junicon.Image(v))
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "junicon:", err)
+		os.Exit(1)
+	}
+}

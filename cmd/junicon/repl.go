@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"junicon"
+)
+
+// repl is the interactive mode of the harness — the paper's Junicon
+// "realizes both an interactive extension ... as well as a translator"
+// (§1). Declarations (def/procedure/record/global/class) are loaded;
+// anything else evaluates as an expression and prints its result sequence
+// (capped, since expressions may be infinite generators).
+//
+// Multi-line input is detected by unbalanced grouping delimiters — the
+// same trick the metaparser uses to recognize complete statements.
+func repl(in *junicon.Interp, input io.Reader, out io.Writer, prompt bool) {
+	const maxResults = 100
+	scanner := bufio.NewScanner(input)
+	scanner.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var pending strings.Builder
+	if prompt {
+		fmt.Fprintln(out, "junicon — concurrent generators (:quit to exit, :help for help)")
+	}
+	for {
+		if prompt {
+			if pending.Len() == 0 {
+				fmt.Fprint(out, "]=> ")
+			} else {
+				fmt.Fprint(out, "... ")
+			}
+		}
+		if !scanner.Scan() {
+			return
+		}
+		line := scanner.Text()
+		if pending.Len() == 0 {
+			switch strings.TrimSpace(line) {
+			case "":
+				continue
+			case ":quit", ":q":
+				return
+			case ":help":
+				fmt.Fprintln(out, "enter an expression to evaluate it (first", maxResults, "results shown),")
+				fmt.Fprintln(out, "or a declaration (def/procedure/record/global/class) to load it.")
+				continue
+			}
+		}
+		pending.WriteString(line)
+		pending.WriteString("\n")
+		src := pending.String()
+		if !balanced(src) {
+			continue // keep reading: grouping delimiters still open
+		}
+		pending.Reset()
+		evalLine(in, src, out, maxResults)
+	}
+}
+
+// evalLine loads declarations or evaluates an expression.
+func evalLine(in *junicon.Interp, src string, out io.Writer, maxResults int) {
+	trimmed := strings.TrimSpace(src)
+	first := strings.SplitN(trimmed, " ", 2)[0]
+	switch first {
+	case "def", "procedure", "method", "record", "global", "class", "local", "var", "static":
+		if err := in.LoadProgram(trimmed); err != nil {
+			fmt.Fprintln(out, "error:", err)
+		}
+		return
+	}
+	vs, err := in.Eval(trimmed, maxResults)
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	if len(vs) == 0 {
+		fmt.Fprintln(out, "-- fails")
+		return
+	}
+	for _, v := range vs {
+		fmt.Fprintln(out, junicon.Image(v))
+	}
+	if len(vs) == maxResults {
+		fmt.Fprintf(out, "-- (stopped after %d results)\n", maxResults)
+	}
+}
+
+// balanced reports whether grouping delimiters in src are closed, skipping
+// string/cset literals and comments.
+func balanced(src string) bool {
+	depth := 0
+	inStr := byte(0)
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if inStr != 0 {
+			if c == '\\' {
+				i++
+			} else if c == inStr || c == '\n' {
+				inStr = 0
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			inStr = c
+		case '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			depth--
+		}
+	}
+	return depth <= 0
+}
+
+// runREPL wires the REPL to stdin, prompting only when interactive-looking.
+func runREPL(in *junicon.Interp) {
+	stat, err := os.Stdin.Stat()
+	prompt := err == nil && (stat.Mode()&os.ModeCharDevice) != 0
+	repl(in, os.Stdin, os.Stdout, prompt)
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"junicon"
+)
+
+func runRepl(t *testing.T, input string) string {
+	t.Helper()
+	var out bytes.Buffer
+	in := junicon.NewInterp(&out)
+	repl(in, strings.NewReader(input), &out, false)
+	return out.String()
+}
+
+func TestReplEvaluatesExpressions(t *testing.T) {
+	out := runRepl(t, "1 + 2\n(1 to 3) * 10\n")
+	for _, want := range []string{"3\n", "10\n", "20\n", "30\n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplLoadsDeclarationsAndUsesThem(t *testing.T) {
+	out := runRepl(t, "def sq(x) { return x*x; }\nsq(6)\n")
+	if !strings.Contains(out, "36") {
+		t.Fatalf("out:\n%s", out)
+	}
+}
+
+func TestReplMultiLineInput(t *testing.T) {
+	out := runRepl(t, "def f(n) {\n  return n + 1;\n}\nf(4)\n")
+	if !strings.Contains(out, "5") {
+		t.Fatalf("out:\n%s", out)
+	}
+}
+
+func TestReplReportsFailureAndErrors(t *testing.T) {
+	out := runRepl(t, "1 > 2\n1/0\n")
+	if !strings.Contains(out, "-- fails") {
+		t.Fatalf("failure marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "division by zero") {
+		t.Fatalf("error missing:\n%s", out)
+	}
+}
+
+func TestReplCapsInfiniteGenerators(t *testing.T) {
+	out := runRepl(t, "seq(1)\n")
+	if !strings.Contains(out, "stopped after") {
+		t.Fatalf("cap marker missing:\n%s", out)
+	}
+}
+
+func TestReplQuitCommand(t *testing.T) {
+	out := runRepl(t, ":q\n99\n")
+	if strings.Contains(out, "99") {
+		t.Fatalf(":q did not stop the loop:\n%s", out)
+	}
+}
+
+func TestReplHelp(t *testing.T) {
+	out := runRepl(t, ":help\n")
+	if !strings.Contains(out, "declaration") {
+		t.Fatalf("help missing:\n%s", out)
+	}
+}
+
+func TestBalanced(t *testing.T) {
+	cases := map[string]bool{
+		"f(x)":               true,
+		"def f(x) {":         false,
+		"def f(x) {\n}":      true,
+		`"unclosed ( quote"`: true, // paren inside string ignored
+		"'cset ) '":          true,
+		"# comment ( only":   true,
+		"[1, 2":              false,
+		"{ [ ( ) ] }":        true,
+	}
+	for src, want := range cases {
+		if got := balanced(src); got != want {
+			t.Errorf("balanced(%q) = %v, want %v", src, got, want)
+		}
+	}
+}

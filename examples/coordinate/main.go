@@ -1,0 +1,91 @@
+// Command coordinate demonstrates the paper's coordination thesis: using
+// concurrent generators "for high-level coordination as well as the
+// prototyping and refinement of parallel programs" (§1) — the embedded
+// program decides WHAT runs and in what order, while the computationally
+// intensive pieces are host Go functions (§4: generators "coordinating
+// more computationally intensive pieces encoded in languages such as
+// Java", here Go).
+//
+// The scenario: a small build-like workflow. The embedded Junicon program
+// walks a dependency list, fans independent jobs out through pipes (so the
+// host functions run concurrently), and collects results in order.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"junicon"
+)
+
+// hostCompile is the "expensive" host-language work being coordinated.
+var jobsRun atomic.Int32
+
+func hostCompile(args ...junicon.Value) (junicon.Value, error) {
+	name, ok := junicon.ToStr(args[0])
+	if !ok {
+		return nil, fmt.Errorf("compile: string expected")
+	}
+	time.Sleep(15 * time.Millisecond) // simulate real work
+	jobsRun.Add(1)
+	return junicon.Str(strings.ToUpper(name) + ".o"), nil
+}
+
+const workflow = `
+# The coordination layer, written in goal-directed style. Each stage list
+# holds jobs that are independent of one another; stages run in order.
+def stages() {
+  suspend ![
+    ["parse", "lex", "ast"],
+    ["types", "flatten"],
+    ["emit"]
+  ];
+}
+
+# Run one stage: spawn a pipe per job so the host compile() calls of the
+# stage run concurrently, then collect the results (a join).
+def runStage(jobs) {
+  tasks := [];
+  every j := !jobs do {
+    put(tasks, |> this::compile(j));
+  };
+  every t := !tasks do {
+    suspend @t;
+  };
+}
+
+# The whole workflow: a generator of produced artifacts.
+def workflowRun() {
+  every s := stages() do {
+    suspend runStage(s);
+  };
+}
+`
+
+func main() {
+	in := junicon.NewInterp(nil)
+	in.RegisterNative("compile", hostCompile)
+	if err := in.LoadProgram(workflow); err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	artifacts, err := in.Eval("workflowRun()", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Println("artifacts produced (stage order preserved):")
+	for _, a := range artifacts {
+		fmt.Printf("  %s\n", junicon.Image(a))
+	}
+	fmt.Printf("%d host jobs coordinated in %v\n", jobsRun.Load(), elapsed.Round(time.Millisecond))
+
+	// Sequential lower bound would be 6 × 15ms = 90ms; with pipes, jobs
+	// inside a stage overlap (fully so on a multi-core host).
+	fmt.Println("stage-parallel coordination: jobs within a stage ran in concurrent pipes")
+}

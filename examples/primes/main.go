@@ -1,0 +1,90 @@
+// Command primes builds a parallel prime-hunting pipeline from the
+// calculus of concurrent generators: candidate generation, trial division
+// and formatting run as separate stages connected by generator proxies
+// (pipes), each in its own goroutine — the fixed-code pipeline
+// decomposition of the paper's Figure 2.
+package main
+
+import (
+	"fmt"
+
+	"junicon"
+)
+
+func main() {
+	// Stage 1: odd candidates (plus 2), an infinite generator.
+	candidates := junicon.Alt(
+		junicon.Ints(2),
+		junicon.NewGen(func(yield func(junicon.Value) bool) {
+			for n := int64(3); ; n += 2 {
+				if !yield(junicon.Int(n)) {
+					return
+				}
+			}
+		}),
+	)
+
+	// Stage 2: trial division. The stage fails non-primes, so the pipe
+	// carries only primes downstream.
+	sieve := func(in junicon.Gen) junicon.Gen {
+		return junicon.Filter(in, func(v junicon.Value) bool {
+			n, _ := junicon.ToInt(v)
+			for d := int64(2); d*d <= n; d++ {
+				if n%d == 0 {
+					return false
+				}
+			}
+			return true
+		})
+	}
+
+	// Stage 3: twin-pair detection over the prime stream.
+	var prev int64
+	twins := func(in junicon.Gen) junicon.Gen {
+		return junicon.Map(in, func(v junicon.Value) junicon.Value {
+			n, _ := junicon.ToInt(v)
+			pair := junicon.Str("")
+			if prev != 0 && n-prev == 2 {
+				pair = junicon.Str(fmt.Sprintf("twin(%d,%d)", prev, n))
+			}
+			prev = n
+			l := junicon.NewList(junicon.Int(n), pair)
+			return l
+		})
+	}
+
+	// Chain the stages with pipes (buffer 8 throttles the producers) and
+	// take the first 25 primes.
+	pipeline := junicon.Pipeline(candidates, 8, sieve, twins)
+
+	fmt.Println("first 25 primes (pipelined across 3 goroutines):")
+	count := 0
+	junicon.Each(junicon.Limit(pipeline, 25), func(v junicon.Value) bool {
+		elems := junicon.Drain(junicon.PromoteVal(v), 0)
+		n, _ := junicon.ToInt(elems[0])
+		note, _ := junicon.ToStr(elems[1])
+		if note != "" {
+			fmt.Printf("%d\t%s\n", n, note)
+		} else {
+			fmt.Printf("%d\n", n)
+		}
+		count++
+		return true
+	})
+	fmt.Printf("total: %d primes\n", count)
+
+	// Futures: kick off an expensive lookahead in parallel and collect it
+	// later — the singleton pipe of §3B.
+	future := junicon.Future(junicon.Filter(junicon.Range(1_000_000, 2_000_000, 1), func(v junicon.Value) bool {
+		n, _ := junicon.ToInt(v)
+		for d := int64(2); d*d <= n; d++ {
+			if n%d == 0 {
+				return false
+			}
+		}
+		return true
+	}))
+	if v, ok := future.First(); ok {
+		fmt.Printf("first prime above 10^6 (computed in parallel): %s\n", junicon.Image(v))
+	}
+}

@@ -1,0 +1,67 @@
+// Command queens solves the n-queens problem in embedded Junicon — the
+// canonical goal-directed backtracking program: the recursive generator
+// place() suspends each complete placement and, when resumed, undoes its
+// board mutations before trying the next row, so draining the generator
+// enumerates every solution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"junicon"
+)
+
+const program = `
+global rows, up, down, q
+
+def place(c, n) {
+  if c > n then return copy(q);
+  every r := 1 to n do {
+    if /rows[r] then if /up[n+r-c] then if /down[r+c-1] then {
+      rows[r] := 1; up[n+r-c] := 1; down[r+c-1] := 1; q[c] := r;
+      suspend place(c+1, n);
+      rows[r] := &null; up[n+r-c] := &null; down[r+c-1] := &null;
+    };
+  };
+}
+
+def queens(n) {
+  rows := list(n); up := list(2*n-1); down := list(2*n-1); q := list(n);
+  suspend place(1, n);
+}
+`
+
+func main() {
+	n := flag.Int("n", 6, "board size")
+	show := flag.Int("show", 2, "how many boards to draw")
+	flag.Parse()
+
+	in := junicon.NewInterp(nil)
+	if err := in.LoadProgram(program); err != nil {
+		log.Fatal(err)
+	}
+	solutions, err := in.Eval(fmt.Sprintf("queens(%d)", *n), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d-queens: %d solutions\n", *n, len(solutions))
+	for i, sol := range solutions {
+		if i >= *show {
+			break
+		}
+		board := sol.(*junicon.List)
+		fmt.Printf("solution %d: %s\n", i+1, board.Image())
+		for _, rv := range board.Elems() {
+			r, _ := junicon.ToInt(rv)
+			row := make([]string, *n)
+			for c := range row {
+				row[c] = "."
+			}
+			row[r-1] = "Q"
+			fmt.Println("  " + strings.Join(row, " "))
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command quickstart demonstrates goal-directed evaluation with the
+// junicon library: the paper's running example (1 to 2) * isprime(4 to 7),
+// evaluated both through the embedded-language interpreter and as a direct
+// kernel composition.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"junicon"
+)
+
+const program = `
+def isprime(n) {
+  if n < 2 then fail;
+  every d := 2 to n-1 do { if not (n % d ~= 0) then fail };
+  return n;
+}
+`
+
+func main() {
+	// 1. The embedded-language route: parse, normalize, interpret.
+	in := junicon.NewInterp(nil)
+	if err := in.LoadProgram(program); err != nil {
+		log.Fatal(err)
+	}
+	results, err := in.Eval("(1 to 2) * isprime(4 to 7)", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("(1 to 2) * isprime(4 to 7)  =>")
+	for _, v := range results {
+		fmt.Printf(" %s", junicon.Image(v))
+	}
+	fmt.Println()
+
+	// 2. The library route: the same search as a kernel composition —
+	// the §2A decomposition i := (1 to 2) & j := (4 to 7) & isprime(j) & i*j.
+	isprime := junicon.Proc("isprime", 1, func(a []junicon.Value) junicon.Value {
+		n, _ := junicon.ToInt(a[0])
+		if n < 2 {
+			return nil // failure
+		}
+		for d := int64(2); d*d <= n; d++ {
+			if n%d == 0 {
+				return nil
+			}
+		}
+		return a[0]
+	})
+	i := junicon.NewCell(junicon.Null())
+	j := junicon.NewCell(junicon.Null())
+	g := junicon.Product(
+		junicon.Bind(i, junicon.Range(1, 2, 1)),
+		junicon.Bind(j, junicon.Range(4, 7, 1)),
+		junicon.Map(junicon.Invoke(junicon.Unit(isprime), junicon.Unit(j)), func(junicon.Value) junicon.Value {
+			a, _ := junicon.ToInt(i.Get())
+			b, _ := junicon.ToInt(j.Get())
+			return junicon.Int(a * b)
+		}),
+	)
+	fmt.Print("kernel composition          =>")
+	junicon.Each(g, func(v junicon.Value) bool {
+		fmt.Printf(" %s", junicon.Image(v))
+		return true
+	})
+	fmt.Println()
+
+	// 3. Goal-directed string processing: find all positions of "an" in
+	// "banana", a generator from the builtin library.
+	hits, err := in.Eval(`find("an", "banana")`, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(`find("an", "banana")        =>`)
+	for _, v := range hits {
+		fmt.Printf(" %s", junicon.Image(v))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,75 @@
+// Command scanner shows goal-directed string scanning — the application
+// domain the paper singles out as Icon and Unicon's forte (§2A): a tiny
+// tokenizer and a backtracking pattern search written as scanning
+// expressions (s ? e), with the reversible matching functions tab and move
+// undoing partial matches on failure.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"junicon"
+)
+
+const program = `
+# Tokenize an arithmetic expression by scanning.
+def tokens(s) {
+  s ? {
+    while not pos(0) do {
+      tab(many(' '));
+      if pos(0) then break;
+      w := tab(many(&digits)) | tab(many(&letters ++ &digits)) | move(1);
+      suspend w;
+    };
+  };
+}
+
+# Find key=value pairs: the scan backtracks over candidate '=' positions.
+def pairs(s) {
+  s ? {
+    while not pos(0) do {
+      k := tab(upto('='));
+      move(1);
+      v := tab(upto(';') | 0);
+      suspend k || ":" || v;
+      move(1);
+    };
+  };
+}
+`
+
+func main() {
+	in := junicon.NewInterp(nil)
+	if err := in.LoadProgram(program); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("tokens(\"x1 + 42*foo\"):")
+	vs, err := in.Eval(`tokens("x1 + 42*foo")`, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range vs {
+		fmt.Printf("  %s\n", junicon.Image(v))
+	}
+
+	fmt.Println(`pairs("host=alpha;port=80;mode=fast"):`)
+	vs, err = in.Eval(`pairs("host=alpha;port=80;mode=fast")`, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range vs {
+		fmt.Printf("  %s\n", junicon.Image(v))
+	}
+
+	// Backtracking inside one scan: find an 'l' that is followed by "lo" —
+	// the first candidate fails, tab reverses &pos, upto resumes.
+	v, ok, err := in.EvalFirst(`"hello" ? { tab(upto('l')) & tabMatch("lo") }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ok {
+		fmt.Printf("backtracking match in \"hello\": %s\n", junicon.Image(v))
+	}
+}

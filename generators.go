@@ -1,0 +1,116 @@
+package junicon
+
+import (
+	"junicon/internal/core"
+	"junicon/internal/value"
+)
+
+// Kernel combinators: the functional forms over which transformed
+// generator expressions are composed (§5B). These are re-exported from the
+// kernel so applications can build goal-directed computations directly,
+// exactly as translated code does.
+
+// Empty returns a generator with an empty result sequence (failure).
+func Empty() Gen { return core.Empty() }
+
+// Unit returns a singleton generator producing v.
+func Unit(v Value) Gen { return core.Unit(v) }
+
+// Seq returns a generator over the given values in order.
+func Seq(vs ...Value) Gen { return core.Values(vs...) }
+
+// Ints returns a generator over the given machine integers.
+func Ints(is ...int64) Gen {
+	vs := make([]Value, len(is))
+	for i, n := range is {
+		vs[i] = value.NewInt(n)
+	}
+	return core.Values(vs...)
+}
+
+// Strings returns a generator over the given strings.
+func Strings(ss ...string) Gen {
+	vs := make([]Value, len(ss))
+	for i, s := range ss {
+		vs[i] = value.String(s)
+	}
+	return core.Values(vs...)
+}
+
+// Range implements lo to hi by step (step 0 selects 1): the to-by
+// generator.
+func Range(lo, hi, step int64) Gen {
+	if step == 0 {
+		step = 1
+	}
+	return core.Range(value.NewInt(lo), value.NewInt(hi), value.NewInt(step))
+}
+
+// Product implements the iterator product e & e' — cross-product with
+// conditional evaluation, the fundamental operator of goal-directed
+// evaluation (§2A).
+func Product(gens ...Gen) Gen { return core.Product(gens...) }
+
+// Alt implements alternation e1 | e2 | …, the concatenation of result
+// sequences.
+func Alt(gens ...Gen) Gen { return core.Alt(gens...) }
+
+// Limit implements limitation e \ n: at most n results per cycle.
+func Limit(e Gen, n int) Gen { return core.Limit(e, n) }
+
+// Bind implements bound iteration (v in e): each result is assigned to the
+// reified variable before being yielded (§5A).
+func Bind(v *Var, e Gen) Gen { return core.In(v, e) }
+
+// Promote implements the ! operator over an operand generator: lists,
+// strings, csets, tables, sets, records and first-class iterators are
+// lifted to generators over their elements.
+func Promote(e Gen) Gen { return core.Promote(e) }
+
+// PromoteVal promotes a single value.
+func PromoteVal(v Value) Gen { return core.PromoteVal(v) }
+
+// RepeatAlt implements repeated alternation |e.
+func RepeatAlt(e Gen) Gen { return core.RepeatAlt(e) }
+
+// Map applies a Go function to each result of e (a singleton-result
+// operation under operand search).
+func Map(e Gen, f func(Value) Value) Gen { return core.Op1(f, e) }
+
+// Filter keeps results of e for which pred returns true.
+func Filter(e Gen, pred func(Value) bool) Gen {
+	return core.Cmp1(func(v Value) (Value, bool) {
+		if pred(v) {
+			return v, true
+		}
+		return nil, false
+	}, e)
+}
+
+// Invoke composes invocation over generator operands: the function
+// position itself may be a generator, as in (f | g)(x) (§2A).
+func Invoke(f Gen, args ...Gen) Gen { return core.Invoke(f, args...) }
+
+// Call invokes a callable value on already-evaluated arguments.
+func Call(f Value, args ...Value) Gen { return core.InvokeVal(f, args...) }
+
+// NewGen builds a generator from a push-style body: yield each result;
+// return to fail. Suspension is coroutine-based — no extra threads.
+func NewGen(body func(yield func(Value) bool)) Gen { return core.NewGen(body) }
+
+// Every drives e to failure, evaluating the bounded body for each result
+// (the every construct; body may be nil).
+func Every(e, body Gen) Gen { return core.Every(e, body) }
+
+// Drain runs g to failure, collecting at most max results (max <= 0 means
+// unbounded), dereferencing variables.
+func Drain(g Gen, max int) []Value { return core.Drain(g, max) }
+
+// First returns g's first result.
+func First(g Gen) (Value, bool) { return core.First(g) }
+
+// Each applies f to every result of g until failure or f returns false.
+func Each(g Gen, f func(Value) bool) { core.Each(g, f) }
+
+// Count drives g to failure and returns the number of results.
+func Count(g Gen) int { return core.Count(g) }

@@ -1,0 +1,3 @@
+module junicon
+
+go 1.24

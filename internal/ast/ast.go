@@ -1,0 +1,336 @@
+// Package ast defines the syntax tree for the Junicon subset: the embedded
+// goal-directed language of the paper. The parser produces these nodes; the
+// transform package rewrites them (normalization, §5A); the interp package
+// evaluates them against the kernel; and the translate package emits Go.
+//
+// Mirroring the implementation described in §6 — "a Javacc LL(k) parser for
+// Unicon that emits XML" — every node serializes to an XML form (see
+// ToXML), which the transformation tests treat as the canonical term
+// representation.
+package ast
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// Node is any syntax-tree node.
+type Node interface {
+	Pos() Pos
+	xmlName() string
+}
+
+type base struct {
+	P Pos
+}
+
+// Pos returns the node's source position.
+func (b base) Pos() Pos { return b.P }
+
+// ---------- literals and names ----------
+
+// IntLit is an integer literal (decimal or radix form, arbitrary size).
+type IntLit struct {
+	base
+	Text string // literal text, e.g. "42" or "16r1f"
+}
+
+// RealLit is a real literal.
+type RealLit struct {
+	base
+	Text string
+}
+
+// StrLit is a string literal (value already unescaped).
+type StrLit struct {
+	base
+	Value string
+}
+
+// CsetLit is a cset literal 'abc' (value already unescaped).
+type CsetLit struct {
+	base
+	Value string
+}
+
+// Keyword is an &-keyword such as &null, &lcase, &fail.
+type Keyword struct {
+	base
+	Name string // without the ampersand
+}
+
+// Ident is a variable or procedure name.
+type Ident struct {
+	base
+	Name string
+}
+
+// ListLit is a list constructor [e1, e2, …].
+type ListLit struct {
+	base
+	Elems []Node
+}
+
+// ---------- operators ----------
+
+// Binary is a binary operation; Op is the source operator ("&", "|", "+",
+// ":=", "to" handled separately, "@", …).
+type Binary struct {
+	base
+	Op   string
+	L, R Node
+}
+
+// Unary is a prefix operation; Op is one of ! @ ^ * + - ~ / \ | ? not,
+// or a create operator <> |<> |>.
+type Unary struct {
+	base
+	Op string
+	X  Node
+}
+
+// ToBy is the range construct e1 to e2 [by e3] (By may be nil).
+type ToBy struct {
+	base
+	Lo, Hi, By Node
+}
+
+// ---------- primaries ----------
+
+// Call is an invocation f(args…); Fun is an arbitrary expression (function
+// positions may be generators, §2A).
+type Call struct {
+	base
+	Fun  Node
+	Args []Node
+}
+
+// NativeCall is host-language invocation recv::name(args…) — the paper's
+// differentiated native invocation (§4: "their invocation must be
+// differentiated from native Java method invocation, achieved by using ::").
+// Recv may be nil for this::-style calls written as ::name(…) or
+// this::name(…).
+type NativeCall struct {
+	base
+	Recv Node // nil means the host receiver ("this")
+	Name string
+	Args []Node
+}
+
+// Index is subscripting x[i].
+type Index struct {
+	base
+	X, I Node
+}
+
+// Slice is sectioning x[i:j].
+type Slice struct {
+	base
+	X, I, J Node
+}
+
+// Field is field access x.name.
+type Field struct {
+	base
+	X    Node
+	Name string
+}
+
+// ---------- control ----------
+
+// If is if e1 then e2 [else e3] (Else may be nil).
+type If struct {
+	base
+	Cond, Then, Else Node
+}
+
+// While is while e1 [do e2] (Body may be nil); Until flips the test.
+type While struct {
+	base
+	Cond, Body Node
+	Until      bool
+}
+
+// Every is every e1 [do e2].
+type Every struct {
+	base
+	E, Body Node
+}
+
+// Repeat is repeat e.
+type Repeat struct {
+	base
+	Body Node
+}
+
+// CaseClause is one arm of a case expression.
+type CaseClause struct {
+	Sel  Node // nil marks the default clause
+	Body Node
+}
+
+// Case is case e of { … }.
+type Case struct {
+	base
+	Subject Node
+	Clauses []CaseClause
+}
+
+// Block is a braced compound { e1; e2; … }, the sequence construct.
+type Block struct {
+	base
+	Stmts []Node
+}
+
+// Return is return [e].
+type Return struct {
+	base
+	E Node // nil returns &null
+}
+
+// Suspend is suspend e [do e2].
+type Suspend struct {
+	base
+	E    Node
+	Body Node // optional do-clause
+}
+
+// Fail is the fail statement.
+type Fail struct {
+	base
+}
+
+// Break is break [e].
+type Break struct {
+	base
+	E Node // may be nil
+}
+
+// NextStmt is the next statement.
+type NextStmt struct {
+	base
+}
+
+// Initial is the `initial e` clause: executed once per procedure, on the
+// first invocation (static initialization).
+type Initial struct {
+	base
+	Body Node
+}
+
+// VarDecl is local/static/var declarations with optional initializers.
+type VarDecl struct {
+	base
+	Kind  string // "local", "static", "var"
+	Names []string
+	Inits []Node // parallel to Names; entries may be nil
+}
+
+// ---------- declarations ----------
+
+// ProcDecl is a procedure/method/def declaration.
+type ProcDecl struct {
+	base
+	Name   string
+	Params []string
+	Body   *Block
+}
+
+// RecordDecl is record name(fields).
+type RecordDecl struct {
+	base
+	Name   string
+	Fields []string
+}
+
+// GlobalDecl is global name, name, … .
+type GlobalDecl struct {
+	base
+	Names []string
+}
+
+// ClassDecl is a minimal class declaration: fields plus methods.
+type ClassDecl struct {
+	base
+	Name    string
+	Fields  []string
+	Methods []*ProcDecl
+}
+
+// Program is a whole translation unit.
+type Program struct {
+	base
+	Decls []Node
+}
+
+// ---------- normalized forms (§5A) ----------
+//
+// The transform package rewrites primaries into these explicit-iteration
+// forms: products of bound iterators over temporaries, exactly the
+// reformulation
+//
+//	e(ex,ey).c[ei] →
+//	  (f in ⟦e⟧) & (x in ⟦ex⟧) & (y in ⟦ey⟧) & (o in !f(x,y)) & …
+
+// TmpRef names a compiler-introduced temporary (the paper's IconTmp).
+type TmpRef struct {
+	base
+	Name string
+}
+
+// BindIn is bound iteration (t in e).
+type BindIn struct {
+	base
+	Tmp string
+	E   Node
+}
+
+// FlatProduct is the product chain of a flattened primary; the last term
+// supplies the results.
+type FlatProduct struct {
+	base
+	Terms []Node
+}
+
+// ---------- xml names ----------
+
+func (*IntLit) xmlName() string      { return "IntegerLiteral" }
+func (*RealLit) xmlName() string     { return "RealLiteral" }
+func (*StrLit) xmlName() string      { return "StringLiteral" }
+func (*CsetLit) xmlName() string     { return "CsetLiteral" }
+func (*Keyword) xmlName() string     { return "Keyword" }
+func (*Ident) xmlName() string       { return "Identifier" }
+func (*ListLit) xmlName() string     { return "ListConstructor" }
+func (*Binary) xmlName() string      { return "Binary" }
+func (*Unary) xmlName() string       { return "Unary" }
+func (*ToBy) xmlName() string        { return "ToBy" }
+func (*Call) xmlName() string        { return "Invoke" }
+func (*NativeCall) xmlName() string  { return "NativeInvoke" }
+func (*Index) xmlName() string       { return "Index" }
+func (*Slice) xmlName() string       { return "Section" }
+func (*Field) xmlName() string       { return "Field" }
+func (*If) xmlName() string          { return "If" }
+func (*While) xmlName() string       { return "While" }
+func (*Every) xmlName() string       { return "Every" }
+func (*Repeat) xmlName() string      { return "Repeat" }
+func (*Case) xmlName() string        { return "Case" }
+func (*Block) xmlName() string       { return "Block" }
+func (*Return) xmlName() string      { return "Return" }
+func (*Suspend) xmlName() string     { return "Suspend" }
+func (*Fail) xmlName() string        { return "Fail" }
+func (*Break) xmlName() string       { return "Break" }
+func (*NextStmt) xmlName() string    { return "Next" }
+func (*Initial) xmlName() string     { return "Initial" }
+func (*VarDecl) xmlName() string     { return "VarDecl" }
+func (*ProcDecl) xmlName() string    { return "Procedure" }
+func (*RecordDecl) xmlName() string  { return "Record" }
+func (*GlobalDecl) xmlName() string  { return "Global" }
+func (*ClassDecl) xmlName() string   { return "Class" }
+func (*Program) xmlName() string     { return "Program" }
+func (*TmpRef) xmlName() string      { return "Tmp" }
+func (*BindIn) xmlName() string      { return "In" }
+func (*FlatProduct) xmlName() string { return "Product" }
+
+// At attaches a position to a base (parser helper).
+func At(p Pos) base { return base{P: p} }

@@ -1,0 +1,127 @@
+// Package coexpr implements co-expressions (§3A): first-class iterators
+// that shadow their local environment to preclude interference, are
+// explicitly stepped with the activation operator @, and are restarted over
+// a fresh copy of that environment with ^.
+//
+// Per the calculus (Figure 1):
+//
+//	|<> e  →  ^(<>e)
+//	^e     →  ((x,y,z) -> <>e)((()->[x,y,z])())
+//
+// i.e. creation snapshots the referenced locals, and refresh re-instantiates
+// the body over a new copy of that snapshot. Suspension inside the body
+// needs no threads — it rides the kernel's coroutine-based suspendable
+// iterators — matching the unified IconCoExpression model of §5D.
+package coexpr
+
+import (
+	"junicon/internal/core"
+	"junicon/internal/value"
+)
+
+// CoExpr is a co-expression value. It implements core.Stepper, so the
+// kernel's @, ! and ^ operators apply, and value.V, so it is a first-class
+// Unicon value.
+type CoExpr struct {
+	build    func(env []*value.Var) core.Gen
+	snapshot []value.V // creation-time copies of the referenced locals
+	recv     *value.Var
+	g        core.Gen
+	results  int
+	done     bool
+}
+
+var (
+	_ core.Stepper = (*CoExpr)(nil)
+	_ value.Sized  = (*CoExpr)(nil)
+)
+
+// New creates a co-expression whose body is built by build over a shadowed
+// environment. locals are the referenced method locals; their current
+// values are copied now (creation time), and build receives fresh reified
+// variables initialized from those copies on first activation and again on
+// each Refresh — so mutations by the body never leak out, and mutations of
+// the originals after creation are invisible inside.
+func New(locals []value.V, build func(env []*value.Var) core.Gen) *CoExpr {
+	snap := make([]value.V, len(locals))
+	for i, v := range locals {
+		snap[i] = value.Deref(v)
+	}
+	return &CoExpr{build: build, snapshot: snap}
+}
+
+// Simple creates a co-expression over a body with no referenced locals —
+// the bare <>e lifted with an empty environment.
+func Simple(build func() core.Gen) *CoExpr {
+	return New(nil, func([]*value.Var) core.Gen { return build() })
+}
+
+// instantiate builds the body generator over a fresh environment copy.
+func (c *CoExpr) instantiate() {
+	env := make([]*value.Var, len(c.snapshot))
+	for i, v := range c.snapshot {
+		env[i] = value.NewCell(v)
+	}
+	c.g = c.build(env)
+}
+
+// Step activates the co-expression (@c), producing its next result or
+// failing when the body is exhausted. A transmitted value is delivered to
+// the body through the receive variable, if one was attached with OnReceive.
+func (c *CoExpr) Step(transmit value.V) (value.V, bool) {
+	if c.done {
+		// Unlike plain kernel iterators, an exhausted co-expression stays
+		// exhausted (Icon: @C keeps failing until refreshed with ^C).
+		return nil, false
+	}
+	if c.g == nil {
+		c.instantiate()
+	}
+	if c.recv != nil {
+		c.recv.Set(value.Deref(transmit))
+	}
+	v, ok := c.g.Next()
+	if ok {
+		c.results++
+	} else {
+		c.done = true
+	}
+	return v, ok
+}
+
+// OnReceive attaches the variable through which values transmitted by
+// x @ c are delivered to the body, and returns c.
+func (c *CoExpr) OnReceive(recv *value.Var) *CoExpr {
+	c.recv = recv
+	return c
+}
+
+// Refresh returns a new co-expression over a fresh copy of the
+// creation-time environment (^c). The receiver is left untouched, matching
+// Icon, where ^C produces a refreshed copy rather than rewinding C.
+func (c *CoExpr) Refresh() core.Stepper {
+	out := &CoExpr{build: c.build, snapshot: c.snapshot, recv: c.recv}
+	return out
+}
+
+// Gen adapts the co-expression to the generator protocol (!c). Restart
+// re-instantiates over a fresh environment copy.
+func (c *CoExpr) Gen() core.Gen { return &coGen{c: c} }
+
+type coGen struct{ c *CoExpr }
+
+func (g *coGen) Next() (value.V, bool) { return g.c.Step(value.NullV) }
+func (g *coGen) Restart() {
+	g.c.g = nil
+	g.c.results = 0
+	g.c.done = false
+}
+
+// Size reports the number of results produced so far (*C).
+func (c *CoExpr) Size() int { return c.results }
+
+// Type returns "co-expression".
+func (c *CoExpr) Type() string { return "co-expression" }
+
+// Image returns the image of the co-expression.
+func (c *CoExpr) Image() string { return "co-expression" }

@@ -1,0 +1,162 @@
+package coexpr
+
+import (
+	"testing"
+
+	"junicon/internal/core"
+	"junicon/internal/value"
+)
+
+func intVal(v value.V) int64 {
+	i, _ := value.ToInteger(v)
+	n, _ := i.Int64()
+	return n
+}
+
+func TestStepProducesSequence(t *testing.T) {
+	c := Simple(func() core.Gen { return core.IntRange(1, 3) })
+	for want := int64(1); want <= 3; want++ {
+		v, ok := c.Step(value.NullV)
+		if !ok || intVal(v) != want {
+			t.Fatalf("@c = %v %v, want %d", v, ok, want)
+		}
+	}
+	if _, ok := c.Step(value.NullV); ok {
+		t.Fatal("exhausted co-expression must fail")
+	}
+	if c.Size() != 3 {
+		t.Fatalf("*c = %d", c.Size())
+	}
+}
+
+func TestEnvironmentShadowingAtCreation(t *testing.T) {
+	// Mutating the original local after creation must be invisible inside.
+	x := value.NewCell(value.NewInt(10))
+	c := New([]value.V{x.Get()}, func(env []*value.Var) core.Gen {
+		return core.Defer(func() core.Gen { return core.Unit(env[0].Get()) })
+	})
+	x.Set(value.NewInt(99))
+	v, ok := c.Step(value.NullV)
+	if !ok || intVal(v) != 10 {
+		t.Fatalf("co-expression saw mutated local: %v", value.Image(v))
+	}
+}
+
+func TestBodyMutationsDoNotLeakOut(t *testing.T) {
+	x := value.NewCell(value.NewInt(1))
+	c := New([]value.V{x.Get()}, func(env []*value.Var) core.Gen {
+		return core.Defer(func() core.Gen {
+			env[0].Set(value.NewInt(777))
+			return core.Unit(env[0].Get())
+		})
+	})
+	c.Step(value.NullV)
+	if intVal(x.Get()) != 1 {
+		t.Fatalf("body mutation leaked to original: %v", value.Image(x.Get()))
+	}
+}
+
+func TestRefreshProducesFreshCopy(t *testing.T) {
+	counterBody := func(env []*value.Var) core.Gen {
+		// A stateful body: increments its shadowed local on each step.
+		return core.NewGen(func(yield func(value.V) bool) {
+			for {
+				env[0].Set(value.Add(env[0].Get(), value.NewInt(1)))
+				if !yield(env[0].Get()) {
+					return
+				}
+			}
+		})
+	}
+	c := New([]value.V{value.NewInt(0)}, counterBody)
+	c.Step(value.NullV)
+	v, _ := c.Step(value.NullV)
+	if intVal(v) != 2 {
+		t.Fatalf("second step = %v", value.Image(v))
+	}
+	fresh := c.Refresh().(*CoExpr)
+	v2, ok := fresh.Step(value.NullV)
+	if !ok || intVal(v2) != 1 {
+		t.Fatalf("refreshed copy should restart from snapshot: %v", value.Image(v2))
+	}
+	// Original is untouched by the refresh.
+	v3, _ := c.Step(value.NullV)
+	if intVal(v3) != 3 {
+		t.Fatalf("original disturbed by refresh: %v", value.Image(v3))
+	}
+	if fresh.Size() != 1 || c.Size() != 3 {
+		t.Fatalf("sizes: fresh=%d orig=%d", fresh.Size(), c.Size())
+	}
+	c.Gen().Restart()
+	fresh.Gen().Restart()
+}
+
+func TestGenAdapterAndKernelBang(t *testing.T) {
+	c := Simple(func() core.Gen { return core.IntRange(5, 7) })
+	got := core.Drain(core.Bang(c), 0)
+	if len(got) != 3 || intVal(got[0]) != 5 {
+		t.Fatalf("!c = %v", got)
+	}
+	// Exhaustion latches: unlike plain kernel iterators, an exhausted
+	// co-expression keeps failing (Icon: @C fails until ^C).
+	g := c.Gen()
+	if _, ok := g.Next(); ok {
+		t.Fatal("exhausted co-expression should keep failing")
+	}
+	if _, ok := g.Next(); ok {
+		t.Fatal("exhausted co-expression must not auto-restart")
+	}
+	// An explicit Restart (the kernel's ^) rewinds over a fresh env copy.
+	g.Restart()
+	v, ok := g.Next()
+	if !ok || intVal(v) != 5 {
+		t.Fatalf("after explicit restart: %v %v", v, ok)
+	}
+}
+
+func TestKernelStepOperator(t *testing.T) {
+	// @ through the kernel's Step on the value protocol.
+	c := Simple(func() core.Gen { return core.IntRange(1, 2) })
+	v, ok := core.Step(c, value.NullV)
+	if !ok || intVal(v) != 1 {
+		t.Fatalf("@c via kernel = %v", v)
+	}
+	if c.Type() != "co-expression" {
+		t.Fatalf("type = %q", c.Type())
+	}
+}
+
+func TestTransmission(t *testing.T) {
+	// v @ c delivers v to the body via the receive variable.
+	recv := value.NewCell(value.NullV)
+	c := Simple(func() core.Gen {
+		return core.RepeatAlt(core.Defer(func() core.Gen {
+			return core.Unit(value.Add(recv.Get(), value.NewInt(100)))
+		}))
+	}).OnReceive(recv)
+	v, _ := c.Step(value.NewInt(5))
+	if intVal(v) != 105 {
+		t.Fatalf("5 @ c = %v", value.Image(v))
+	}
+	v, _ = c.Step(value.NewInt(7))
+	if intVal(v) != 107 {
+		t.Fatalf("7 @ c = %v", value.Image(v))
+	}
+}
+
+func TestInterleavingTwoCoExpressions(t *testing.T) {
+	// The classic coroutine interleave: odd and even producers.
+	odds := Simple(func() core.Gen { return core.Range(value.NewInt(1), value.NewInt(9), value.NewInt(2)) })
+	evens := Simple(func() core.Gen { return core.Range(value.NewInt(2), value.NewInt(10), value.NewInt(2)) })
+	var seq []int64
+	for i := 0; i < 5; i++ {
+		a, _ := odds.Step(value.NullV)
+		b, _ := evens.Step(value.NullV)
+		seq = append(seq, intVal(a), intVal(b))
+	}
+	for i, want := range []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		if seq[i] != want {
+			t.Fatalf("interleaved = %v", seq)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"junicon/internal/value"
+)
+
+// Promotion — the ! operator — lifts a value to a generator over its
+// elements (§3: "the ! operator lifts lists as well as co-expressions to
+// iterators").
+
+// listBang generates the elements of a list as updatable references, giving
+// Icon's `every !L := 0` idiom its meaning.
+type listBang struct {
+	l *value.List
+	i int
+}
+
+func (g *listBang) Next() (V, bool) {
+	if g.i >= g.l.Len() {
+		g.i = 0
+		return nil, false
+	}
+	idx := g.i + 1
+	g.i++
+	l := g.l
+	return value.NewVar(
+		func() V { v, _ := l.At(idx); return v },
+		func(v V) { l.SetAt(idx, v) },
+	), true
+}
+
+func (g *listBang) Restart() { g.i = 0 }
+
+// stringBang generates the one-character substrings of a string.
+type stringBang struct {
+	s string
+	i int
+}
+
+func (g *stringBang) Next() (V, bool) {
+	if g.i >= len(g.s) {
+		g.i = 0
+		return nil, false
+	}
+	v := value.String(g.s[g.i : g.i+1])
+	g.i++
+	return v, true
+}
+
+func (g *stringBang) Restart() { g.i = 0 }
+
+// PromoteVal returns the element generator for v — the unary ! applied to an
+// already-evaluated operand:
+//
+//   - lists generate their elements (as updatable references);
+//   - strings and csets generate one-character strings;
+//   - tables generate their stored values, sets their members;
+//   - records generate their field values;
+//   - first-class iterator values (co-expressions, pipes) resume stepping;
+//   - numerics convert to string first.
+func PromoteVal(v V) Gen {
+	switch x := value.Deref(v).(type) {
+	case *value.List:
+		return &listBang{l: x}
+	case value.String:
+		return &stringBang{s: string(x)}
+	case *value.Cset:
+		return &stringBang{s: x.Members()}
+	case *value.Table:
+		keys := x.Keys()
+		vals := make([]V, len(keys))
+		for i, k := range keys {
+			vals[i] = x.Get(k)
+		}
+		return Values(vals...)
+	case *value.Set:
+		return Values(x.Members()...)
+	case *value.Record:
+		return Values(x.Values...)
+	case Stepper:
+		return Bang(x)
+	case value.Integer, value.Real:
+		s, _ := value.ToString(x)
+		return &stringBang{s: string(s)}
+	default:
+		value.Raise(value.ErrString, "!: cannot generate elements", value.Deref(v))
+	}
+	panic("unreachable")
+}
+
+// Promote composes ! over a generator operand.
+func Promote(e Gen) Gen { return Apply1(PromoteVal, e) }
+
+// KeyVal generates the keys of a table (the key(T) built-in) for an
+// already-evaluated operand.
+func KeyVal(v V) Gen {
+	switch x := value.Deref(v).(type) {
+	case *value.Table:
+		return Values(x.Keys()...)
+	case *value.List:
+		n := x.Len()
+		return IntRange(1, int64(n))
+	default:
+		value.Raise(value.ErrNotTable, "key: table expected", value.Deref(v))
+	}
+	panic("unreachable")
+}

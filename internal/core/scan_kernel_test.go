@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	"junicon/internal/value"
+)
+
+// Kernel-level scanning tests (the interp package tests the language
+// surface; these pin the combinators directly).
+
+func scanOf(t *testing.T, subject string, mkBody func(h *ScanHolder) Gen) []string {
+	t.Helper()
+	h := NewScanHolder()
+	g := ScanExpr(h, Unit(value.String(subject)), func() Gen { return mkBody(h) })
+	var out []string
+	for _, v := range Drain(g, 100) {
+		out = append(out, value.Image(v))
+	}
+	if h.Current() != nil {
+		t.Fatal("environment leaked after scan")
+	}
+	return out
+}
+
+func TestKernelScanTabAndMove(t *testing.T) {
+	got := scanOf(t, "hello", func(h *ScanHolder) Gen {
+		return Sequence(Move(h, Unit(value.NewInt(2))), Tab(h, Unit(value.NewInt(0))))
+	})
+	if len(got) != 1 || got[0] != `"llo"` {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestKernelScanNegativeTab(t *testing.T) {
+	got := scanOf(t, "hello", func(h *ScanHolder) Gen {
+		return Tab(h, Unit(value.NewInt(-1)))
+	})
+	if len(got) != 1 || got[0] != `"hell"` {
+		t.Fatalf("tab(-1) = %v", got)
+	}
+}
+
+func TestKernelTabBackwards(t *testing.T) {
+	// tab to an earlier position yields the text between, reversed range.
+	got := scanOf(t, "abcd", func(h *ScanHolder) Gen {
+		return Sequence(Move(h, Unit(value.NewInt(3))), Tab(h, Unit(value.NewInt(2))))
+	})
+	if len(got) != 1 || got[0] != `"bc"` {
+		t.Fatalf("backwards tab = %v", got)
+	}
+}
+
+func TestKernelTabReversesOnBacktrack(t *testing.T) {
+	h := NewScanHolder()
+	// (tab(2 | 4)) & fail-at-2: product backtracks, tab restores then
+	// retries with 4.
+	probe := func() Gen {
+		return Cmp1(func(v value.V) (value.V, bool) {
+			st := h.Current()
+			if st.Pos == 4 {
+				return value.NewInt(int64(st.Pos)), true
+			}
+			return nil, false
+		}, Unit(value.NullV))
+	}
+	g := ScanExpr(h, Unit(value.String("abcde")), func() Gen {
+		return Product(
+			Tab(h, Values(value.NewInt(2), value.NewInt(4))),
+			Defer(probe),
+		)
+	})
+	got := Drain(g, 0)
+	if len(got) != 1 || value.Image(got[0]) != "4" {
+		t.Fatalf("backtracked tab = %v", got)
+	}
+}
+
+func TestKernelMoveOutOfRangeFails(t *testing.T) {
+	got := scanOf(t, "ab", func(h *ScanHolder) Gen {
+		return Move(h, Unit(value.NewInt(9)))
+	})
+	if len(got) != 0 {
+		t.Fatalf("move(9) over \"ab\" = %v", got)
+	}
+	// Negative move from the start fails too.
+	got = scanOf(t, "ab", func(h *ScanHolder) Gen {
+		return Move(h, Unit(value.NewInt(-1)))
+	})
+	if len(got) != 0 {
+		t.Fatalf("move(-1) at pos 1 = %v", got)
+	}
+}
+
+func TestKernelScanOutsideEnvFails(t *testing.T) {
+	h := NewScanHolder()
+	if _, ok := Tab(h, Unit(value.NewInt(1))).Next(); ok {
+		t.Fatal("tab with no environment must fail")
+	}
+	if _, ok := Move(h, Unit(value.NewInt(1))).Next(); ok {
+		t.Fatal("move with no environment must fail")
+	}
+}
+
+func TestKernelScanSubjectsSearched(t *testing.T) {
+	h := NewScanHolder()
+	g := ScanExpr(h, Strings2("ab", "xy"), func() Gen {
+		return Move(h, Unit(value.NewInt(1)))
+	})
+	got := Drain(g, 0)
+	if len(got) != 2 || value.Image(got[0]) != `"a"` || value.Image(got[1]) != `"x"` {
+		t.Fatalf("per-subject scan = %v", got)
+	}
+	g.Restart()
+	if n := Count(g); n != 2 {
+		t.Fatalf("restarted scan count = %d", n)
+	}
+}
+
+// Strings2 builds a generator over strings (test helper).
+func Strings2(ss ...string) Gen {
+	vs := make([]V, len(ss))
+	for i, s := range ss {
+		vs[i] = value.String(s)
+	}
+	return Values(vs...)
+}
+
+func TestKernelScanBuiltinsTable(t *testing.T) {
+	h := NewScanHolder()
+	b := ScanBuiltins(h)
+	for _, name := range []string{"tab", "move", "pos", "findAt", "uptoAt", "manyAt", "anyAt", "matchAt", "tabMatch"} {
+		if _, ok := b[name]; !ok {
+			t.Errorf("missing scan builtin %q", name)
+		}
+	}
+	// Outside a scan, all of them fail rather than erroring.
+	for name, v := range b {
+		p := v.(*value.Proc)
+		var n int
+		if err := Protect(func() { n = Count(Limit(p.Call(value.String("x")), 5)) }); err != nil {
+			t.Errorf("%s outside scan raised: %v", name, err)
+			continue
+		}
+		if n != 0 {
+			t.Errorf("%s outside scan produced %d results", name, n)
+		}
+	}
+}
+
+func TestTracerOutputShape(t *testing.T) {
+	var buf bufWriter
+	tr := &Tracer{W: &buf}
+	tr.Call("f", []V{value.NewInt(1)})
+	tr.Suspend("f", value.NewInt(2))
+	tr.Call("g", nil)
+	tr.Fail("g")
+	tr.Return("f", value.NewInt(2))
+	out := buf.String()
+	want := "| f(1)\n| | f suspended 2\n| | g()\n| | g failed\n| f returned 2\n"
+	if out != want {
+		t.Fatalf("trace:\n%q\nwant:\n%q", out, want)
+	}
+}
+
+type bufWriter struct{ b []byte }
+
+func (w *bufWriter) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }
+func (w *bufWriter) String() string              { return string(w.b) }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"junicon/internal/value"
+)
+
+// Monitoring hooks — the paper's closing future-work item ("program
+// monitoring and debugging within a transformational framework is an area
+// to be further explored", §9). Because every construct is an iterator,
+// one wrapper suffices to observe any expression: Traced interposes on the
+// kernel protocol and reports resume/yield/fail/restart events.
+
+// Event classifies a trace event.
+type Event int
+
+// Trace events.
+const (
+	EvResume  Event = iota // Next called
+	EvYield                // Next produced a value
+	EvFail                 // Next reported failure
+	EvRestart              // Restart called
+)
+
+func (e Event) String() string {
+	switch e {
+	case EvResume:
+		return "resume"
+	case EvYield:
+		return "yield"
+	case EvFail:
+		return "fail"
+	case EvRestart:
+		return "restart"
+	}
+	return "?"
+}
+
+// TraceFunc receives trace events; v is non-nil only for EvYield.
+type TraceFunc func(label string, ev Event, v V)
+
+// Traced wraps g so every protocol operation reports to f.
+func Traced(label string, g Gen, f TraceFunc) Gen {
+	return &tracedGen{label: label, g: g, f: f}
+}
+
+type tracedGen struct {
+	label string
+	g     Gen
+	f     TraceFunc
+}
+
+func (t *tracedGen) Next() (V, bool) {
+	t.f(t.label, EvResume, nil)
+	v, ok := t.g.Next()
+	if ok {
+		t.f(t.label, EvYield, value.Deref(v))
+	} else {
+		t.f(t.label, EvFail, nil)
+	}
+	return v, ok
+}
+
+func (t *tracedGen) Restart() {
+	t.f(t.label, EvRestart, nil)
+	t.g.Restart()
+}
+
+// Tracer accumulates procedure-level trace output in Icon's &trace style:
+//
+//	| isprime(4)
+//	| isprime failed
+//	| isprime(5)
+//	| isprime suspended 5
+//
+// with nesting depth shown by bar prefixes.
+type Tracer struct {
+	W     io.Writer
+	depth int
+}
+
+func (t *Tracer) prefix() string { return strings.Repeat("| ", t.depth+1) }
+
+// Call reports a procedure invocation and increases depth.
+func (t *Tracer) Call(name string, args []V) {
+	imgs := make([]string, len(args))
+	for i, a := range args {
+		imgs[i] = value.Image(value.Deref(a))
+	}
+	fmt.Fprintf(t.W, "%s%s(%s)\n", t.prefix(), name, strings.Join(imgs, ", "))
+	t.depth++
+}
+
+// Suspend reports a result being produced.
+func (t *Tracer) Suspend(name string, v V) {
+	fmt.Fprintf(t.W, "%s%s suspended %s\n", t.prefix(), name, value.Image(value.Deref(v)))
+}
+
+// Return reports a procedure returning (its final result).
+func (t *Tracer) Return(name string, v V) {
+	t.depth--
+	if t.depth < 0 {
+		t.depth = 0
+	}
+	fmt.Fprintf(t.W, "%s%s returned %s\n", t.prefix(), name, value.Image(value.Deref(v)))
+}
+
+// Fail reports a procedure failing out.
+func (t *Tracer) Fail(name string) {
+	t.depth--
+	if t.depth < 0 {
+		t.depth = 0
+	}
+	fmt.Fprintf(t.W, "%s%s failed\n", t.prefix(), name)
+}

@@ -1,0 +1,271 @@
+// Package interp is the tree-walking evaluator of the embedding pipeline:
+// it runs (raw or normalized) Junicon syntax trees directly against the
+// goal-directed kernel — the interactive path that in the paper executes on
+// a Groovy script engine (§6), here executing on the core package.
+//
+// It also hosts the interoperability registry: Go functions registered as
+// natives are invoked with the :: syntax of §4, and their results are
+// promoted to singleton iterators so they participate in goal-directed
+// evaluation seamlessly.
+package interp
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"junicon/internal/ast"
+	"junicon/internal/core"
+	"junicon/internal/parser"
+	"junicon/internal/transform"
+	"junicon/internal/value"
+)
+
+// Env is a lexical scope chain of reified variables.
+type Env struct {
+	vars   map[string]*value.Var
+	parent *Env
+}
+
+// NewEnv returns a scope nested in parent (parent may be nil).
+func NewEnv(parent *Env) *Env {
+	return &Env{vars: map[string]*value.Var{}, parent: parent}
+}
+
+// Lookup finds name in the scope chain.
+func (e *Env) Lookup(name string) (*value.Var, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Define creates (or replaces) name in this scope.
+func (e *Env) Define(name string, v value.V) *value.Var {
+	cell := value.NewCell(value.Deref(v))
+	e.vars[name] = cell
+	return cell
+}
+
+// Interp is an interpreter instance: global scope, builtin library and
+// native registry.
+type Interp struct {
+	globals  *Env
+	builtins map[string]value.V
+	natives  map[string]*value.Native
+	scan     *core.ScanHolder
+	tracer   *core.Tracer
+	out      io.Writer
+}
+
+// Option configures an interpreter.
+type Option func(*Interp)
+
+// WithOutput directs write()/writes() output to w.
+func WithOutput(w io.Writer) Option { return func(in *Interp) { in.out = w } }
+
+// New returns an interpreter with the builtin library loaded.
+func New(opts ...Option) *Interp {
+	in := &Interp{out: os.Stdout, natives: map[string]*value.Native{}}
+	for _, o := range opts {
+		o(in)
+	}
+	in.globals = NewEnv(nil)
+	in.builtins = core.Builtins(in.out)
+	in.scan = core.NewScanHolder()
+	scanLib := core.ScanBuiltins(in.scan)
+	for k, v := range scanLib {
+		in.builtins[k] = v
+	}
+	// The string analysis functions default their subject to &subject and
+	// their start position to &pos when the subject argument is omitted or
+	// null (Icon's convention inside scanning expressions).
+	for name, atName := range map[string]string{
+		"find": "findAt", "upto": "uptoAt", "many": "manyAt",
+		"any": "anyAt", "match": "matchAt",
+	} {
+		base := in.builtins[name].(*value.Proc)
+		at := scanLib[atName].(*value.Proc)
+		in.builtins[name] = value.NewProc(name, -1, func(args ...value.V) core.Gen {
+			if len(args) < 2 || value.IsNull(value.Deref(args[1])) {
+				var first value.V = value.NullV
+				if len(args) > 0 {
+					first = args[0]
+				}
+				return at.Call(first)
+			}
+			return base.Call(args...)
+		})
+	}
+	return in
+}
+
+// RegisterNative exposes a Go function to embedded code under the ::
+// invocation syntax. When the call site has an explicit receiver
+// (expr::name(args)), the receiver value is passed as the first argument;
+// this::name(args) passes only the arguments. Returning (nil, nil) means
+// failure; a non-nil error raises a runtime error.
+func (in *Interp) RegisterNative(name string, fn func(args ...value.V) (value.V, error)) {
+	in.natives[name] = value.NewNative(name, fn)
+}
+
+// EnableTrace turns on Icon-style procedure tracing (&trace): calls,
+// suspensions, returns and failures are logged to w with call-depth
+// prefixes — the program-monitoring hook of the paper's §9 future work.
+func (in *Interp) EnableTrace(w io.Writer) { in.tracer = &core.Tracer{W: w} }
+
+// DisableTrace turns procedure tracing off.
+func (in *Interp) DisableTrace() { in.tracer = nil }
+
+// Define binds a global variable.
+func (in *Interp) Define(name string, v value.V) { in.globals.Define(name, v) }
+
+// Global returns a global's current value.
+func (in *Interp) Global(name string) (value.V, bool) {
+	cell, ok := in.globals.Lookup(name)
+	if !ok {
+		return nil, false
+	}
+	return cell.Get(), true
+}
+
+// LoadProgram parses, normalizes and loads a Junicon program: declarations
+// are defined and top-level statements executed in order (bounded, as at
+// "the outermost level of interaction").
+func (in *Interp) LoadProgram(src string) error {
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		return err
+	}
+	norm := transform.Normalize(prog).(*ast.Program)
+	return core.Protect(func() {
+		for _, d := range norm.Decls {
+			in.loadDecl(d)
+		}
+	})
+}
+
+func (in *Interp) loadDecl(d ast.Node) {
+	switch x := d.(type) {
+	case *ast.ProcDecl:
+		in.globals.Define(x.Name, in.makeProc(x, in.globals))
+	case *ast.RecordDecl:
+		in.globals.Define(x.Name, recordConstructor(x))
+	case *ast.GlobalDecl:
+		for _, name := range x.Names {
+			if _, ok := in.globals.Lookup(name); !ok {
+				in.globals.Define(name, value.NullV)
+			}
+		}
+	case *ast.ClassDecl:
+		// Minimal class model: fields become globals, methods become
+		// procedures (the paper's class-level embedding maps fields and
+		// methods into the host class; interactively we flatten them).
+		for _, f := range x.Fields {
+			if _, ok := in.globals.Lookup(f); !ok {
+				in.globals.Define(f, value.NullV)
+			}
+		}
+		for _, m := range x.Methods {
+			in.globals.Define(m.Name, in.makeProc(m, in.globals))
+		}
+	default:
+		// Top-level statement: bounded evaluation.
+		g := in.eval(d, in.globals)
+		g.Next()
+		g.Restart()
+	}
+}
+
+// EvalGen parses src as one expression and returns its generator. The
+// expression is normalized first, so evaluation exercises the §5A normal
+// form.
+func (in *Interp) EvalGen(src string) (core.Gen, error) {
+	e, err := parser.ParseExpression(src)
+	if err != nil {
+		return nil, err
+	}
+	norm := transform.Normalize(e)
+	var g core.Gen
+	if err := core.Protect(func() { g = in.eval(norm, in.globals) }); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// EvalRawGen is EvalGen without normalization — used by the equivalence
+// tests that pin raw and normalized evaluation to the same sequences.
+func (in *Interp) EvalRawGen(src string) (core.Gen, error) {
+	e, err := parser.ParseExpression(src)
+	if err != nil {
+		return nil, err
+	}
+	var g core.Gen
+	if err := core.Protect(func() { g = in.eval(e, in.globals) }); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Eval parses src as an expression and drains its result sequence (capped
+// at max results; max <= 0 means unbounded).
+func (in *Interp) Eval(src string, max int) ([]value.V, error) {
+	g, err := in.EvalGen(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []value.V
+	err = core.Protect(func() { out = core.Drain(g, max) })
+	return out, err
+}
+
+// EvalFirst parses src and returns its first result (ok == false on
+// failure).
+func (in *Interp) EvalFirst(src string) (value.V, bool, error) {
+	g, err := in.EvalGen(src)
+	if err != nil {
+		return nil, false, err
+	}
+	var v value.V
+	var ok bool
+	err = core.Protect(func() { v, ok = core.First(g) })
+	return v, ok, err
+}
+
+// resolve finds a name: scope chain, then builtins, then natives. Unknown
+// names are auto-created as locals in the current scope, matching Icon's
+// default-local rule.
+func (in *Interp) resolve(name string, env *Env) *value.Var {
+	if cell, ok := env.Lookup(name); ok {
+		return cell
+	}
+	if b, ok := in.builtins[name]; ok {
+		return value.NewVar(func() value.V { return b }, func(value.V) {
+			value.Raise(value.ErrProcedure, "cannot assign to builtin "+name, nil)
+		})
+	}
+	if n, ok := in.natives[name]; ok {
+		return value.NewVar(func() value.V { return n }, func(value.V) {
+			value.Raise(value.ErrProcedure, "cannot assign to native "+name, nil)
+		})
+	}
+	return env.Define(name, value.NullV)
+}
+
+// recordConstructor builds the constructor procedure a record declaration
+// introduces.
+func recordConstructor(d *ast.RecordDecl) *value.Proc {
+	fields := append([]string(nil), d.Fields...)
+	name := d.Name
+	return value.NewProc(name, len(fields), func(args ...value.V) core.Gen {
+		vals := make([]value.V, len(args))
+		for i, a := range args {
+			vals[i] = value.Deref(a)
+		}
+		return core.Unit(value.NewRecord(name, fields, vals))
+	})
+}
+
+func fmtPos(p ast.Pos) string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }

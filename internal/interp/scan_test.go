@@ -1,0 +1,165 @@
+package interp
+
+import (
+	"testing"
+)
+
+// String scanning tests: the e1 ? e2 scanning expression, the reversible
+// matching functions tab and move, and &subject-defaulting analysis
+// functions — "string processing, the forte of Icon and Unicon" (§2A).
+
+func TestScanTabToFind(t *testing.T) {
+	in := New()
+	// Classic idiom: extract up to a delimiter.
+	expect(t, in, `"key=value" ? tab(find("="))`, `"key"`)
+	// After tab, the rest of the subject is available via tab(0).
+	expect(t, in, `"key=value" ? { tab(find("=")); move(1); tab(0) }`, `"value"`)
+}
+
+func TestScanMoveProducesTraversedText(t *testing.T) {
+	in := New()
+	expect(t, in, `"hello" ? move(2)`, `"he"`)
+	expect(t, in, `"hello" ? { move(2); move(3) }`, `"llo"`)
+	// Moving past the end fails.
+	expect(t, in, `"hi" ? move(5)`)
+}
+
+func TestScanPosTest(t *testing.T) {
+	in := New()
+	expect(t, in, `"abc" ? { move(1); pos(2) }`, "2")
+	expect(t, in, `"abc" ? { move(1); pos(1) }`) // fails: pos is 2
+	// pos(-1) is position n+1-1.
+	expect(t, in, `"abc" ? { tab(0); pos(0) }`, "4")
+}
+
+func TestScanFindDefaultsToSubjectAndPos(t *testing.T) {
+	in := New()
+	// find inside a scan starts at &pos.
+	expect(t, in, `"abab" ? { move(1); find("ab") }`, "3")
+	// Explicit subject still works inside a scan.
+	expect(t, in, `"xyz" ? find("n", "banana")`, "3", "5")
+}
+
+func TestScanManyAnyMatch(t *testing.T) {
+	in := New()
+	expect(t, in, `"  indented" ? tab(many(' '))`, `"  "`)
+	expect(t, in, `"abc" ? any('ab')`, "2")
+	expect(t, in, `"abc" ? any('xyz')`)
+	expect(t, in, `"hello world" ? match("hello")`, "6")
+	expect(t, in, `"hello world" ? match("world")`)
+}
+
+func TestScanBacktrackingReversesTab(t *testing.T) {
+	in := New()
+	// tab(upto('l')) & ="lo": the first 'l' (pos 3) fails the match
+	// ("ll" ≠ "lo"), backtracking restores &pos, upto resumes to the
+	// second 'l' where tab succeeds and the match completes.
+	expect(t, in, `"hello" ? { tab(upto('l')) & tabMatch("lo") }`, `"lo"`)
+	// With no later alternative, the whole scan fails and pos damage is
+	// undone between attempts.
+	expect(t, in, `"hello" ? { tab(upto('l')) & tabMatch("zz") }`)
+}
+
+func TestScanGeneratesPerSubject(t *testing.T) {
+	in := New()
+	// The subject operand is searched too: each of the two subjects is
+	// scanned in its own environment.
+	expect(t, in, `("ab" | "cd") ? move(1)`, `"a"`, `"c"`)
+}
+
+func TestScanBodyGeneratesMultipleResults(t *testing.T) {
+	in := New()
+	expect(t, in, `"banana" ? find("an")`, "2", "4")
+	expect(t, in, `"banana" ? upto('an')`, "2", "3", "4", "5", "6")
+}
+
+func TestNestedScans(t *testing.T) {
+	in := New()
+	// Inner scan gets its own environment; outer resumes unharmed.
+	expect(t, in, `"outer" ? { move(1); ("in" ? move(1)) || tab(0) }`, `"iuter"`)
+}
+
+func TestScanEnvironmentRestoredOutside(t *testing.T) {
+	in := New()
+	// After the scan completes, tab/move (no environment) fail.
+	expect(t, in, `{ s := "ab" ? move(1); tab(3) }`)
+	expect(t, in, `{ "ab" ? move(1); move(1) }`)
+}
+
+func TestScanSuspendedEnvironmentSwaps(t *testing.T) {
+	in := New()
+	// Icon's swap discipline: while the scan is suspended, the outer
+	// environment rules; resuming the scan re-installs the inner one.
+	// Here the outer expression interleaves two scans.
+	expect(t, in, `("ab" ? move(1)) || ("cd" ? move(1))`, `"ac"`)
+}
+
+func TestScanWithinProcedure(t *testing.T) {
+	in := New()
+	// The classic splitting idiom: bind the field first (bounding the
+	// alternatives) and then suspend it — resuming a bare
+	// `suspend tab(upto(…)|0)` would backtrack into the alternatives,
+	// which is faithful Icon behaviour but not what a splitter wants.
+	if err := in.LoadProgram(`
+def fields(s) {
+  s ? {
+    while not pos(0) do {
+      w := tab(upto(',') | 0);
+      suspend w;
+      move(1);
+    };
+  };
+}
+`); err != nil {
+		t.Fatal(err)
+	}
+	expect(t, in, `fields("a,bc,def")`, `"a"`, `"bc"`, `"def"`)
+}
+
+func TestScanSubjectCoercion(t *testing.T) {
+	in := New()
+	// Numeric subjects coerce to strings.
+	expect(t, in, `12345 ? move(2)`, `"12"`)
+}
+
+func TestScanTypeErrorOnBadSubject(t *testing.T) {
+	in := New()
+	if _, err := in.Eval(`[1,2] ? move(1)`, 1); err == nil {
+		t.Fatal("list subject should raise")
+	}
+}
+
+func TestSubjectAndPosKeywords(t *testing.T) {
+	in := New()
+	expect(t, in, `"abc" ? &subject`, `"abc"`)
+	expect(t, in, `"abc" ? { move(2); &pos }`, "3")
+	// &pos is assignable inside a scan; nonpositive positions count from
+	// the right.
+	expect(t, in, `"hello" ? { &pos := 3; tab(0) }`, `"llo"`)
+	expect(t, in, `"hello" ? { &pos := -1; tab(0) }`, `"o"`)
+	// Assigning &subject resets &pos.
+	expect(t, in, `"xyz" ? { move(2); &subject := "fresh"; [&pos, tab(0)] }`, `[1,"fresh"]`)
+	// Outside any scan, reads default and writes raise.
+	expect(t, in, `&subject`, `""`)
+	expect(t, in, `&pos`, "1")
+	if _, err := in.Eval(`&pos := 2`, 1); err == nil {
+		t.Fatal("assigning &pos outside a scan should raise")
+	}
+	// Out-of-range &pos raises (Icon runtime error 205-ish).
+	if _, err := in.Eval(`"ab" ? (&pos := 9)`, 1); err == nil {
+		t.Fatal("out-of-range &pos should raise")
+	}
+}
+
+func TestUnaryEqualsIsTabMatch(t *testing.T) {
+	in := New()
+	// =s moves past the matched prefix and yields it.
+	expect(t, in, `"hello world" ? { ="hello"; move(1); tab(0) }`, `"world"`)
+	expect(t, in, `"abc" ? ="xyz"`) // no match: fails
+	// Reversible: when the whole sequence is drained, resumption undoes
+	// both matches (pos back to 1) before the alternation falls through to
+	// tab(0) — so the second result sees the untouched subject.
+	expect(t, in, `"aab" ? { (="a" & ="ab") | tab(0) }`, `"ab"`, `"aab"`)
+	// Bounded (one result), the backtracking alternative never runs.
+	expect(t, in, `("aab" ? { (="a" & ="ab") | tab(0) }) \ 1`, `"ab"`)
+}

@@ -1,0 +1,290 @@
+// Package lexer tokenizes the Junicon subset: Unicon's operator-rich
+// surface extended with the concurrency operators of Figure 1 (<>, |<>, |>)
+// and the native-invocation separator :: of §4.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies tokens.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Keyword // reserved word: if, then, every, def, …
+	AmpKw   // &-keyword: &null, &lcase, …
+	Int     // integer literal
+	Real    // real literal
+	Str     // string literal (value unescaped)
+	Cset    // cset literal (value unescaped)
+	Op      // operator or punctuation
+)
+
+// Token is a lexed token.
+type Token struct {
+	Kind Kind
+	Text string // identifier/keyword name, literal value, or operator text
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%d:%d %v %q", t.Line, t.Col, t.Kind, t.Text)
+}
+
+// reserved words of the subset.
+var reserved = map[string]bool{
+	"procedure": true, "method": true, "def": true, "end": true,
+	"local": true, "static": true, "global": true, "record": true,
+	"class": true, "if": true, "then": true, "else": true,
+	"every": true, "while": true, "until": true, "repeat": true,
+	"case": true, "of": true, "default": true, "to": true, "by": true,
+	"break": true, "next": true, "return": true, "suspend": true,
+	"fail": true, "not": true, "do": true, "var": true, "initial": true,
+}
+
+// operators, longest first so maximal munch works by simple ordering.
+var operators = []string{
+	"~===", "<<=", ">>=", "~==", "===", ":=:", "<->", "|<>",
+	"+:=", "-:=", "*:=", "/:=", "%:=", "^:=", "<:=", ">:=", "=:=",
+	"||:=", "|||:=", "++:=", "--:=", "**:=", "&:=", "?:=", "@:=",
+	"<=:=", ">=:=", "~=:=", "==:=", "<<:=", ">>:=",
+	"|||", "<<", ">>", "<=", ">=", "~=", "==", "<>", "|>", ":=", "<-",
+	"++", "--", "**", "||", "::",
+	"&", "|", "=", "<", ">", "!", "@", "^", "*", "/", "%", "+", "-",
+	"~", "?", "\\", ".", ",", ";", ":", "(", ")", "[", "]", "{", "}",
+}
+
+// Lexer scans an input string.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer { return &Lexer{src: src, line: 1, col: 1} }
+
+// Error is a lexical error with position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+// Tokens scans the whole input.
+func Tokens(src string) ([]Token, error) {
+	lx := New(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *Lexer) errf(format string, args ...any) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Next scans one token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	start := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		start.Kind = EOF
+		return start, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isLetter(c) || c == '_':
+		return l.lexIdent(start), nil
+	case isDigit(c):
+		return l.lexNumber(start)
+	case c == '"':
+		return l.lexQuoted(start, '"', Str)
+	case c == '\'':
+		return l.lexQuoted(start, '\'', Cset)
+	case c == '&':
+		if isLetter(l.peekAt(1)) {
+			return l.lexAmpKeyword(start), nil
+		}
+	case c == '.':
+		if isDigit(l.peekAt(1)) {
+			return l.lexNumber(start)
+		}
+	}
+	for _, op := range operators {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			l.advance(len(op))
+			start.Kind = Op
+			start.Text = op
+			return start, nil
+		}
+	}
+	return start, l.errf("unexpected character %q", c)
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) lexIdent(t Token) Token {
+	begin := l.pos
+	for l.pos < len(l.src) && (isLetter(l.src[l.pos]) || isDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+		l.advance(1)
+	}
+	t.Text = l.src[begin:l.pos]
+	if reserved[t.Text] {
+		t.Kind = Keyword
+	} else {
+		t.Kind = Ident
+	}
+	return t
+}
+
+func (l *Lexer) lexAmpKeyword(t Token) Token {
+	l.advance(1) // &
+	begin := l.pos
+	for l.pos < len(l.src) && isLetter(l.src[l.pos]) {
+		l.advance(1)
+	}
+	t.Kind = AmpKw
+	t.Text = l.src[begin:l.pos]
+	return t
+}
+
+func (l *Lexer) lexNumber(t Token) (Token, error) {
+	begin := l.pos
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.advance(1)
+	}
+	// Radix literal 16r1f.
+	if l.pos < len(l.src) && (l.src[l.pos] == 'r' || l.src[l.pos] == 'R') && isAlnum(l.peekAt(1)) {
+		l.advance(1)
+		for l.pos < len(l.src) && isAlnum(l.src[l.pos]) {
+			l.advance(1)
+		}
+		t.Kind = Int
+		t.Text = l.src[begin:l.pos]
+		return t, nil
+	}
+	isReal := false
+	// Fraction — but not the section operator "1:..." nor field access.
+	if l.pos < len(l.src) && l.src[l.pos] == '.' && isDigit(l.peekAt(1)) {
+		isReal = true
+		l.advance(1)
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.advance(1)
+		}
+	}
+	// Exponent.
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		next := l.peekAt(1)
+		if isDigit(next) || ((next == '+' || next == '-') && isDigit(l.peekAt(2))) {
+			isReal = true
+			l.advance(2)
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.advance(1)
+			}
+		}
+	}
+	t.Text = l.src[begin:l.pos]
+	if isReal {
+		t.Kind = Real
+	} else {
+		t.Kind = Int
+	}
+	return t, nil
+}
+
+func (l *Lexer) lexQuoted(t Token, quote byte, kind Kind) (Token, error) {
+	l.advance(1)
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return t, l.errf("unterminated %c-quoted literal", quote)
+		}
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.advance(1)
+			t.Kind = kind
+			t.Text = b.String()
+			return t, nil
+		case '\n':
+			return t, l.errf("newline in %c-quoted literal", quote)
+		case '\\':
+			esc := l.peekAt(1)
+			l.advance(2)
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case '\'':
+				b.WriteByte('\'')
+			case '0':
+				b.WriteByte(0)
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(esc)
+			}
+		default:
+			b.WriteByte(c)
+			l.advance(1)
+		}
+	}
+}
+
+func isLetter(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isAlnum(c byte) bool  { return isLetter(c) || isDigit(c) }

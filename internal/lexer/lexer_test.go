@@ -1,0 +1,177 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Tokens(src)
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	return toks[:len(toks)-1] // drop EOF
+}
+
+func texts(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestIdentifiersAndKeywords(t *testing.T) {
+	toks := kinds(t, "every x do foo_1")
+	if toks[0].Kind != Keyword || toks[0].Text != "every" {
+		t.Fatalf("tok0 = %v", toks[0])
+	}
+	if toks[1].Kind != Ident || toks[1].Text != "x" {
+		t.Fatalf("tok1 = %v", toks[1])
+	}
+	if toks[3].Kind != Ident || toks[3].Text != "foo_1" {
+		t.Fatalf("tok3 = %v", toks[3])
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks := kinds(t, "42 3.25 1e3 2.5e-2 16r1f 0")
+	wantKinds := []Kind{Int, Real, Real, Real, Int, Int}
+	for i, k := range wantKinds {
+		if toks[i].Kind != k {
+			t.Fatalf("tok %d (%q) kind = %v, want %v", i, toks[i].Text, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestNumberDotDoesNotEatFieldAccess(t *testing.T) {
+	toks := kinds(t, "1.x")
+	if len(toks) != 3 || toks[0].Kind != Int || toks[1].Text != "." || toks[2].Text != "x" {
+		t.Fatalf("toks = %v", toks)
+	}
+}
+
+func TestStringsAndEscapes(t *testing.T) {
+	toks := kinds(t, `"a\tb\"c" 'xyz'`)
+	if toks[0].Kind != Str || toks[0].Text != "a\tb\"c" {
+		t.Fatalf("str = %q", toks[0].Text)
+	}
+	if toks[1].Kind != Cset || toks[1].Text != "xyz" {
+		t.Fatalf("cset = %v", toks[1])
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	if _, err := Tokens(`"abc`); err == nil || !strings.Contains(err.Error(), "unterminated") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Tokens("\"ab\ncd\""); err == nil {
+		t.Fatal("newline in string must error")
+	}
+}
+
+func TestConcurrencyOperators(t *testing.T) {
+	toks := kinds(t, "<> |<> |> @ ! ^ ||| || |")
+	want := []string{"<>", "|<>", "|>", "@", "!", "^", "|||", "||", "|"}
+	got := texts(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMaximalMunchAssignments(t *testing.T) {
+	toks := kinds(t, "x +:= 1; y ||:= z; s <- t; a :=: b; c <-> d")
+	joined := strings.Join(texts(toks), " ")
+	for _, op := range []string{"+:=", "||:=", "<-", ":=:", "<->"} {
+		if !strings.Contains(joined, op) {
+			t.Fatalf("missing %q in %s", op, joined)
+		}
+	}
+}
+
+func TestComparisonOperators(t *testing.T) {
+	toks := kinds(t, "a === b ~== c <<= d >>= e ~= f")
+	got := texts(toks)
+	want := []string{"a", "===", "b", "~==", "c", "<<=", "d", ">>=", "e", "~=", "f"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestAmpKeywords(t *testing.T) {
+	toks := kinds(t, "&null &lcase x & y")
+	if toks[0].Kind != AmpKw || toks[0].Text != "null" {
+		t.Fatalf("tok0 = %v", toks[0])
+	}
+	if toks[1].Kind != AmpKw || toks[1].Text != "lcase" {
+		t.Fatalf("tok1 = %v", toks[1])
+	}
+	if toks[3].Kind != Op || toks[3].Text != "&" {
+		t.Fatalf("& operator = %v", toks[3])
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	toks := kinds(t, "x # this is a comment\ny")
+	if len(toks) != 2 || toks[0].Text != "x" || toks[1].Text != "y" {
+		t.Fatalf("toks = %v", toks)
+	}
+	if toks[1].Line != 2 {
+		t.Fatalf("line = %d", toks[1].Line)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := kinds(t, "a\n  bb\n   ccc")
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Fatalf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Fatalf("bb at %d:%d", toks[1].Line, toks[1].Col)
+	}
+	if toks[2].Line != 3 || toks[2].Col != 4 {
+		t.Fatalf("ccc at %d:%d", toks[2].Line, toks[2].Col)
+	}
+}
+
+func TestNativeInvocationToken(t *testing.T) {
+	toks := kinds(t, "this::hashNumber(x)")
+	got := texts(toks)
+	want := []string{"this", "::", "hashNumber", "(", "x", ")"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestFigure4Snippet(t *testing.T) {
+	src := `
+def chunk(e) {
+  chunk = [];
+  while put(chunk,@e) do {
+    if (*chunk >= chunkSize) then { suspend chunk; chunk=[]; }};
+  if (*chunk > 0) then { return chunk; };
+}`
+	toks, err := Tokens(src)
+	if err != nil {
+		t.Fatalf("figure 4 chunk: %v", err)
+	}
+	if len(toks) < 40 {
+		t.Fatalf("too few tokens: %d", len(toks))
+	}
+}
+
+func TestUnexpectedCharacter(t *testing.T) {
+	if _, err := Tokens("a ` b"); err == nil {
+		t.Fatal("backquote should be a lex error")
+	}
+}

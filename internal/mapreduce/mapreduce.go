@@ -1,0 +1,158 @@
+// Package mapreduce builds the higher-order map-reduce abstraction of
+// Figure 4 from nothing but the calculus of concurrent generators: chunking
+// a source co-expression, spawning a pipe per chunk, and promoting the task
+// list back into a generator of per-chunk results.
+//
+// The Junicon original (Figure 4):
+//
+//	def chunk(e) {                      # Partition e into chunks
+//	  chunk = [];
+//	  while put(chunk, @e) do {
+//	    if (*chunk >= chunkSize) then { suspend chunk; chunk = []; } };
+//	  if (*chunk > 0) then { return chunk; };
+//	}
+//	def mapReduce(f, s, r, i) {         # Map f over s and reduce with r
+//	  var c, t, tasks = [];
+//	  every (c = chunk(<>s)) do {
+//	    t = |> { var x = i; every (x = r(x, f(!c))); x };
+//	    ((List) tasks)::add(t);
+//	  };
+//	  suspend ! (! tasks);
+//	}
+package mapreduce
+
+import (
+	"junicon/internal/coexpr"
+	"junicon/internal/core"
+	"junicon/internal/pipe"
+	"junicon/internal/value"
+)
+
+// Chunk partitions the results of stepping co-expression e into lists of at
+// most size elements — the chunk generator function of Figure 4.
+func Chunk(e core.Stepper, size int) core.Gen {
+	if size < 1 {
+		size = 1
+	}
+	return core.NewGen(func(yield func(value.V) bool) {
+		chunk := value.NewList()
+		for {
+			v, ok := e.Step(value.NullV) // put(chunk, @e)
+			if !ok {
+				break
+			}
+			chunk.Put(value.Deref(v))
+			if chunk.Len() >= size {
+				if !yield(chunk) {
+					return
+				}
+				chunk = value.NewList()
+			}
+		}
+		if chunk.Len() > 0 {
+			yield(chunk)
+		}
+	})
+}
+
+// ChunkGen is Chunk over a plain generator: chunk(<>s).
+func ChunkGen(src core.Gen, size int) core.Gen {
+	return Chunk(core.NewFirstClass(src), size)
+}
+
+// SpawnMap spawns a data-parallel mapping of callable f over the elements
+// of chunk, returning the generator of mapped results — the spawnMap method
+// whose translation is Figure 5:
+//
+//	def spawnMap (f, chunk) { suspend ! (|> f(!chunk)); }
+//
+// The chunk is captured in the pipe's shadowed co-expression environment,
+// so concurrent tasks cannot interfere.
+func SpawnMap(f value.V, chunk value.V, buffer int) core.Gen {
+	c := coexpr.New([]value.V{f, chunk}, func(env []*value.Var) core.Gen {
+		// x_0 in !chunk_s & f_s(x_0): map f over the shadowed chunk.
+		x0 := value.NewCell(value.NullV)
+		return core.Product(
+			core.In(x0, core.PromoteVal(env[1].Get())),
+			core.Defer(func() core.Gen { return core.InvokeVal(env[0].Get(), x0.Get()) }),
+		)
+	})
+	p := pipe.New(c, buffer)
+	p.StartEager()
+	return core.Bang(p)
+}
+
+// Config carries the knobs of the DataParallel class from Figure 3/4.
+type Config struct {
+	// ChunkSize is the partition size (the paper uses 1000).
+	ChunkSize int
+	// Buffer bounds each task pipe's output queue; <= 0 selects the pipe
+	// default.
+	Buffer int
+}
+
+// New mirrors `new DataParallel(1000)`.
+func New(chunkSize int) Config { return Config{ChunkSize: chunkSize} }
+
+// MapReduce maps callable f over the results of source generator s,
+// reducing each chunk with callable r from initial value init in its own
+// pipe, and returns the generator of per-chunk reduced results in chunk
+// order — Figure 4's mapReduce. All task pipes run concurrently; the
+// returned generator is `!(!tasks)`.
+func (cfg Config) MapReduce(f, s, r value.V, init value.V) core.Gen {
+	return core.Defer(func() core.Gen {
+		tasks := value.NewList()
+		// every (c = chunk(<>s)) do { t = |> {…}; put(tasks, t) }
+		source := core.InvokeVal(s)
+		core.Each(ChunkGen(source, cfg.ChunkSize), func(c value.V) bool {
+			t := cfg.spawnReduce(f, r, init, c)
+			tasks.Put(t)
+			return true
+		})
+		// suspend !(!tasks): promote each task, then promote its results.
+		return core.Promote(core.PromoteVal(tasks))
+	})
+}
+
+// spawnReduce is the pipe body |> { var x = i; every (x = r(x, f(!c))); x }.
+func (cfg Config) spawnReduce(f, r, init value.V, chunk value.V) *pipe.Pipe {
+	c := coexpr.New([]value.V{f, r, init, chunk}, func(env []*value.Var) core.Gen {
+		return core.NewGen(func(yield func(value.V) bool) {
+			x := env[2].Get()
+			elem := value.NewCell(value.NullV)
+			mapped := core.Product(
+				core.In(elem, core.PromoteVal(env[3].Get())),
+				core.Defer(func() core.Gen { return core.InvokeVal(env[0].Get(), elem.Get()) }),
+			)
+			core.Each(mapped, func(m value.V) bool {
+				red, ok := core.First(core.InvokeVal(env[1].Get(), x, m))
+				if !ok {
+					return false
+				}
+				x = red
+				return true
+			})
+			yield(x)
+		})
+	})
+	p := pipe.New(c, cfg.Buffer)
+	p.StartEager()
+	return p
+}
+
+// MapFlat is the data-parallel variant of §VII: chunks are mapped in
+// concurrent pipes but NOT reduced per chunk; the mapped elements stream
+// back flattened and in order for a serial downstream reduction. It
+// "differ[s] in performing summation over the sequence returned from
+// flattening the chunks, thus splitting out the reduction".
+func (cfg Config) MapFlat(f, s value.V) core.Gen {
+	return core.Defer(func() core.Gen {
+		tasks := value.NewList()
+		source := core.InvokeVal(s)
+		core.Each(ChunkGen(source, cfg.ChunkSize), func(c value.V) bool {
+			tasks.Put(core.NewFirstClass(SpawnMap(f, c, cfg.Buffer)))
+			return true
+		})
+		return core.Promote(core.PromoteVal(tasks))
+	})
+}

@@ -1,0 +1,402 @@
+// Package meta implements the metaparser for scoped annotations (§4): the
+// mixed-language front end that finds embedded regions
+//
+//	@<script lang="junicon"> … @</script>
+//	@<tag attr="v"/>
+//	@<tag(attr=v, …)> … @</tag>
+//
+// inside a host-language file while remaining oblivious to the host
+// grammar. Per the paper, no Java/Groovy/Go parser is needed — only a
+// general scanner that respects grouping delimiters: string literals and
+// comments are skipped so annotation-like text inside them is left alone,
+// and regions nest arbitrarily ("like XML, such annotations can surround
+// multiple statements, and can also be nested").
+//
+// Host text round-trips byte-identically: Render with an identity
+// transform reproduces the input.
+package meta
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Region is one scoped annotation.
+type Region struct {
+	Tag         string            // tag name, possibly qualified ("script", "x.y:tag")
+	Attrs       map[string]string // attribute values (unquoted)
+	SelfClosing bool
+	Segments    []Segment // parsed content (empty when self-closing)
+	Raw         string    // raw content text between the open and close tags
+	Line        int       // 1-based line of the @< that opened the region
+}
+
+// Lang returns the region's lang attribute ("" when absent).
+func (r *Region) Lang() string { return r.Attrs["lang"] }
+
+// Segment is a run of host text or an embedded region.
+type Segment struct {
+	Host   string  // host text; meaningful when Region is nil
+	Region *Region // non-nil for an embedded region
+}
+
+// Error is a metaparse error with line position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+type scanner struct {
+	src  string
+	pos  int
+	line int
+}
+
+// Parse decomposes a mixed-language source into host text and annotation
+// regions.
+func Parse(src string) ([]Segment, error) {
+	s := &scanner{src: src, line: 1}
+	segs, err := s.segments("")
+	if err != nil {
+		return nil, err
+	}
+	if s.pos < len(s.src) {
+		return nil, &Error{Line: s.line, Msg: "unexpected close tag with no open region"}
+	}
+	return segs, nil
+}
+
+// segments scans until EOF or until the close tag @</closeTag> is found
+// (the close tag itself is consumed).
+func (s *scanner) segments(closeTag string) ([]Segment, error) {
+	var segs []Segment
+	var host strings.Builder
+	flush := func() {
+		if host.Len() > 0 {
+			segs = append(segs, Segment{Host: host.String()})
+			host.Reset()
+		}
+	}
+	for s.pos < len(s.src) {
+		// Close tag?
+		if closeTag != "" && strings.HasPrefix(s.src[s.pos:], "@</") {
+			tag, ok := s.tryCloseTag()
+			if !ok {
+				return nil, &Error{Line: s.line, Msg: "malformed close tag"}
+			}
+			if tag != closeTag {
+				return nil, &Error{Line: s.line, Msg: fmt.Sprintf("mismatched close tag %q, expected %q", tag, closeTag)}
+			}
+			flush()
+			return segs, nil
+		}
+		if closeTag == "" && strings.HasPrefix(s.src[s.pos:], "@</") {
+			// Let the caller report the dangling close tag.
+			flush()
+			return segs, nil
+		}
+		// Open tag?
+		if strings.HasPrefix(s.src[s.pos:], "@<") {
+			r, err := s.region()
+			if err != nil {
+				return nil, err
+			}
+			flush()
+			segs = append(segs, Segment{Region: r})
+			continue
+		}
+		// Host text: copy one lexical unit, skipping over strings and
+		// comments so that "@<" inside them is not misread.
+		s.copyUnit(&host)
+	}
+	if closeTag != "" {
+		return nil, &Error{Line: s.line, Msg: fmt.Sprintf("missing @</%s>", closeTag)}
+	}
+	flush()
+	return segs, nil
+}
+
+// copyUnit copies the next lexical unit of host text into b: a string
+// literal, a comment, or a single character.
+func (s *scanner) copyUnit(b *strings.Builder) {
+	c := s.src[s.pos]
+	switch {
+	case c == '"' || c == '\'' || c == '`':
+		quote := c
+		b.WriteByte(s.take())
+		for s.pos < len(s.src) {
+			ch := s.take()
+			b.WriteByte(ch)
+			if ch == '\\' && quote != '`' && s.pos < len(s.src) {
+				b.WriteByte(s.take())
+				continue
+			}
+			if ch == quote || (ch == '\n' && quote != '`') {
+				return
+			}
+		}
+	case strings.HasPrefix(s.src[s.pos:], "//"):
+		for s.pos < len(s.src) && s.src[s.pos] != '\n' {
+			b.WriteByte(s.take())
+		}
+	case strings.HasPrefix(s.src[s.pos:], "/*"):
+		b.WriteByte(s.take())
+		b.WriteByte(s.take())
+		for s.pos < len(s.src) && !strings.HasPrefix(s.src[s.pos:], "*/") {
+			b.WriteByte(s.take())
+		}
+		if s.pos < len(s.src) {
+			b.WriteByte(s.take())
+			b.WriteByte(s.take())
+		}
+	default:
+		b.WriteByte(s.take())
+	}
+}
+
+func (s *scanner) take() byte {
+	c := s.src[s.pos]
+	if c == '\n' {
+		s.line++
+	}
+	s.pos++
+	return c
+}
+
+// tryCloseTag consumes @</name> and returns the name.
+func (s *scanner) tryCloseTag() (string, bool) {
+	save, saveLine := s.pos, s.line
+	s.pos += 3 // @</
+	name := s.tagName()
+	if name == "" || s.pos >= len(s.src) || s.src[s.pos] != '>' {
+		s.pos, s.line = save, saveLine
+		return "", false
+	}
+	s.pos++
+	return name, true
+}
+
+func (s *scanner) tagName() string {
+	begin := s.pos
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		if isNameChar(c) {
+			s.pos++
+			continue
+		}
+		break
+	}
+	return s.src[begin:s.pos]
+}
+
+func isNameChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '.' || c == ':' || c == '-'
+}
+
+// region parses an open tag at @<, then its content up to the matching
+// close tag (unless self-closing).
+func (s *scanner) region() (*Region, error) {
+	startLine := s.line
+	s.pos += 2 // @<
+	name := s.tagName()
+	if name == "" {
+		return nil, &Error{Line: s.line, Msg: "missing tag name after @<"}
+	}
+	r := &Region{Tag: name, Attrs: map[string]string{}, Line: startLine}
+	// Attribute list: XML style `a="v" b=v` or paren style `(a=v, b=v)`.
+	paren := false
+	s.skipSpace()
+	if s.pos < len(s.src) && s.src[s.pos] == '(' {
+		paren = true
+		s.pos++
+	}
+	for {
+		s.skipSpace()
+		if s.pos >= len(s.src) {
+			return nil, &Error{Line: s.line, Msg: "unterminated annotation tag"}
+		}
+		c := s.src[s.pos]
+		if paren && c == ')' {
+			s.pos++
+			s.skipSpace()
+			c = s.byteAt(0)
+		}
+		if c == '/' && s.byteAt(1) == '>' {
+			s.pos += 2
+			r.SelfClosing = true
+			return r, nil
+		}
+		if c == '>' {
+			s.pos++
+			break
+		}
+		if paren && c == ',' {
+			s.pos++
+			continue
+		}
+		key := s.tagName()
+		if key == "" {
+			return nil, &Error{Line: s.line, Msg: fmt.Sprintf("malformed attribute in @<%s>", name)}
+		}
+		s.skipSpace()
+		if s.byteAt(0) != '=' {
+			return nil, &Error{Line: s.line, Msg: fmt.Sprintf("attribute %s missing value", key)}
+		}
+		s.pos++
+		s.skipSpace()
+		val, err := s.attrValue()
+		if err != nil {
+			return nil, err
+		}
+		r.Attrs[key] = val
+	}
+	// Content until @</name>.
+	contentStart := s.pos
+	segs, err := s.segments(name)
+	if err != nil {
+		return nil, err
+	}
+	r.Segments = segs
+	// Raw content: everything between the open tag and the close tag.
+	rawEnd := strings.LastIndex(s.src[:s.pos], "@</")
+	if rawEnd >= contentStart {
+		r.Raw = s.src[contentStart:rawEnd]
+	}
+	return r, nil
+}
+
+func (s *scanner) byteAt(off int) byte {
+	if s.pos+off >= len(s.src) {
+		return 0
+	}
+	return s.src[s.pos+off]
+}
+
+func (s *scanner) skipSpace() {
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			s.take()
+			continue
+		}
+		return
+	}
+}
+
+func (s *scanner) attrValue() (string, error) {
+	if s.pos >= len(s.src) {
+		return "", &Error{Line: s.line, Msg: "missing attribute value"}
+	}
+	c := s.src[s.pos]
+	if c == '"' || c == '\'' {
+		quote := s.take()
+		begin := s.pos
+		for s.pos < len(s.src) && s.src[s.pos] != quote {
+			s.take()
+		}
+		if s.pos >= len(s.src) {
+			return "", &Error{Line: s.line, Msg: "unterminated attribute value"}
+		}
+		v := s.src[begin:s.pos]
+		s.pos++
+		return v, nil
+	}
+	begin := s.pos
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '>' || c == ')' || c == ',' ||
+			(c == '/' && s.byteAt(1) == '>') {
+			break
+		}
+		s.take()
+	}
+	if begin == s.pos {
+		return "", &Error{Line: s.line, Msg: "empty attribute value"}
+	}
+	return s.src[begin:s.pos], nil
+}
+
+// Render reassembles a segment list into text, transforming each region
+// with tr — the injection step of the transformational framework ("each
+// embedded region is then transformed and injected into the surrounding
+// context, from the innermost outwards"). Passing nil for tr reproduces the
+// original text.
+func Render(segs []Segment, tr func(*Region) (string, error)) (string, error) {
+	var b strings.Builder
+	for _, seg := range segs {
+		if seg.Region == nil {
+			b.WriteString(seg.Host)
+			continue
+		}
+		if tr == nil {
+			s, err := identity(seg.Region)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(s)
+			continue
+		}
+		s, err := tr(seg.Region)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(s)
+	}
+	return b.String(), nil
+}
+
+func identity(r *Region) (string, error) {
+	var b strings.Builder
+	b.WriteString("@<")
+	b.WriteString(r.Tag)
+	// Deterministic attribute order for round-trips of our own rendering:
+	// keep lang first, then others alphabetically.
+	writeAttr := func(k string) {
+		fmt.Fprintf(&b, " %s=%q", k, r.Attrs[k])
+	}
+	if _, ok := r.Attrs["lang"]; ok {
+		writeAttr("lang")
+	}
+	keys := make([]string, 0, len(r.Attrs))
+	for k := range r.Attrs {
+		if k != "lang" {
+			keys = append(keys, k)
+		}
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, k := range keys {
+		writeAttr(k)
+	}
+	if r.SelfClosing {
+		b.WriteString("/>")
+		return b.String(), nil
+	}
+	b.WriteString(">")
+	inner, err := Render(r.Segments, nil)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(inner)
+	b.WriteString("@</")
+	b.WriteString(r.Tag)
+	b.WriteString(">")
+	return b.String(), nil
+}
+
+// Regions returns the top-level regions of a segment list.
+func Regions(segs []Segment) []*Region {
+	var out []*Region
+	for _, s := range segs {
+		if s.Region != nil {
+			out = append(out, s.Region)
+		}
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package meta
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicRegionExtraction(t *testing.T) {
+	src := `class C {
+  @<script lang="junicon"> x := f(g(y)); @</script>
+  void m() {}
+}`
+	segs, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := Regions(segs)
+	if len(rs) != 1 {
+		t.Fatalf("regions = %d", len(rs))
+	}
+	r := rs[0]
+	if r.Tag != "script" || r.Lang() != "junicon" {
+		t.Fatalf("region = %+v", r)
+	}
+	if strings.TrimSpace(r.Raw) != "x := f(g(y));" {
+		t.Fatalf("raw = %q", r.Raw)
+	}
+	if r.Line != 2 {
+		t.Fatalf("line = %d", r.Line)
+	}
+}
+
+func TestSelfClosingForms(t *testing.T) {
+	for _, src := range []string{
+		`@<trace level=3/>`,
+		`@<trace(level=3)/>`,
+		`@<x.y:trace level="3"/>`,
+	} {
+		segs, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		rs := Regions(segs)
+		if len(rs) != 1 || !rs[0].SelfClosing {
+			t.Fatalf("%s: %+v", src, rs)
+		}
+		if rs[0].Attrs["level"] != "3" {
+			t.Fatalf("%s: attrs = %v", src, rs[0].Attrs)
+		}
+	}
+}
+
+func TestParenAttributeForm(t *testing.T) {
+	src := `@<script(lang=junicon, mode="strict")> body @</script>`
+	segs, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Regions(segs)[0]
+	if r.Lang() != "junicon" || r.Attrs["mode"] != "strict" {
+		t.Fatalf("attrs = %v", r.Attrs)
+	}
+}
+
+func TestNestedRegions(t *testing.T) {
+	// §4: a Java region inside a Unicon region lifts native code into the
+	// goal-directed evaluation.
+	src := `@<script lang="junicon">
+  x := 1;
+  @<script lang="java"> System.out.println(x); @</script>
+  y := 2;
+@</script>`
+	segs, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := Regions(segs)[0]
+	inner := Regions(outer.Segments)
+	if len(inner) != 1 || inner[0].Lang() != "java" {
+		t.Fatalf("inner = %+v", inner)
+	}
+	if !strings.Contains(inner[0].Raw, "println") {
+		t.Fatalf("inner raw = %q", inner[0].Raw)
+	}
+}
+
+func TestHostRoundTripsByteIdentical(t *testing.T) {
+	srcs := []string{
+		"plain host text, no annotations",
+		`public int f() { return "a@<b"; } // @<not a tag in comment`,
+		"/* block @<script lang=\"x\"> comment */ code",
+		"s := `raw @</script> backquote`",
+		`mixed @<script lang="junicon"> a := 1 @</script> tail`,
+	}
+	for _, src := range srcs {
+		segs, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		out, err := Render(segs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Identity render normalizes attribute quoting inside tags but must
+		// preserve all host bytes; for sources whose tags are already in
+		// canonical form the whole text round-trips.
+		if out != src {
+			t.Fatalf("round trip changed text:\n in: %q\nout: %q", src, out)
+		}
+	}
+}
+
+func TestAnnotationInsideStringIsIgnored(t *testing.T) {
+	src := `String s = "@<script lang=\"junicon\"> not real @</script>";`
+	segs, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Regions(segs)) != 0 {
+		t.Fatal("annotation inside string literal must be host text")
+	}
+}
+
+func TestAnnotationInsideCommentIsIgnored(t *testing.T) {
+	src := "// @<script lang=\"junicon\"> no @</script>\nint x;"
+	segs, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Regions(segs)) != 0 {
+		t.Fatal("annotation inside comment must be host text")
+	}
+}
+
+func TestRenderTransformsRegions(t *testing.T) {
+	src := `before @<script lang="junicon"> 1 to 3 @</script> after`
+	segs, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Render(segs, func(r *Region) (string, error) {
+		return "<<" + strings.TrimSpace(r.Raw) + ">>", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "before <<1 to 3>> after" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		`@<script lang="junicon"> no close`:    "missing @</script>",
+		`@<script lang="junicon"> x @</other>`: "mismatched",
+		`@<>`:                                  "missing tag name",
+		`@<script lang=> x @</script>`:         "empty attribute value",
+		`@<script lang="junicon> x`:            "unterminated",
+		"host text @</script> dangling":        "no open region",
+		`@<script lang @</script>`:             "missing value",
+	}
+	for src, want := range cases {
+		_, err := Parse(src)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Fatalf("%q: err = %v, want contains %q", src, err, want)
+		}
+	}
+}
+
+func TestMultipleSiblingsAndOrdering(t *testing.T) {
+	src := `a @<x>1@</x> b @<y>2@</y> c`
+	segs, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shape []string
+	for _, s := range segs {
+		if s.Region != nil {
+			shape = append(shape, "R:"+s.Region.Tag)
+		} else {
+			shape = append(shape, "H:"+s.Host)
+		}
+	}
+	want := []string{"H:a ", "R:x", "H: b ", "R:y", "H: c"}
+	if len(shape) != len(want) {
+		t.Fatalf("shape = %v", shape)
+	}
+	for i := range want {
+		if shape[i] != want[i] {
+			t.Fatalf("shape = %v", shape)
+		}
+	}
+}
+
+func TestFigure3Skeleton(t *testing.T) {
+	// The WordCount program of Figure 3, abridged: method-level and
+	// expression-level embedding in one file.
+	src := `
+class WordCount {
+  static String[] lines;
+
+  @<script lang="junicon">
+    def readLines () { suspend ! lines; }
+    def sumHash (sofar, hash) { return sofar + hash; }
+  @</script>
+
+  public void runPipeline () {
+    double total = 0;
+    for (Object i :
+      @<script lang="junicon">
+        this::hashNumber( ! (|> this::wordToNumber( ! splitWords(readLines()))))
+      @</script>
+    ) { total = total + ((Double) i).doubleValue(); };
+  }
+}`
+	segs, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := Regions(segs)
+	if len(rs) != 2 {
+		t.Fatalf("regions = %d", len(rs))
+	}
+	if !strings.Contains(rs[0].Raw, "def readLines") {
+		t.Fatal("method-level region content")
+	}
+	if !strings.Contains(rs[1].Raw, "|>") {
+		t.Fatal("expression-level region content")
+	}
+}
+
+func TestPropHostOnlyTextAlwaysRoundTrips(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Strip bytes that could open a region or quote state; arbitrary
+		// other host text must survive untouched.
+		s := strings.Map(func(r rune) rune {
+			switch r {
+			case '@', '"', '\'', '`', '/':
+				return '.'
+			}
+			return r
+		}, string(raw))
+		segs, err := Parse(s)
+		if err != nil {
+			return false
+		}
+		out, err := Render(segs, nil)
+		return err == nil && out == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,452 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"junicon/internal/ast"
+)
+
+func parse(t *testing.T, src string) ast.Node {
+	t.Helper()
+	n, err := ParseExpression(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return n
+}
+
+func parseProg(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse program: %v\n%s", err, src)
+	}
+	return p
+}
+
+func TestLiterals(t *testing.T) {
+	if _, ok := parse(t, "42").(*ast.IntLit); !ok {
+		t.Fatal("int literal")
+	}
+	if _, ok := parse(t, "3.5").(*ast.RealLit); !ok {
+		t.Fatal("real literal")
+	}
+	if s, ok := parse(t, `"hi"`).(*ast.StrLit); !ok || s.Value != "hi" {
+		t.Fatal("string literal")
+	}
+	if c, ok := parse(t, `'abc'`).(*ast.CsetLit); !ok || c.Value != "abc" {
+		t.Fatal("cset literal")
+	}
+	if k, ok := parse(t, "&null").(*ast.Keyword); !ok || k.Name != "null" {
+		t.Fatal("keyword literal")
+	}
+	if l, ok := parse(t, "[1, 2, 3]").(*ast.ListLit); !ok || len(l.Elems) != 3 {
+		t.Fatal("list literal")
+	}
+}
+
+func TestPrecedenceProductLoosest(t *testing.T) {
+	// a & b | c parses as a & (b | c).
+	n := parse(t, "a & b | c").(*ast.Binary)
+	if n.Op != "&" {
+		t.Fatalf("root = %s", n.Op)
+	}
+	if r := n.R.(*ast.Binary); r.Op != "|" {
+		t.Fatalf("right = %s", r.Op)
+	}
+}
+
+func TestPrecedenceArithmetic(t *testing.T) {
+	// 1 + 2 * 3 ^ 4 parses as 1 + (2 * (3 ^ 4)).
+	n := parse(t, "1 + 2 * 3 ^ 4").(*ast.Binary)
+	if n.Op != "+" {
+		t.Fatalf("root = %s", n.Op)
+	}
+	mul := n.R.(*ast.Binary)
+	if mul.Op != "*" {
+		t.Fatalf("mul = %s", mul.Op)
+	}
+	if pow := mul.R.(*ast.Binary); pow.Op != "^" {
+		t.Fatalf("pow = %s", pow.Op)
+	}
+}
+
+func TestPowRightAssociative(t *testing.T) {
+	n := parse(t, "2 ^ 3 ^ 4").(*ast.Binary)
+	if _, ok := n.R.(*ast.Binary); !ok {
+		t.Fatal("2^(3^4) expected")
+	}
+	if _, ok := n.L.(*ast.IntLit); !ok {
+		t.Fatal("left should be literal")
+	}
+}
+
+func TestAssignmentRightAssociativeAndEqAlias(t *testing.T) {
+	n := parse(t, "x := y := 1").(*ast.Binary)
+	if n.Op != ":=" {
+		t.Fatalf("root = %s", n.Op)
+	}
+	if inner := n.R.(*ast.Binary); inner.Op != ":=" {
+		t.Fatal("right-assoc assignment")
+	}
+	// Junicon: = is assignment.
+	m := parse(t, "chunk = []").(*ast.Binary)
+	if m.Op != ":=" {
+		t.Fatalf("= should alias :=, got %s", m.Op)
+	}
+}
+
+func TestComparisonYieldsBinary(t *testing.T) {
+	for _, op := range []string{"<", "<=", ">", ">=", "~=", "<<", "==", "~==", "===", "~==="} {
+		n := parse(t, "a "+op+" b").(*ast.Binary)
+		if n.Op != op {
+			t.Fatalf("op = %s", n.Op)
+		}
+	}
+}
+
+func TestToByRange(t *testing.T) {
+	n := parse(t, "1 to 10 by 2").(*ast.ToBy)
+	if n.By == nil {
+		t.Fatal("by clause missing")
+	}
+	m := parse(t, "(1 to 2) * isprime(4 to 7)").(*ast.Binary)
+	if m.Op != "*" {
+		t.Fatalf("root = %s", m.Op)
+	}
+	if _, ok := m.L.(*ast.ToBy); !ok {
+		t.Fatal("left to-by")
+	}
+	call := m.R.(*ast.Call)
+	if _, ok := call.Args[0].(*ast.ToBy); !ok {
+		t.Fatal("argument to-by")
+	}
+}
+
+func TestAlternationAndLimit(t *testing.T) {
+	n := parse(t, "f(x) | g(x)").(*ast.Binary)
+	if n.Op != "|" {
+		t.Fatal("alternation")
+	}
+	lim := parse(t, "e \\ 3").(*ast.Binary)
+	if lim.Op != "\\" {
+		t.Fatal("limitation")
+	}
+}
+
+func TestGeneratorFunctionPosition(t *testing.T) {
+	// (f | g)(x)
+	n := parse(t, "(f | g)(x)").(*ast.Call)
+	if _, ok := n.Fun.(*ast.Binary); !ok {
+		t.Fatal("function position should be the alternation")
+	}
+}
+
+func TestPrefixOperators(t *testing.T) {
+	for _, op := range []string{"!", "@", "^", "*", "-", "/", "\\", "~", "?"} {
+		n := parse(t, op+"x").(*ast.Unary)
+		if n.Op != op {
+			t.Fatalf("unary %s parsed as %s", op, n.Op)
+		}
+	}
+	if n := parse(t, "not x").(*ast.Unary); n.Op != "not" {
+		t.Fatal("not")
+	}
+	if n := parse(t, "|x").(*ast.Unary); n.Op != "|" {
+		t.Fatal("repeated alternation prefix")
+	}
+}
+
+func TestCreateOperators(t *testing.T) {
+	// Figure 1 calculus.
+	if n := parse(t, "<>e").(*ast.Unary); n.Op != "<>" {
+		t.Fatal("<>")
+	}
+	if n := parse(t, "|<>e").(*ast.Unary); n.Op != "|<>" {
+		t.Fatal("|<>")
+	}
+	if n := parse(t, "|>e").(*ast.Unary); n.Op != "|>" {
+		t.Fatal("|>")
+	}
+	// Nested pipeline from §3B: x * !|>factorial(!|>sqrt(y))
+	n := parse(t, "x * ! |> factorial(! |> sqrt(y))").(*ast.Binary)
+	bang := n.R.(*ast.Unary)
+	if bang.Op != "!" {
+		t.Fatalf("expected !, got %s", bang.Op)
+	}
+	pipe := bang.X.(*ast.Unary)
+	if pipe.Op != "|>" {
+		t.Fatalf("expected |>, got %s", pipe.Op)
+	}
+	if _, ok := pipe.X.(*ast.Call); !ok {
+		t.Fatal("pipe body should be the factorial call")
+	}
+}
+
+func TestBinaryActivation(t *testing.T) {
+	n := parse(t, "x @ c").(*ast.Binary)
+	if n.Op != "@" {
+		t.Fatal("binary @")
+	}
+	// put(chunk, @e): unary @ inside args.
+	call := parse(t, "put(chunk, @e)").(*ast.Call)
+	if u, ok := call.Args[1].(*ast.Unary); !ok || u.Op != "@" {
+		t.Fatal("unary @ argument")
+	}
+}
+
+func TestPostfixChain(t *testing.T) {
+	// e(ex,ey).c[ei] — the §5A running example.
+	n := parse(t, "e(ex,ey).c[ei]").(*ast.Index)
+	f := n.X.(*ast.Field)
+	if f.Name != "c" {
+		t.Fatalf("field = %s", f.Name)
+	}
+	call := f.X.(*ast.Call)
+	if len(call.Args) != 2 {
+		t.Fatal("call args")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	n := parse(t, "s[2:4]").(*ast.Slice)
+	if n.I == nil || n.J == nil {
+		t.Fatal("slice bounds")
+	}
+}
+
+func TestNativeInvocation(t *testing.T) {
+	// this::hashNumber(this::wordToNumber(x))
+	n := parse(t, "this::hashNumber(this::wordToNumber(x))").(*ast.NativeCall)
+	if n.Name != "hashNumber" || n.Recv != nil {
+		t.Fatalf("native = %+v", n)
+	}
+	inner := n.Args[0].(*ast.NativeCall)
+	if inner.Name != "wordToNumber" {
+		t.Fatal("nested native")
+	}
+	// ((String) line)::split — receiver form; we accept expr::name(args).
+	m := parse(t, `line::split("x")`).(*ast.NativeCall)
+	if m.Recv == nil {
+		t.Fatal("explicit receiver should be kept")
+	}
+}
+
+func TestControlConstructs(t *testing.T) {
+	n := parse(t, "if x < 3 then f(x) else g(x)").(*ast.If)
+	if n.Else == nil {
+		t.Fatal("else")
+	}
+	w := parse(t, "while x do f(x)").(*ast.While)
+	if w.Until || w.Body == nil {
+		t.Fatal("while")
+	}
+	u := parse(t, "until x do f(x)").(*ast.While)
+	if !u.Until {
+		t.Fatal("until")
+	}
+	e := parse(t, "every x := 1 to 3 do write(x)").(*ast.Every)
+	if e.Body == nil {
+		t.Fatal("every body")
+	}
+	r := parse(t, "repeat { f(x); break }").(*ast.Repeat)
+	if r.Body == nil {
+		t.Fatal("repeat")
+	}
+}
+
+func TestCaseExpr(t *testing.T) {
+	n := parse(t, `case x of { 1 | 2 : "small"; default: "big" }`).(*ast.Case)
+	if len(n.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(n.Clauses))
+	}
+	if n.Clauses[1].Sel != nil {
+		t.Fatal("default clause marker")
+	}
+}
+
+func TestReturnSuspendFailBreakNext(t *testing.T) {
+	if n := parse(t, "return x + 1").(*ast.Return); n.E == nil {
+		t.Fatal("return expr")
+	}
+	if n := parse(t, "return").(*ast.Return); n.E != nil {
+		t.Fatal("bare return")
+	}
+	if n := parse(t, "suspend !lines").(*ast.Suspend); n.E == nil {
+		t.Fatal("suspend")
+	}
+	if _, ok := parse(t, "fail").(*ast.Fail); !ok {
+		t.Fatal("fail")
+	}
+	b := parse(t, "{ break 42 }").(*ast.Block).Stmts[0].(*ast.Break)
+	if b.E == nil {
+		t.Fatal("break value")
+	}
+}
+
+func TestProcDeclBraceAndUniconStyles(t *testing.T) {
+	p := parseProg(t, `
+def splitWords (line) { suspend !line; }
+procedure add(a, b)
+  local t
+  t := a + b
+  return t
+end
+`)
+	if len(p.Decls) != 2 {
+		t.Fatalf("decls = %d", len(p.Decls))
+	}
+	d0 := p.Decls[0].(*ast.ProcDecl)
+	if d0.Name != "splitWords" || len(d0.Params) != 1 {
+		t.Fatalf("d0 = %+v", d0)
+	}
+	d1 := p.Decls[1].(*ast.ProcDecl)
+	if d1.Name != "add" || len(d1.Body.Stmts) != 3 {
+		t.Fatalf("d1 = %+v", d1)
+	}
+}
+
+func TestRecordGlobalClass(t *testing.T) {
+	p := parseProg(t, `
+record point(x, y)
+global verbose, trace
+class WordCount(lines) {
+  def readLines() { suspend !lines; }
+  def hash(w) { return w; }
+}
+`)
+	if r := p.Decls[0].(*ast.RecordDecl); r.Name != "point" || len(r.Fields) != 2 {
+		t.Fatal("record")
+	}
+	if g := p.Decls[1].(*ast.GlobalDecl); len(g.Names) != 2 {
+		t.Fatal("global")
+	}
+	c := p.Decls[2].(*ast.ClassDecl)
+	if c.Name != "WordCount" || len(c.Fields) != 1 || len(c.Methods) != 2 {
+		t.Fatalf("class = %+v", c)
+	}
+}
+
+func TestVarDecls(t *testing.T) {
+	p := parseProg(t, "var c, t, tasks = [];")
+	d := p.Decls[0].(*ast.VarDecl)
+	if len(d.Names) != 3 || d.Inits[2] == nil || d.Inits[0] != nil {
+		t.Fatalf("vardecl = %+v", d)
+	}
+	p2 := parseProg(t, "local x := 5, y")
+	d2 := p2.Decls[0].(*ast.VarDecl)
+	if d2.Kind != "local" || d2.Inits[0] == nil {
+		t.Fatal("local with init")
+	}
+}
+
+func TestFigure4ParsesCompletely(t *testing.T) {
+	src := `
+def chunk(e) {
+  chunk = [];
+  while put(chunk,@e) do {
+    if (*chunk >= chunkSize) then { suspend chunk; chunk=[]; }};
+  if (*chunk > 0) then { return chunk; };
+}
+def mapReduce(f,s,r,i) {
+  var c, t, tasks = [];
+  every (c = chunk(<>s)) do {
+    t = |> { var x=i; every (x=r(x, f(!c) )); x };
+    tasks::add(t);
+  };
+  suspend ! (! tasks);
+}
+`
+	p := parseProg(t, src)
+	if len(p.Decls) != 2 {
+		t.Fatalf("decls = %d", len(p.Decls))
+	}
+	mr := p.Decls[1].(*ast.ProcDecl)
+	if len(mr.Params) != 4 {
+		t.Fatal("mapReduce params")
+	}
+}
+
+func TestFigure3MethodsParse(t *testing.T) {
+	src := `
+def readLines () { suspend ! lines; }
+def splitWords (line) { suspend ! line::split("\\s+"); }
+def hashWords (line) {
+  suspend this::hashNumber(this::wordToNumber( ! splitWords(line)));
+}
+def sumHash (sofar, hash) { return sofar + hash; }
+`
+	p := parseProg(t, src)
+	if len(p.Decls) != 4 {
+		t.Fatalf("decls = %d", len(p.Decls))
+	}
+}
+
+func TestPipelineExpressionFromFigure3(t *testing.T) {
+	src := `this::hashNumber( ! (|> this::wordToNumber( ! splitWords(readLines()))))`
+	n := parse(t, src).(*ast.NativeCall)
+	if n.Name != "hashNumber" {
+		t.Fatal("outer native")
+	}
+	bang := n.Args[0].(*ast.Unary)
+	pipe := bang.X.(*ast.Unary)
+	if pipe.Op != "|>" {
+		t.Fatal("pipe inside")
+	}
+}
+
+func TestXMLEmission(t *testing.T) {
+	x := ast.ToXML(parse(t, "1 + f(x)"))
+	for _, want := range []string{"<Binary op=\"+\">", "<Invoke>", "<Identifier name=\"f\"/>", "IntegerLiteral"} {
+		if !strings.Contains(x, want) {
+			t.Fatalf("XML missing %q:\n%s", want, x)
+		}
+	}
+}
+
+func TestParseErrorsHavePositions(t *testing.T) {
+	_, err := ParseExpression("f(")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if _, ok := err.(*Error); !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if _, err := ParseProgram("def f( { }"); err == nil {
+		t.Fatal("bad params should error")
+	}
+	if _, err := ParseExpression("if x then"); err == nil {
+		t.Fatal("truncated if should error")
+	}
+}
+
+func TestWalkVisitsAllNodes(t *testing.T) {
+	n := parse(t, "every x := 1 to 3 do write(x + 1)")
+	count := 0
+	ast.Walk(n, func(ast.Node) bool { count++; return true })
+	if count < 8 {
+		t.Fatalf("walk visited only %d nodes", count)
+	}
+}
+
+func TestAugmentedAssignments(t *testing.T) {
+	for _, op := range []string{"+:=", "-:=", "*:=", "||:=", "<:="} {
+		n := parse(t, "x "+op+" 1").(*ast.Binary)
+		if n.Op != op {
+			t.Fatalf("augmented %s parsed as %s", op, n.Op)
+		}
+	}
+}
+
+func TestSwapOperators(t *testing.T) {
+	if n := parse(t, "a :=: b").(*ast.Binary); n.Op != ":=:" {
+		t.Fatal("swap")
+	}
+	if n := parse(t, "a <-> b").(*ast.Binary); n.Op != "<->" {
+		t.Fatal("revswap")
+	}
+	if n := parse(t, "a <- b").(*ast.Binary); n.Op != "<-" {
+		t.Fatal("revassign")
+	}
+}

@@ -1,0 +1,63 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The front end must never panic: arbitrary input yields an AST or an
+// error. The generator below mixes valid token fragments with junk, which
+// finds crashier inputs than uniform random bytes.
+
+var fragments = []string{
+	"f", "(", ")", "[", "]", "{", "}", "1", "2.5", `"s"`, "'c'", ",", ";",
+	"+", "-", "*", "/", ":=", "to", "by", "if", "then", "else", "every",
+	"while", "do", "suspend", "return", "def", "&null", "&pos", "|", "&",
+	"<>", "|<>", "|>", "@", "!", "^", "?", "\\", "::", ".", ":", "not",
+	"x", "case", "of", "default", "record", "end", "procedure", "<-", "=",
+	"~===", "|||", " ", "\n",
+}
+
+func randomProgram(rng *rand.Rand, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(fragments[rng.Intn(len(fragments))])
+	}
+	return b.String()
+}
+
+func TestParserNeverPanicsOnFragmentSoup(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		src := randomProgram(rng, 1+rng.Intn(25))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = ParseProgram(src)
+			_, _ = ParseExpression(src)
+		}()
+	}
+}
+
+func TestParserNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		raw := make([]byte, rng.Intn(40))
+		for j := range raw {
+			raw[j] = byte(rng.Intn(128))
+		}
+		src := string(raw)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = ParseProgram(src)
+		}()
+	}
+}

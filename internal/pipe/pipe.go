@@ -1,0 +1,231 @@
+// Package pipe implements generator proxies (§3B): a pipe |>e runs a
+// co-expression in its own thread of execution, iterating it to failure and
+// publishing each result through a blocking queue; the surrounding
+// expression consumes the queue, so producer and consumer run in parallel —
+// explicit task parallelism in the form of a pipeline.
+//
+//	|>e → new Iterator() { next() { new Thread { run() {
+//	    c = |<>e; while (!fail) { out.put(@c); }}}.start() }}
+//
+// The output queue is exposed (Out) "to permit further manipulation", and
+// bounding its buffer throttles the threaded co-expression. A pipe limited
+// to a single result is a future (see First).
+package pipe
+
+import (
+	"fmt"
+	"sync"
+
+	"junicon/internal/core"
+	"junicon/internal/queue"
+	"junicon/internal/value"
+)
+
+// DefaultBuffer is the output-queue bound used when none is given.
+const DefaultBuffer = 1024
+
+// Pipe is a generator proxy for a co-expression running in a separate
+// goroutine. It implements value.Gen (so it composes with the kernel),
+// core.Stepper (so @, ! and ^ apply) and value.V (so it is first-class).
+type Pipe struct {
+	mu      sync.Mutex
+	src     core.Stepper
+	out     queue.Queue[value.V]
+	mkQueue func() queue.Queue[value.V]
+	started bool
+	results int
+	err     error
+}
+
+var (
+	_ value.Gen    = (*Pipe)(nil)
+	_ core.Stepper = (*Pipe)(nil)
+	_ value.Sized  = (*Pipe)(nil)
+)
+
+// New returns a pipe over the co-expression (or any first-class iterator)
+// src, transporting results through a bounded blocking queue of the given
+// buffer size (<= 0 selects DefaultBuffer; 1 yields M-var/future behaviour,
+// maximally throttling the producer). The producer thread starts on the
+// first Next, as in the paper's unraveling of |>e.
+func New(src core.Stepper, buffer int) *Pipe {
+	if buffer <= 0 {
+		buffer = DefaultBuffer
+	}
+	return &Pipe{
+		src:     src,
+		mkQueue: func() queue.Queue[value.V] { return queue.NewArrayBlocking[value.V](buffer) },
+	}
+}
+
+// NewWithQueue returns a pipe transporting results through queues produced
+// by mk — e.g. a Synchronous queue for rendezvous hand-off.
+func NewWithQueue(src core.Stepper, mk func() queue.Queue[value.V]) *Pipe {
+	return &Pipe{src: src, mkQueue: mk}
+}
+
+// FromGen lifts a plain generator into a pipe: |>e over <>e.
+func FromGen(g core.Gen, buffer int) *Pipe {
+	return New(core.NewFirstClass(g), buffer)
+}
+
+// start spawns the producer goroutine. Caller holds p.mu.
+func (p *Pipe) start() {
+	p.out = p.mkQueue()
+	p.started = true
+	src, out := p.src, p.out
+	go func() {
+		// An Icon runtime error raised inside the piped expression must
+		// not crash the host: record it, fail the consumer side.
+		defer func() {
+			if r := recover(); r != nil {
+				p.mu.Lock()
+				if re, ok := r.(*value.RuntimeError); ok {
+					p.err = re
+				} else {
+					p.err = fmt.Errorf("pipe: producer panic: %v", r)
+				}
+				p.mu.Unlock()
+				out.Close()
+			}
+		}()
+		for {
+			v, ok := src.Step(value.NullV)
+			if !ok {
+				break
+			}
+			if v == nil {
+				v = value.NullV
+			}
+			if out.Put(value.Deref(v)) != nil {
+				return // consumer stopped the pipe
+			}
+		}
+		out.Close()
+	}()
+}
+
+// Err reports the runtime error that terminated the producer, if any. A
+// pipe whose expression raised an error fails from the consumer's point of
+// view; Err distinguishes that from ordinary exhaustion.
+func (p *Pipe) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// StartEager spawns the producer immediately instead of on first Next —
+// used by map-reduce, where all task pipes must run concurrently from the
+// moment they are created (Figure 4's every-loop spawns them all before any
+// result is consumed).
+func (p *Pipe) StartEager() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.started {
+		p.start()
+	}
+}
+
+// Next takes the next produced value from the queue, failing when the
+// producer has iterated its co-expression to failure. The @ operation on a
+// pipe "is out.take()" (§3B).
+func (p *Pipe) Next() (value.V, bool) {
+	p.mu.Lock()
+	if !p.started {
+		p.start()
+	}
+	out := p.out
+	p.mu.Unlock()
+	v, err := out.Take()
+	if err != nil {
+		return nil, false
+	}
+	p.mu.Lock()
+	p.results++
+	p.mu.Unlock()
+	return v, true
+}
+
+// Restart stops the current producer and arranges for a fresh one over a
+// refreshed co-expression on the next Next.
+func (p *Pipe) Restart() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		p.out.Close()
+		p.started = false
+		p.src = p.src.Refresh()
+	}
+	p.results = 0
+}
+
+// Stop terminates the producer without restarting; further Nexts fail until
+// Restart. Safe to call at any time.
+func (p *Pipe) Stop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.started {
+		// Arrange for Next to fail immediately rather than spawn.
+		p.out = p.mkQueue()
+		p.out.Close()
+		p.started = true
+		return
+	}
+	p.out.Close()
+}
+
+// Out exposes the transport queue — the paper makes the BlockingQueue "a
+// public field to permit further manipulation". It is nil until the
+// producer starts.
+func (p *Pipe) Out() queue.Queue[value.V] {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.out
+}
+
+// Step implements the activation operator @ on the pipe.
+func (p *Pipe) Step(value.V) (value.V, bool) { return p.Next() }
+
+// Refresh implements ^ on the pipe: a new proxy over a refreshed
+// co-expression.
+func (p *Pipe) Refresh() core.Stepper {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		p.out.Close()
+	}
+	return &Pipe{src: p.src.Refresh(), mkQueue: p.mkQueue}
+}
+
+// Size reports the number of results taken so far (*P).
+func (p *Pipe) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.results
+}
+
+// Type returns "co-expression": a pipe is a proxy for one.
+func (p *Pipe) Type() string { return "co-expression" }
+
+// Image identifies the value as a pipe.
+func (p *Pipe) Image() string { return "pipe" }
+
+// First runs the pipe as a future: it takes the first result and stops the
+// producer. ok is false when the piped expression failed without a result.
+func (p *Pipe) First() (value.V, bool) {
+	v, ok := p.Next()
+	p.Stop()
+	return v, ok
+}
+
+// Chain builds a parallel pipeline: stage i+1 consumes the promoted output
+// of the pipe around stage i. Each stage is a function from an input
+// generator to an output generator; the returned generator produces the
+// final stage's results while every stage runs in its own goroutine.
+func Chain(src core.Gen, buffer int, stages ...func(core.Gen) core.Gen) core.Gen {
+	g := src
+	for _, stage := range stages {
+		g = stage(core.Bang(FromGen(g, buffer)))
+	}
+	return g
+}

@@ -1,0 +1,115 @@
+// Package pool provides a fixed-size worker pool with future-valued task
+// submission — the substrate playing the role of Java's thread-pool
+// management (§5D: "thread creation and allocation leverage Java's
+// facilities for thread pool management"). The data-parallel execution
+// paths of the streams and mapreduce packages run on it.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"junicon/internal/queue"
+)
+
+// ErrShutdown is reported by Submit after Shutdown.
+var ErrShutdown = errors.New("pool: shut down")
+
+// Pool runs submitted tasks on a fixed set of worker goroutines.
+type Pool struct {
+	tasks *queue.LinkedBlocking[func()]
+	wg    sync.WaitGroup
+
+	mu   sync.Mutex
+	down bool
+}
+
+// New returns a pool of n workers; n <= 0 selects GOMAXPROCS.
+func New(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{tasks: queue.NewLinkedBlocking[func()](0)}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		task, err := p.tasks.Take()
+		if err != nil {
+			return
+		}
+		task()
+	}
+}
+
+// Submit schedules f and returns a future for its result. A panic inside f
+// fails the future instead of crashing the worker.
+func Submit[T any](p *Pool, f func() (T, error)) *queue.Future[T] {
+	fut := queue.NewFuture[T]()
+	task := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				fut.Fail(fmt.Errorf("pool: task panic: %v", r))
+			}
+		}()
+		v, err := f()
+		if err != nil {
+			fut.Fail(err)
+			return
+		}
+		fut.Set(v)
+	}
+	p.mu.Lock()
+	down := p.down
+	p.mu.Unlock()
+	if down {
+		fut.Fail(ErrShutdown)
+		return fut
+	}
+	if err := p.tasks.Put(task); err != nil {
+		fut.Fail(ErrShutdown)
+	}
+	return fut
+}
+
+// Go schedules f with no result.
+func (p *Pool) Go(f func()) error {
+	p.mu.Lock()
+	down := p.down
+	p.mu.Unlock()
+	if down {
+		return ErrShutdown
+	}
+	return replaceClosed(p.tasks.Put(f))
+}
+
+func replaceClosed(err error) error {
+	if err == queue.ErrClosed {
+		return ErrShutdown
+	}
+	return err
+}
+
+// Shutdown stops accepting tasks, runs the backlog to completion, and waits
+// for the workers to exit.
+func (p *Pool) Shutdown() {
+	p.mu.Lock()
+	if p.down {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.down = true
+	p.mu.Unlock()
+	// Drain-then-fail close semantics let queued tasks finish.
+	p.tasks.Close()
+	p.wg.Wait()
+}

@@ -1,0 +1,108 @@
+package pool
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSubmitReturnsResults(t *testing.T) {
+	p := New(4)
+	defer p.Shutdown()
+	type fut interface{ Get() (int, error) }
+	var fs []fut
+	for i := 0; i < 20; i++ {
+		fs = append(fs, Submit(p, func() (int, error) { return i * i, nil }))
+	}
+	for i, f := range fs {
+		v, err := f.Get()
+		if err != nil || v != i*i {
+			t.Fatalf("task %d = %d, %v", i, v, err)
+		}
+	}
+}
+
+func TestBacklogCompletesOnShutdown(t *testing.T) {
+	p := New(2)
+	var done atomic.Int32
+	const n = 50
+	for i := 0; i < n; i++ {
+		p.Go(func() { done.Add(1) })
+	}
+	p.Shutdown()
+	if done.Load() != n {
+		t.Fatalf("only %d/%d tasks ran before shutdown returned", done.Load(), n)
+	}
+}
+
+func TestSubmitAfterShutdownFails(t *testing.T) {
+	p := New(1)
+	p.Shutdown()
+	f := Submit(p, func() (int, error) { return 1, nil })
+	if _, err := f.Get(); err != ErrShutdown {
+		t.Fatalf("err = %v", err)
+	}
+	if err := p.Go(func() {}); err != ErrShutdown {
+		t.Fatalf("Go err = %v", err)
+	}
+}
+
+func TestTaskErrorPropagates(t *testing.T) {
+	p := New(1)
+	defer p.Shutdown()
+	boom := errors.New("boom")
+	f := Submit(p, func() (int, error) { return 0, boom })
+	if _, err := f.Get(); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTaskPanicFailsFutureNotWorker(t *testing.T) {
+	p := New(1)
+	defer p.Shutdown()
+	f := Submit(p, func() (int, error) { panic("kaboom") })
+	if _, err := f.Get(); err == nil {
+		t.Fatal("panic should fail the future")
+	}
+	// The worker must survive to run further tasks.
+	g := Submit(p, func() (int, error) { return 7, nil })
+	if v, err := g.Get(); err != nil || v != 7 {
+		t.Fatalf("worker died after panic: %v %v", v, err)
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	p := New(2)
+	p.Shutdown()
+	p.Shutdown()
+}
+
+func TestParallelismBound(t *testing.T) {
+	const workers = 3
+	p := New(workers)
+	defer p.Shutdown()
+	var inFlight, peak atomic.Int32
+	gate := make(chan struct{})
+	var fs []interface{ Get() (int, error) }
+	for i := 0; i < 12; i++ {
+		fs = append(fs, Submit(p, func() (int, error) {
+			cur := inFlight.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			<-gate
+			inFlight.Add(-1)
+			return 0, nil
+		}))
+	}
+	close(gate)
+	for _, f := range fs {
+		f.Get()
+	}
+	if peak.Load() > workers {
+		t.Fatalf("peak parallelism %d exceeds %d workers", peak.Load(), workers)
+	}
+}

@@ -1,0 +1,128 @@
+package queue
+
+import "sync"
+
+// ArrayBlocking is a bounded FIFO blocking queue over a ring buffer — the
+// analogue of java.util.concurrent.ArrayBlockingQueue. A bounded buffer is
+// how a pipe throttles its threaded co-expression (§3B: "bounding the
+// output queue buffer size can also be used to throttle").
+type ArrayBlocking[T any] struct {
+	mu       sync.Mutex
+	notFull  sync.Cond
+	notEmpty sync.Cond
+	buf      []T
+	head     int
+	n        int
+	closed   bool
+}
+
+// NewArrayBlocking returns a bounded blocking queue with the given capacity
+// (minimum 1).
+func NewArrayBlocking[T any](capacity int) *ArrayBlocking[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &ArrayBlocking[T]{buf: make([]T, capacity)}
+	q.notFull.L = &q.mu
+	q.notEmpty.L = &q.mu
+	return q
+}
+
+// Put blocks until space is available.
+func (q *ArrayBlocking[T]) Put(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == len(q.buf) && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.enqueue(v)
+	q.notEmpty.Signal()
+	return nil
+}
+
+// Take blocks until an element is available; after Close it drains the
+// buffer before reporting ErrClosed.
+func (q *ArrayBlocking[T]) Take() (T, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.n == 0 {
+		var zero T
+		return zero, ErrClosed
+	}
+	v := q.dequeue()
+	q.notFull.Signal()
+	return v, nil
+}
+
+// TryPut enqueues without blocking.
+func (q *ArrayBlocking[T]) TryPut(v T) (bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false, ErrClosed
+	}
+	if q.n == len(q.buf) {
+		return false, nil
+	}
+	q.enqueue(v)
+	q.notEmpty.Signal()
+	return true, nil
+}
+
+// TryTake dequeues without blocking.
+func (q *ArrayBlocking[T]) TryTake() (T, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n == 0 {
+		var zero T
+		if q.closed {
+			return zero, false, ErrClosed
+		}
+		return zero, false, nil
+	}
+	v := q.dequeue()
+	q.notFull.Signal()
+	return v, true, nil
+}
+
+// Len returns the number of buffered elements.
+func (q *ArrayBlocking[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Cap returns the buffer capacity.
+func (q *ArrayBlocking[T]) Cap() int { return len(q.buf) }
+
+// Close marks the queue closed and wakes all waiters.
+func (q *ArrayBlocking[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.notFull.Broadcast()
+	q.notEmpty.Broadcast()
+}
+
+func (q *ArrayBlocking[T]) enqueue(v T) {
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+}
+
+func (q *ArrayBlocking[T]) dequeue() T {
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // release for GC
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return v
+}

@@ -1,0 +1,141 @@
+package queue
+
+import "sync"
+
+// LinkedBlocking is an optionally-bounded FIFO blocking queue over a linked
+// list — the analogue of java.util.concurrent.LinkedBlockingQueue. With
+// maxLen <= 0 it is unbounded and Put never blocks.
+type LinkedBlocking[T any] struct {
+	mu       sync.Mutex
+	notFull  sync.Cond
+	notEmpty sync.Cond
+	head     *node[T]
+	tail     *node[T]
+	n        int
+	maxLen   int
+	closed   bool
+}
+
+type node[T any] struct {
+	v    T
+	next *node[T]
+}
+
+// NewLinkedBlocking returns a linked blocking queue; maxLen <= 0 means
+// unbounded.
+func NewLinkedBlocking[T any](maxLen int) *LinkedBlocking[T] {
+	q := &LinkedBlocking[T]{maxLen: maxLen}
+	q.notFull.L = &q.mu
+	q.notEmpty.L = &q.mu
+	return q
+}
+
+// Put blocks until space is available (never blocks when unbounded).
+func (q *LinkedBlocking[T]) Put(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.maxLen > 0 && q.n >= q.maxLen && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.enqueue(v)
+	q.notEmpty.Signal()
+	return nil
+}
+
+// Take blocks until an element is available, draining after Close.
+func (q *LinkedBlocking[T]) Take() (T, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.n == 0 {
+		var zero T
+		return zero, ErrClosed
+	}
+	v := q.dequeue()
+	q.notFull.Signal()
+	return v, nil
+}
+
+// TryPut enqueues without blocking.
+func (q *LinkedBlocking[T]) TryPut(v T) (bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false, ErrClosed
+	}
+	if q.maxLen > 0 && q.n >= q.maxLen {
+		return false, nil
+	}
+	q.enqueue(v)
+	q.notEmpty.Signal()
+	return true, nil
+}
+
+// TryTake dequeues without blocking.
+func (q *LinkedBlocking[T]) TryTake() (T, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n == 0 {
+		var zero T
+		if q.closed {
+			return zero, false, ErrClosed
+		}
+		return zero, false, nil
+	}
+	v := q.dequeue()
+	q.notFull.Signal()
+	return v, true, nil
+}
+
+// Len returns the number of buffered elements.
+func (q *LinkedBlocking[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Cap returns the bound, or 0 when unbounded.
+func (q *LinkedBlocking[T]) Cap() int {
+	if q.maxLen <= 0 {
+		return 0
+	}
+	return q.maxLen
+}
+
+// Close marks the queue closed and wakes all waiters.
+func (q *LinkedBlocking[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.notFull.Broadcast()
+	q.notEmpty.Broadcast()
+}
+
+func (q *LinkedBlocking[T]) enqueue(v T) {
+	nd := &node[T]{v: v}
+	if q.tail == nil {
+		q.head, q.tail = nd, nd
+	} else {
+		q.tail.next = nd
+		q.tail = nd
+	}
+	q.n++
+}
+
+func (q *LinkedBlocking[T]) dequeue() T {
+	nd := q.head
+	q.head = nd.next
+	if q.head == nil {
+		q.tail = nil
+	}
+	q.n--
+	return nd.v
+}

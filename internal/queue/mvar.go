@@ -1,0 +1,178 @@
+package queue
+
+import "sync"
+
+// MVar is a single-slot mutable variable "whose put and take operations
+// wait until the channel is empty or full respectively" (§3B) — the M-Var
+// of Concurrent Haskell and the M-structure of Id. A pipe producing a
+// single result through an MVar behaves as a future.
+type MVar[T any] struct {
+	mu       sync.Mutex
+	notFull  sync.Cond
+	notEmpty sync.Cond
+	v        T
+	full     bool
+	closed   bool
+}
+
+// NewMVar returns an empty MVar.
+func NewMVar[T any]() *MVar[T] {
+	m := &MVar[T]{}
+	m.notFull.L = &m.mu
+	m.notEmpty.L = &m.mu
+	return m
+}
+
+// Put blocks until the slot is empty, then fills it.
+func (m *MVar[T]) Put(v T) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.full && !m.closed {
+		m.notFull.Wait()
+	}
+	if m.closed {
+		return ErrClosed
+	}
+	m.v = v
+	m.full = true
+	m.notEmpty.Signal()
+	return nil
+}
+
+// Take blocks until the slot is full, then empties it.
+func (m *MVar[T]) Take() (T, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for !m.full && !m.closed {
+		m.notEmpty.Wait()
+	}
+	if !m.full {
+		var zero T
+		return zero, ErrClosed
+	}
+	v := m.v
+	var zero T
+	m.v = zero
+	m.full = false
+	m.notFull.Signal()
+	return v, nil
+}
+
+// TryPut fills the slot only if empty.
+func (m *MVar[T]) TryPut(v T) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false, ErrClosed
+	}
+	if m.full {
+		return false, nil
+	}
+	m.v = v
+	m.full = true
+	m.notEmpty.Signal()
+	return true, nil
+}
+
+// TryTake empties the slot only if full.
+func (m *MVar[T]) TryTake() (T, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.full {
+		var zero T
+		if m.closed {
+			return zero, false, ErrClosed
+		}
+		return zero, false, nil
+	}
+	v := m.v
+	var zero T
+	m.v = zero
+	m.full = false
+	m.notFull.Signal()
+	return v, true, nil
+}
+
+// Len reports 1 when full.
+func (m *MVar[T]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.full {
+		return 1
+	}
+	return 0
+}
+
+// Cap is 1.
+func (m *MVar[T]) Cap() int { return 1 }
+
+// Close wakes all waiters; a full slot may still be taken once.
+func (m *MVar[T]) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.notFull.Broadcast()
+	m.notEmpty.Broadcast()
+}
+
+// Future is a single-assignment synchronization variable in the style of
+// CML: reads block until the value is defined, and it may be defined only
+// once. Set after the first Set is a no-op reporting false.
+type Future[T any] struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	v    T
+	err  error
+	done bool
+}
+
+// NewFuture returns an undefined future.
+func NewFuture[T any]() *Future[T] {
+	f := &Future[T]{}
+	f.cond.L = &f.mu
+	return f
+}
+
+// Set defines the future's value; only the first call wins.
+func (f *Future[T]) Set(v T) bool { return f.complete(v, nil) }
+
+// Fail defines the future with an error.
+func (f *Future[T]) Fail(err error) bool {
+	var zero T
+	return f.complete(zero, err)
+}
+
+func (f *Future[T]) complete(v T, err error) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return false
+	}
+	f.v, f.err, f.done = v, err, true
+	f.cond.Broadcast()
+	return true
+}
+
+// Get blocks until the future is defined.
+func (f *Future[T]) Get() (T, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for !f.done {
+		f.cond.Wait()
+	}
+	return f.v, f.err
+}
+
+// TryGet reports the value if already defined.
+func (f *Future[T]) TryGet() (T, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.done {
+		var zero T
+		return zero, false, nil
+	}
+	return f.v, true, f.err
+}

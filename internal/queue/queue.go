@@ -1,0 +1,38 @@
+// Package queue implements the blocking-queue substrate underneath
+// generator proxies (§3B): bounded array-backed and unbounded linked
+// blocking queues, a synchronous (rendezvous) queue, single-slot M-vars and
+// futures — the same family of "fundamental building blocks" the paper
+// cites (M-structures, M-Vars, Linda tuples, Java BlockingQueues).
+//
+// All types are built from sync.Mutex and sync.Cond rather than Go channels
+// so that buffer bounding, fairness and close semantics are explicit,
+// testable and benchmarkable — and so the pipe package can expose its
+// transport "as a public field to permit further manipulation", as the
+// paper requires.
+package queue
+
+import "errors"
+
+// ErrClosed is returned by Put after Close, and by Take after Close once
+// the queue has drained.
+var ErrClosed = errors.New("queue: closed")
+
+// Queue is the blocking-queue protocol shared by all implementations.
+type Queue[T any] interface {
+	// Put blocks until space is available, then enqueues v.
+	Put(v T) error
+	// Take blocks until an element is available, then dequeues it.
+	Take() (T, error)
+	// TryPut enqueues without blocking; ok reports success.
+	TryPut(v T) (ok bool, err error)
+	// TryTake dequeues without blocking; ok reports success.
+	TryTake() (v T, ok bool, err error)
+	// Len returns the number of buffered elements.
+	Len() int
+	// Cap returns the buffer capacity; <= 0 means unbounded (or zero for a
+	// rendezvous queue).
+	Cap() int
+	// Close marks the queue closed: subsequent Puts fail, Takes drain the
+	// remaining elements and then fail. Close is idempotent.
+	Close()
+}

@@ -1,0 +1,125 @@
+package queue
+
+import "sync"
+
+// Synchronous is a rendezvous queue with no buffer: each Put blocks until a
+// Take arrives and vice versa — the analogue of
+// java.util.concurrent.SynchronousQueue, and the tightest throttle a pipe
+// can use.
+type Synchronous[T any] struct {
+	mu      sync.Mutex
+	putters sync.Cond
+	takers  sync.Cond
+	slot    T
+	state   syncState
+	closed  bool
+}
+
+type syncState int
+
+const (
+	syncIdle     syncState = iota // no exchange in progress
+	syncOffered                   // a putter has parked a value
+	syncAccepted                  // a taker consumed it; putter may finish
+)
+
+// NewSynchronous returns a rendezvous queue.
+func NewSynchronous[T any]() *Synchronous[T] {
+	q := &Synchronous[T]{}
+	q.putters.L = &q.mu
+	q.takers.L = &q.mu
+	return q
+}
+
+// Put blocks until a taker accepts v.
+func (q *Synchronous[T]) Put(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	// Wait for the slot to be free for a new offer.
+	for q.state != syncIdle && !q.closed {
+		q.putters.Wait()
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.slot = v
+	q.state = syncOffered
+	q.takers.Signal()
+	for q.state == syncOffered && !q.closed {
+		q.putters.Wait()
+	}
+	if q.state == syncAccepted {
+		q.state = syncIdle
+		var zero T
+		q.slot = zero
+		q.putters.Signal()
+		return nil
+	}
+	// Closed while offering: withdraw.
+	q.state = syncIdle
+	return ErrClosed
+}
+
+// Take blocks until a putter offers a value.
+func (q *Synchronous[T]) Take() (T, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.state != syncOffered && !q.closed {
+		q.takers.Wait()
+	}
+	if q.state != syncOffered {
+		var zero T
+		return zero, ErrClosed
+	}
+	v := q.slot
+	q.state = syncAccepted
+	q.putters.Broadcast()
+	return v, nil
+}
+
+// TryPut succeeds only when a taker is already waiting; conservatively, the
+// non-blocking form never transfers (matching SynchronousQueue.offer with
+// no waiting consumer tracked).
+func (q *Synchronous[T]) TryPut(T) (bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false, ErrClosed
+	}
+	return false, nil
+}
+
+// TryTake succeeds only when an offer is parked.
+func (q *Synchronous[T]) TryTake() (T, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.state == syncOffered {
+		v := q.slot
+		q.state = syncAccepted
+		q.putters.Broadcast()
+		return v, true, nil
+	}
+	var zero T
+	if q.closed {
+		return zero, false, ErrClosed
+	}
+	return zero, false, nil
+}
+
+// Len is always 0: a rendezvous queue buffers nothing.
+func (q *Synchronous[T]) Len() int { return 0 }
+
+// Cap is 0.
+func (q *Synchronous[T]) Cap() int { return 0 }
+
+// Close wakes all waiters with ErrClosed.
+func (q *Synchronous[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.putters.Broadcast()
+	q.takers.Broadcast()
+}

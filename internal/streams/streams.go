@@ -1,0 +1,287 @@
+// Package streams is the native comparison substrate: a sequential and
+// parallel stream library in the style of java.util.stream, against which
+// the embedded concurrent generators are benchmarked (§VII). Parallel
+// execution uses the chunked map-reduce decomposition of Figure 2 — "fixed
+// data": partition the source, run all stages over each chunk on a worker
+// pool, and merge chunk results in order (the generator formulation
+// "enforces ordering between the results of the partitioned threads", §3B;
+// the native substrate matches it so the two suites compute identical
+// sequences).
+package streams
+
+import (
+	"junicon/internal/pool"
+	"junicon/internal/queue"
+)
+
+// Stream is a lazily-evaluated pipeline over elements of type T. Streams
+// are single-use: a terminal operation consumes the source.
+type Stream[T any] struct {
+	next func() (T, bool)
+}
+
+// Of returns a stream over the given elements.
+func Of[T any](elems ...T) *Stream[T] {
+	i := 0
+	return &Stream[T]{next: func() (T, bool) {
+		if i >= len(elems) {
+			var zero T
+			return zero, false
+		}
+		v := elems[i]
+		i++
+		return v, true
+	}}
+}
+
+// FromSlice streams the elements of s without copying.
+func FromSlice[T any](s []T) *Stream[T] {
+	i := 0
+	return &Stream[T]{next: func() (T, bool) {
+		if i >= len(s) {
+			var zero T
+			return zero, false
+		}
+		v := s[i]
+		i++
+		return v, true
+	}}
+}
+
+// Generate streams values from fn until it reports ok == false.
+func Generate[T any](fn func() (T, bool)) *Stream[T] { return &Stream[T]{next: fn} }
+
+// Map applies f to each element.
+func Map[T, U any](s *Stream[T], f func(T) U) *Stream[U] {
+	return &Stream[U]{next: func() (U, bool) {
+		v, ok := s.next()
+		if !ok {
+			var zero U
+			return zero, false
+		}
+		return f(v), true
+	}}
+}
+
+// FlatMap expands each element into a sub-stream, concatenated in order.
+func FlatMap[T, U any](s *Stream[T], f func(T) []U) *Stream[U] {
+	var cur []U
+	i := 0
+	return &Stream[U]{next: func() (U, bool) {
+		for {
+			if i < len(cur) {
+				v := cur[i]
+				i++
+				return v, true
+			}
+			e, ok := s.next()
+			if !ok {
+				var zero U
+				return zero, false
+			}
+			cur, i = f(e), 0
+		}
+	}}
+}
+
+// Filter keeps the elements satisfying pred.
+func (s *Stream[T]) Filter(pred func(T) bool) *Stream[T] {
+	return &Stream[T]{next: func() (T, bool) {
+		for {
+			v, ok := s.next()
+			if !ok {
+				var zero T
+				return zero, false
+			}
+			if pred(v) {
+				return v, true
+			}
+		}
+	}}
+}
+
+// Limit truncates the stream to at most n elements.
+func (s *Stream[T]) Limit(n int) *Stream[T] {
+	return &Stream[T]{next: func() (T, bool) {
+		if n <= 0 {
+			var zero T
+			return zero, false
+		}
+		n--
+		return s.next()
+	}}
+}
+
+// Peek invokes f on each element as it flows past.
+func (s *Stream[T]) Peek(f func(T)) *Stream[T] {
+	return &Stream[T]{next: func() (T, bool) {
+		v, ok := s.next()
+		if ok {
+			f(v)
+		}
+		return v, ok
+	}}
+}
+
+// ForEach consumes the stream, applying f to each element.
+func (s *Stream[T]) ForEach(f func(T)) {
+	for {
+		v, ok := s.next()
+		if !ok {
+			return
+		}
+		f(v)
+	}
+}
+
+// Collect consumes the stream into a slice.
+func (s *Stream[T]) Collect() []T {
+	var out []T
+	s.ForEach(func(v T) { out = append(out, v) })
+	return out
+}
+
+// Count consumes the stream and returns its length.
+func (s *Stream[T]) Count() int {
+	n := 0
+	s.ForEach(func(T) { n++ })
+	return n
+}
+
+// Reduce folds the stream left-to-right from init.
+func Reduce[T, A any](s *Stream[T], init A, f func(A, T) A) A {
+	acc := init
+	s.ForEach(func(v T) { acc = f(acc, v) })
+	return acc
+}
+
+// Chunks consumes the stream into slices of at most size elements.
+func (s *Stream[T]) Chunks(size int) [][]T {
+	if size < 1 {
+		size = 1
+	}
+	var out [][]T
+	cur := make([]T, 0, size)
+	s.ForEach(func(v T) {
+		cur = append(cur, v)
+		if len(cur) == size {
+			out = append(out, cur)
+			cur = make([]T, 0, size)
+		}
+	})
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// ParallelConfig controls chunked parallel execution.
+type ParallelConfig struct {
+	// Workers is the pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// ChunkSize is the partition size; <= 0 selects 1024.
+	ChunkSize int
+}
+
+func (c ParallelConfig) chunk() int {
+	if c.ChunkSize <= 0 {
+		return 1024
+	}
+	return c.ChunkSize
+}
+
+// ParallelMapReduce is the parallel-stream map-reduce: partition the source
+// into chunks, map f over each chunk and reduce the chunk with (init, r) on
+// a worker pool, then combine per-chunk results in order with the same r.
+// It is the native counterpart of Figure 4's mapReduce.
+func ParallelMapReduce[T, U, A any](src *Stream[T], cfg ParallelConfig, f func(T) U, init A, r func(A, U) A, combine func(A, A) A) A {
+	chunks := src.Chunks(cfg.chunk())
+	p := pool.New(cfg.Workers)
+	defer p.Shutdown()
+	futs := make([]*queue.Future[A], len(chunks))
+	for i, ch := range chunks {
+		futs[i] = pool.Submit(p, func() (A, error) {
+			acc := init
+			for _, v := range ch {
+				acc = r(acc, f(v))
+			}
+			return acc, nil
+		})
+	}
+	total := init
+	for _, fut := range futs {
+		partial, err := fut.Get()
+		if err != nil {
+			panic(err) // tasks here cannot fail except by program bug
+		}
+		total = combine(total, partial)
+	}
+	return total
+}
+
+// ParallelMap is the data-parallel variant that "splits out the reduction":
+// chunks are mapped in parallel but the combined results are returned as a
+// single ordered stream for serial downstream reduction (§VII's
+// data-parallel word-count).
+func ParallelMap[T, U any](src *Stream[T], cfg ParallelConfig, f func(T) U) *Stream[U] {
+	chunks := src.Chunks(cfg.chunk())
+	p := pool.New(cfg.Workers)
+	futs := make([]*queue.Future[[]U], len(chunks))
+	for i, ch := range chunks {
+		futs[i] = pool.Submit(p, func() ([]U, error) {
+			out := make([]U, len(ch))
+			for j, v := range ch {
+				out[j] = f(v)
+			}
+			return out, nil
+		})
+	}
+	i, j := 0, 0
+	var cur []U
+	return &Stream[U]{next: func() (U, bool) {
+		for {
+			if j < len(cur) {
+				v := cur[j]
+				j++
+				return v, true
+			}
+			if i >= len(futs) {
+				p.Shutdown()
+				var zero U
+				return zero, false
+			}
+			cur, _ = futs[i].Get()
+			i, j = i+1, 0
+		}
+	}}
+}
+
+// PipelineStage runs stage f in its own goroutine connected by a bounded
+// blocking queue — the native two-thread pipeline of §VII ("a pipelined
+// version built using BlockingQueues over two threads").
+func PipelineStage[T, U any](src *Stream[T], buffer int, f func(T) U) *Stream[U] {
+	if buffer < 1 {
+		buffer = 1
+	}
+	q := queue.NewArrayBlocking[U](buffer)
+	go func() {
+		for {
+			v, ok := src.next()
+			if !ok {
+				break
+			}
+			if q.Put(f(v)) != nil {
+				return
+			}
+		}
+		q.Close()
+	}()
+	return &Stream[U]{next: func() (U, bool) {
+		v, err := q.Take()
+		if err != nil {
+			var zero U
+			return zero, false
+		}
+		return v, true
+	}}
+}

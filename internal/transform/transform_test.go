@@ -1,0 +1,367 @@
+package transform_test
+
+import (
+	"strings"
+	"testing"
+
+	"junicon/internal/ast"
+	"junicon/internal/interp"
+	"junicon/internal/parser"
+	"junicon/internal/transform"
+	"junicon/internal/value"
+)
+
+func norm(t *testing.T, src string) ast.Node {
+	t.Helper()
+	e, err := parser.ParseExpression(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return transform.Normalize(e)
+}
+
+func TestAtomicExpressionsUnchanged(t *testing.T) {
+	// "Simple method invocations such as o.f(x,y) [are] left largely
+	// unchanged" (§5A).
+	for _, src := range []string{"x", "42", `"s"`, "o.f", "f(x, y)", "o.c"} {
+		n := norm(t, src)
+		if _, isFlat := n.(*ast.FlatProduct); isFlat {
+			t.Errorf("%s should stay unflattened:\n%s", src, ast.ToXML(n))
+		}
+	}
+}
+
+func TestPaperRunningExampleFlattens(t *testing.T) {
+	// e(ex,ey).c[ei] with generator-valued pieces flattens into a product
+	// of bound iterators chaining the primary left to right (§5A).
+	n := norm(t, "e(f | g, 1 to 2).c[h(i)]")
+	fp, ok := n.(*ast.FlatProduct)
+	if !ok {
+		t.Fatalf("expected FlatProduct, got:\n%s", ast.ToXML(n))
+	}
+	// Expect binds for: (f|g), (1 to 2), the call, h(i); final term is the
+	// index over the field of the bound call result.
+	nBinds := 0
+	for _, term := range fp.Terms[:len(fp.Terms)-1] {
+		if _, isBind := term.(*ast.BindIn); isBind {
+			nBinds++
+		}
+	}
+	if nBinds < 4 {
+		t.Fatalf("expected >= 4 bound iterators, got %d:\n%s", nBinds, ast.ToXML(n))
+	}
+	last, ok := fp.Terms[len(fp.Terms)-1].(*ast.Index)
+	if !ok {
+		t.Fatalf("final term should be the index, got:\n%s", ast.ToXML(fp.Terms[len(fp.Terms)-1]))
+	}
+	fld, ok := last.X.(*ast.Field)
+	if !ok || fld.Name != "c" {
+		t.Fatalf("index base should be .c field of bound temp:\n%s", ast.ToXML(last))
+	}
+	if _, isTmp := fld.X.(*ast.TmpRef); !isTmp {
+		t.Fatalf("field base should be a temporary:\n%s", ast.ToXML(last))
+	}
+}
+
+func TestNestedCallBindsIntermediary(t *testing.T) {
+	// f(g(x)): (t in g(x)) & f(t).
+	n := norm(t, "f(g(1 to 3))")
+	fp, ok := n.(*ast.FlatProduct)
+	if !ok {
+		t.Fatalf("expected flattening:\n%s", ast.ToXML(n))
+	}
+	call, ok := fp.Terms[len(fp.Terms)-1].(*ast.Call)
+	if !ok {
+		t.Fatalf("last term should be outer call")
+	}
+	if _, isTmp := call.Args[0].(*ast.TmpRef); !isTmp {
+		t.Fatalf("outer call argument should be a temporary:\n%s", ast.ToXML(n))
+	}
+}
+
+func TestControlConstructBoundariesNotFlattened(t *testing.T) {
+	// Hoisting must not cross while/if/every boundaries.
+	for _, src := range []string{
+		"while f(x) do g(h(y))",
+		"if f(x) then g(y) else h(z)",
+		"every i := 1 to 10 do write(i + 1)",
+	} {
+		n := norm(t, src)
+		if _, isFlat := n.(*ast.FlatProduct); isFlat {
+			t.Errorf("%s flattened across a control boundary:\n%s", src, ast.ToXML(n))
+		}
+	}
+}
+
+func TestProductAndAlternationPreserved(t *testing.T) {
+	n := norm(t, "f(x) & g(y)")
+	b, ok := n.(*ast.Binary)
+	if !ok || b.Op != "&" {
+		t.Fatalf("product structure lost:\n%s", ast.ToXML(n))
+	}
+	n = norm(t, "f(x) | g(y)")
+	b, ok = n.(*ast.Binary)
+	if !ok || b.Op != "|" {
+		t.Fatalf("alternation structure lost:\n%s", ast.ToXML(n))
+	}
+}
+
+func TestCreateExpressionsCaptureBodiesUnflattened(t *testing.T) {
+	// |>f(!chunk) must keep the call inside the create operator — the body
+	// runs in the co-expression, not hoisted into the creating scope.
+	n := norm(t, "|> f(!chunk)")
+	u, ok := n.(*ast.Unary)
+	if !ok || u.Op != "|>" {
+		t.Fatalf("create lost: %s", ast.ToXML(n))
+	}
+	if _, isFlat := u.X.(*ast.FlatProduct); !isFlat {
+		// The body itself normalizes (the !chunk operand binds), but it
+		// stays inside the create.
+		if _, isCall := u.X.(*ast.Call); !isCall {
+			t.Fatalf("pipe body shape unexpected:\n%s", ast.ToXML(n))
+		}
+	}
+}
+
+func TestLimitationKeepsLeftOperandWhole(t *testing.T) {
+	n := norm(t, "(1 to 100) \\ 3")
+	b, ok := n.(*ast.Binary)
+	if !ok || b.Op != "\\" {
+		// R is a literal, so no flattening at all is acceptable too.
+		fp, isFlat := n.(*ast.FlatProduct)
+		if !isFlat {
+			t.Fatalf("unexpected shape:\n%s", ast.ToXML(n))
+		}
+		b = fp.Terms[len(fp.Terms)-1].(*ast.Binary)
+	}
+	if _, isTmp := b.L.(*ast.TmpRef); isTmp {
+		t.Fatalf("limitation left operand must not be hoisted:\n%s", ast.ToXML(n))
+	}
+}
+
+func TestNormalizeIsIdempotent(t *testing.T) {
+	srcs := []string{
+		"f(g(1 to 3))",
+		"e(f | g, 1 to 2).c[h(i)]",
+		"x := f(y) + g(z)",
+		"every i := 1 to 3 do write(f(i))",
+		"|> f(!chunk)",
+		"this::hashNumber( ! (|> this::wordToNumber( ! splitWords(readLines()))))",
+	}
+	for _, src := range srcs {
+		once := norm(t, src)
+		twice := transform.Normalize(once)
+		if ast.ToXML(once) != ast.ToXML(twice) {
+			t.Errorf("normalization not idempotent for %s:\n--- once ---\n%s--- twice ---\n%s",
+				src, ast.ToXML(once), ast.ToXML(twice))
+		}
+	}
+}
+
+func TestTemporariesAreDistinct(t *testing.T) {
+	n := norm(t, "f(g(1 to 2), h(3 to 4), k(5 to 6))")
+	seen := map[string]int{}
+	ast.Walk(n, func(m ast.Node) bool {
+		if b, ok := m.(*ast.BindIn); ok {
+			seen[b.Tmp]++
+		}
+		return true
+	})
+	for name, count := range seen {
+		if count > 1 {
+			t.Fatalf("temporary %s bound %d times:\n%s", name, count, ast.ToXML(n))
+		}
+	}
+	if len(seen) < 3 {
+		t.Fatalf("expected at least 3 temporaries, got %v", seen)
+	}
+}
+
+// The operational-semantics check (§5): interpreting the raw tree and the
+// normalized tree must produce identical result sequences.
+func TestRawVersusNormalizedEquivalence(t *testing.T) {
+	prelude := `
+def isprime(n) {
+  if n < 2 then fail;
+  every d := 2 to n-1 do { if not (n % d ~= 0) then fail };
+  return n;
+}
+def double(x) { return x * 2; }
+def gen(a, b) { suspend a to b; }
+`
+	corpus := []string{
+		"1 + 2 * 3",
+		"(1 to 3) + (10 to 30 by 10)",
+		"(1 to 2) * isprime(4 to 7)",
+		"double(gen(1, 3))",
+		"double(double(gen(1, 2)))",
+		"gen(1, 3) > 1",
+		"[gen(1,1), gen(2,2)]",
+		`find("a", "banana")`,
+		"{ x := gen(1, 3); x + 100 }",
+		"(gen(1,2) | gen(8,9)) + 1",
+		"every i := gen(1, 4) do i",
+		"if gen(1,3) > 2 then \"yes\" else \"no\"",
+		"(1 to 50) \\ 4",
+		"(|gen(1,2)) \\ 5",
+		"not (gen(1,3) > 5)",
+		"-gen(1,3)",
+		"*[1,2,3] + gen(1,2)",
+		"{ l := [10, 20, 30]; l[gen(1,3)] }",
+		"{ t := table(0); t[\"a\"] := gen(5,5); t[\"a\"] }",
+		"case gen(2,2) of { 1: \"one\"; 2: \"two\"; default: \"other\" }",
+	}
+	for _, src := range corpus {
+		inRaw := interp.New()
+		inNorm := interp.New()
+		if err := inRaw.LoadProgram(prelude); err != nil {
+			t.Fatal(err)
+		}
+		if err := inNorm.LoadProgram(prelude); err != nil {
+			t.Fatal(err)
+		}
+		rawGen, err := inRaw.EvalRawGen(src)
+		if err != nil {
+			t.Fatalf("raw %s: %v", src, err)
+		}
+		normGen, err := inNorm.EvalGen(src)
+		if err != nil {
+			t.Fatalf("norm %s: %v", src, err)
+		}
+		raw := drainImages(rawGen)
+		nrm := drainImages(normGen)
+		if strings.Join(raw, "|") != strings.Join(nrm, "|") {
+			t.Errorf("%s: raw %v != normalized %v", src, raw, nrm)
+		}
+	}
+}
+
+func drainImages(g value.Gen) []string {
+	var out []string
+	for i := 0; i < 10000; i++ {
+		v, ok := g.Next()
+		if !ok {
+			break
+		}
+		out = append(out, value.Image(value.Deref(v)))
+	}
+	return out
+}
+
+func TestProgramNormalization(t *testing.T) {
+	src := `
+def chunk(e) {
+  c := [];
+  while put(c, @e) do {
+    if (*c >= 4) then { suspend c; c := []; }};
+  if (*c > 0) then { return c; };
+}
+`
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normProg := transform.Normalize(prog).(*ast.Program)
+	if len(normProg.Decls) != 1 {
+		t.Fatalf("decl count changed")
+	}
+	// Load and run the normalized program (LoadProgram normalizes again —
+	// idempotence makes that safe).
+	in := interp.New()
+	if err := in.LoadProgram(src); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := in.Eval("chunk(<>(1 to 9))", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 {
+		t.Fatalf("chunks = %d", len(vs))
+	}
+}
+
+func TestLvalueNormalForms(t *testing.T) {
+	// Index targets keep their reference-producing shape; only operand
+	// pieces hoist.
+	n := norm(t, "l[f(1 to 3)] := 9")
+	fp, ok := n.(*ast.FlatProduct)
+	if !ok {
+		t.Fatalf("expected flattening:\n%s", ast.ToXML(n))
+	}
+	asn := fp.Terms[len(fp.Terms)-1].(*ast.Binary)
+	if asn.Op != ":=" {
+		t.Fatalf("last term not assignment:\n%s", ast.ToXML(n))
+	}
+	if _, isIndex := asn.L.(*ast.Index); !isIndex {
+		t.Fatalf("index target lost:\n%s", ast.ToXML(n))
+	}
+	// every !L := 0 keeps the promote target.
+	n = norm(t, "!l := 0")
+	bin, ok := n.(*ast.Binary)
+	if !ok {
+		t.Fatalf("unexpected shape:\n%s", ast.ToXML(n))
+	}
+	if u, isU := bin.L.(*ast.Unary); !isU || u.Op != "!" {
+		t.Fatalf("promote target lost:\n%s", ast.ToXML(n))
+	}
+	// Swap targets both stay in place.
+	n = norm(t, "a :=: b")
+	sw := n.(*ast.Binary)
+	if sw.Op != ":=:" {
+		t.Fatalf("swap lost: %s", ast.ToXML(n))
+	}
+	// Field targets with complex bases hoist the base only.
+	n = norm(t, "g(1 to 2).x := 5")
+	fp2, ok := n.(*ast.FlatProduct)
+	if !ok {
+		t.Fatalf("expected flattening:\n%s", ast.ToXML(n))
+	}
+	last := fp2.Terms[len(fp2.Terms)-1].(*ast.Binary)
+	fld := last.L.(*ast.Field)
+	if _, isTmp := fld.X.(*ast.TmpRef); !isTmp {
+		t.Fatalf("field base should be temp:\n%s", ast.ToXML(n))
+	}
+}
+
+func TestAugmentedAssignmentNormalForm(t *testing.T) {
+	n := norm(t, "x +:= f(1 to 2)")
+	fp, ok := n.(*ast.FlatProduct)
+	if !ok {
+		t.Fatalf("expected flattening:\n%s", ast.ToXML(n))
+	}
+	last := fp.Terms[len(fp.Terms)-1].(*ast.Binary)
+	if last.Op != "+:=" {
+		t.Fatalf("augmented op lost:\n%s", ast.ToXML(n))
+	}
+	if _, isIdent := last.L.(*ast.Ident); !isIdent {
+		t.Fatalf("target hoisted:\n%s", ast.ToXML(n))
+	}
+}
+
+func TestScanOperandsNotHoisted(t *testing.T) {
+	n := norm(t, `f(x) ? tab(upto(','))`)
+	b, ok := n.(*ast.Binary)
+	if !ok || b.Op != "?" {
+		t.Fatalf("scan structure lost:\n%s", ast.ToXML(n))
+	}
+	// Subject normalizes in place; body stays under the scan.
+	if _, isFlat := n.(*ast.FlatProduct); isFlat {
+		t.Fatal("scan must not flatten into an enclosing product")
+	}
+}
+
+func TestKeywordOperandsHoistInOrder(t *testing.T) {
+	// [&pos, tab(0)] must evaluate &pos before tab moves it: both hoist.
+	n := norm(t, "[&pos, f(y to z)]")
+	fp, ok := n.(*ast.FlatProduct)
+	if !ok {
+		t.Fatalf("expected flattening:\n%s", ast.ToXML(n))
+	}
+	first, ok := fp.Terms[0].(*ast.BindIn)
+	if !ok {
+		t.Fatalf("first term not a bind:\n%s", ast.ToXML(n))
+	}
+	if _, isKw := first.E.(*ast.Keyword); !isKw {
+		t.Fatalf("keyword should hoist first:\n%s", ast.ToXML(n))
+	}
+}

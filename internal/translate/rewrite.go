@@ -1,0 +1,150 @@
+package translate
+
+import "junicon/internal/ast"
+
+// rename returns a deep copy of n with identifiers in set renamed to their
+// _s shadow forms — the environment-shadowing rename of §5D (Figure 5's
+// chunk → chunk_s).
+func rename(n ast.Node, set map[string]bool) ast.Node {
+	if n == nil {
+		return nil
+	}
+	switch x := n.(type) {
+	case *ast.Ident:
+		if set[x.Name] {
+			out := &ast.Ident{Name: x.Name + "_s"}
+			out.P = x.P
+			return out
+		}
+		return x
+	case *ast.TmpRef:
+		if set[x.Name] {
+			out := &ast.TmpRef{Name: x.Name + "_s"}
+			out.P = x.P
+			return out
+		}
+		return x
+	case *ast.IntLit, *ast.RealLit, *ast.StrLit, *ast.CsetLit, *ast.Keyword,
+		*ast.Fail, *ast.NextStmt, *ast.RecordDecl, *ast.GlobalDecl:
+		return x
+	case *ast.ListLit:
+		out := &ast.ListLit{Elems: renameList(x.Elems, set)}
+		out.P = x.P
+		return out
+	case *ast.Binary:
+		out := &ast.Binary{Op: x.Op, L: rename(x.L, set), R: rename(x.R, set)}
+		out.P = x.P
+		return out
+	case *ast.Unary:
+		out := &ast.Unary{Op: x.Op, X: rename(x.X, set)}
+		out.P = x.P
+		return out
+	case *ast.ToBy:
+		out := &ast.ToBy{Lo: rename(x.Lo, set), Hi: rename(x.Hi, set), By: rename(x.By, set)}
+		out.P = x.P
+		return out
+	case *ast.Call:
+		out := &ast.Call{Fun: rename(x.Fun, set), Args: renameList(x.Args, set)}
+		out.P = x.P
+		return out
+	case *ast.NativeCall:
+		out := &ast.NativeCall{Recv: rename(x.Recv, set), Name: x.Name, Args: renameList(x.Args, set)}
+		out.P = x.P
+		return out
+	case *ast.Index:
+		out := &ast.Index{X: rename(x.X, set), I: rename(x.I, set)}
+		out.P = x.P
+		return out
+	case *ast.Slice:
+		out := &ast.Slice{X: rename(x.X, set), I: rename(x.I, set), J: rename(x.J, set)}
+		out.P = x.P
+		return out
+	case *ast.Field:
+		out := &ast.Field{X: rename(x.X, set), Name: x.Name}
+		out.P = x.P
+		return out
+	case *ast.If:
+		out := &ast.If{Cond: rename(x.Cond, set), Then: rename(x.Then, set), Else: rename(x.Else, set)}
+		out.P = x.P
+		return out
+	case *ast.While:
+		out := &ast.While{Cond: rename(x.Cond, set), Body: rename(x.Body, set), Until: x.Until}
+		out.P = x.P
+		return out
+	case *ast.Every:
+		out := &ast.Every{E: rename(x.E, set), Body: rename(x.Body, set)}
+		out.P = x.P
+		return out
+	case *ast.Repeat:
+		out := &ast.Repeat{Body: rename(x.Body, set)}
+		out.P = x.P
+		return out
+	case *ast.Case:
+		out := &ast.Case{Subject: rename(x.Subject, set)}
+		out.P = x.P
+		for _, c := range x.Clauses {
+			out.Clauses = append(out.Clauses, ast.CaseClause{
+				Sel:  rename(c.Sel, set),
+				Body: rename(c.Body, set),
+			})
+		}
+		return out
+	case *ast.Block:
+		out := &ast.Block{Stmts: renameList(x.Stmts, set)}
+		out.P = x.P
+		return out
+	case *ast.Return:
+		out := &ast.Return{E: rename(x.E, set)}
+		out.P = x.P
+		return out
+	case *ast.Suspend:
+		out := &ast.Suspend{E: rename(x.E, set), Body: rename(x.Body, set)}
+		out.P = x.P
+		return out
+	case *ast.Break:
+		out := &ast.Break{E: rename(x.E, set)}
+		out.P = x.P
+		return out
+	case *ast.VarDecl:
+		out := &ast.VarDecl{Kind: x.Kind, Names: renameNames(x.Names, set), Inits: renameList(x.Inits, set)}
+		out.P = x.P
+		return out
+	case *ast.BindIn:
+		tmp := x.Tmp
+		if set[tmp] {
+			tmp += "_s"
+		}
+		out := &ast.BindIn{Tmp: tmp, E: rename(x.E, set)}
+		out.P = x.P
+		return out
+	case *ast.FlatProduct:
+		out := &ast.FlatProduct{Terms: renameList(x.Terms, set)}
+		out.P = x.P
+		return out
+	default:
+		return x
+	}
+}
+
+func renameList(ns []ast.Node, set map[string]bool) []ast.Node {
+	if ns == nil {
+		return nil
+	}
+	out := make([]ast.Node, len(ns))
+	for i, n := range ns {
+		out[i] = rename(n, set)
+	}
+	return out
+}
+
+func renameNames(names []string, set map[string]bool) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		if set[n] {
+			out[i] = n + "_s"
+		} else {
+			out[i] = n
+		}
+	}
+	return out
+}

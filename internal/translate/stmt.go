@@ -1,0 +1,171 @@
+package translate
+
+import (
+	"junicon/internal/ast"
+)
+
+// stmts emits the statements of a procedure body into the suspendable
+// iterator's Go body (inside core.NewGen): suspend yields, return yields
+// once and returns, loops become Go loops so break/next map to Go
+// break/continue — the "making iteration explicit" of §5A at statement
+// level.
+func (e *emitter) stmts(list []ast.Node) {
+	for _, s := range list {
+		e.stmt(s)
+	}
+}
+
+func (e *emitter) stmt(s ast.Node) {
+	switch x := s.(type) {
+	case *ast.Block:
+		e.stmts(x.Stmts)
+	case *ast.Initial:
+		// Executed once via staticOnce in the procedure prologue.
+		return
+	case *ast.VarDecl:
+		if x.Kind == "static" {
+			// Statics initialize once in the procedure prologue.
+			return
+		}
+		for i, name := range x.Names {
+			if x.Inits[i] == nil {
+				e.linef("%s.Set(value.NullV)", e.cellRef(name))
+				continue
+			}
+			e.linef("if v, ok := core.First(%s); ok {", e.expr(x.Inits[i]))
+			e.linef("\t%s.Set(v)", e.cellRef(name))
+			e.linef("} else {")
+			e.linef("\t%s.Set(value.NullV)", e.cellRef(name))
+			e.linef("}")
+		}
+	case *ast.Return:
+		if x.E == nil {
+			e.linef("yield(value.NullV)")
+			e.linef("return")
+			return
+		}
+		e.linef("if v, ok := core.First(%s); ok {", e.expr(x.E))
+		e.linef("\tyield(v)")
+		e.linef("}")
+		e.linef("return")
+	case *ast.Fail:
+		e.linef("return")
+	case *ast.Suspend:
+		e.linef("{")
+		e.depth++
+		e.linef("g := %s", e.expr(x.E))
+		e.linef("for {")
+		e.depth++
+		e.linef("v, ok := g.Next()")
+		e.linef("if !ok {")
+		e.linef("\tbreak")
+		e.linef("}")
+		e.linef("if !yield(value.Deref(v)) {")
+		e.linef("\treturn")
+		e.linef("}")
+		if x.Body != nil {
+			e.linef("core.Bound(%s).Next()", e.expr(x.Body))
+		}
+		e.depth--
+		e.linef("}")
+		e.depth--
+		e.linef("}")
+	case *ast.If:
+		e.linef("if _, ok := core.First(%s); ok {", e.expr(x.Cond))
+		e.depth++
+		e.stmt(x.Then)
+		e.depth--
+		if x.Else != nil {
+			e.linef("} else {")
+			e.depth++
+			e.stmt(x.Else)
+			e.depth--
+		}
+		e.linef("}")
+	case *ast.While:
+		neg := "!ok"
+		if x.Until {
+			neg = "ok"
+		}
+		e.linef("for {")
+		e.depth++
+		e.linef("if _, ok := core.First(%s); %s {", e.expr(x.Cond), neg)
+		e.linef("\tbreak")
+		e.linef("}")
+		if x.Body != nil {
+			e.stmt(x.Body)
+		}
+		e.depth--
+		e.linef("}")
+	case *ast.Every:
+		e.linef("{")
+		e.depth++
+		e.linef("g := %s", e.expr(x.E))
+		e.linef("for {")
+		e.depth++
+		e.linef("if _, ok := g.Next(); !ok {")
+		e.linef("\tbreak")
+		e.linef("}")
+		if x.Body != nil {
+			e.stmt(x.Body)
+		}
+		e.depth--
+		e.linef("}")
+		e.depth--
+		e.linef("}")
+	case *ast.Repeat:
+		e.linef("for {")
+		e.depth++
+		e.stmt(x.Body)
+		e.depth--
+		e.linef("}")
+	case *ast.Case:
+		e.linef("if subj, ok := core.First(%s); ok {", e.expr(x.Subject))
+		e.depth++
+		first := true
+		var deflt ast.Node
+		for _, c := range x.Clauses {
+			if c.Sel == nil {
+				deflt = c.Body
+				continue
+			}
+			kw := "} else if"
+			if first {
+				kw = "if"
+				first = false
+			}
+			e.linef("%s core.CaseMatches(subj, %s) {", kw, e.expr(c.Sel))
+			e.depth++
+			e.stmt(c.Body)
+			e.depth--
+		}
+		if deflt != nil {
+			if first {
+				e.stmt(deflt)
+			} else {
+				e.linef("} else {")
+				e.depth++
+				e.stmt(deflt)
+				e.depth--
+				e.linef("}")
+			}
+		} else if !first {
+			e.linef("}")
+		}
+		if first && deflt == nil {
+			e.linef("_ = subj")
+		}
+		e.depth--
+		e.linef("}")
+	case *ast.Break:
+		if x.E != nil {
+			e.linef("core.Bound(%s).Next()", e.expr(x.E))
+		}
+		e.linef("break")
+	case *ast.NextStmt:
+		e.linef("continue")
+	default:
+		// Expression statement: bounded evaluation.
+		e.linef("core.Bound(%s).Next()", e.expr(s))
+	}
+}

@@ -1,0 +1,183 @@
+package value
+
+import (
+	"math"
+	"math/big"
+	"strconv"
+	"strings"
+)
+
+// ToInteger converts v to an integer under Icon's coercion rules: integers
+// pass through, reals convert when integral-valued (Icon truncates via
+// integer(); arithmetic contexts require exactness, we accept any real with
+// an exact integer value), and strings parse as integers. ok is false when
+// the conversion is impossible.
+func ToInteger(v V) (Integer, bool) {
+	switch x := Deref(v).(type) {
+	case Integer:
+		return x, true
+	case Real:
+		f := float64(x)
+		if f != math.Trunc(f) || math.IsInf(f, 0) || math.IsNaN(f) {
+			return Integer{}, false
+		}
+		if f >= math.MinInt64 && f <= math.MaxInt64 {
+			return NewInt(int64(f)), true
+		}
+		bi, _ := big.NewFloat(f).Int(nil)
+		return NewBig(bi), true
+	case String:
+		s := strings.TrimSpace(string(x))
+		if s == "" {
+			return Integer{}, false
+		}
+		if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return NewInt(i), true
+		}
+		if bi, ok := new(big.Int).SetString(s, 10); ok {
+			return NewBig(bi), true
+		}
+		// Icon radix literals: 16r1F etc.
+		if r, rest, found := strings.Cut(s, "r"); found {
+			if radix, err := strconv.Atoi(r); err == nil && radix >= 2 && radix <= 36 {
+				if bi, ok := new(big.Int).SetString(strings.ToLower(rest), radix); ok {
+					return NewBig(bi), true
+				}
+			}
+		}
+		// A string holding a real that is integral.
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return ToInteger(Real(f))
+		}
+		return Integer{}, false
+	default:
+		return Integer{}, false
+	}
+}
+
+// ToReal converts v to a real under Icon coercion.
+func ToReal(v V) (Real, bool) {
+	switch x := Deref(v).(type) {
+	case Real:
+		return x, true
+	case Integer:
+		if x.big != nil {
+			f, _ := new(big.Float).SetInt(x.big).Float64()
+			return Real(f), true
+		}
+		return Real(float64(x.small)), true
+	case String:
+		s := strings.TrimSpace(string(x))
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return Real(f), true
+		}
+		return 0, false
+	default:
+		return 0, false
+	}
+}
+
+// ToNumber converts v to integer if possible, else real. Implements the
+// numeric() built-in; ok is false for non-numeric values.
+func ToNumber(v V) (V, bool) {
+	d := Deref(v)
+	switch d.(type) {
+	case Integer, Real:
+		return d, true
+	case String:
+		if i, ok := ToInteger(d); ok {
+			s := strings.TrimSpace(string(d.(String)))
+			// Prefer real when the literal looks real ("3.5", "1e3").
+			if !strings.ContainsAny(s, ".eE") || strings.HasPrefix(s, "16r") {
+				return i, true
+			}
+			if r, ok := ToReal(d); ok {
+				return r, true
+			}
+			return i, true
+		}
+		if r, ok := ToReal(d); ok {
+			return r, true
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+// ToString converts v to a string under Icon coercion: strings pass through,
+// numbers and csets convert to their textual forms.
+func ToString(v V) (String, bool) {
+	switch x := Deref(v).(type) {
+	case String:
+		return x, true
+	case Integer:
+		return String(x.Image()), true
+	case Real:
+		return String(x.Image()), true
+	case *Cset:
+		return String(x.Members()), true
+	default:
+		return "", false
+	}
+}
+
+// ToCset converts v to a cset.
+func ToCset(v V) (*Cset, bool) {
+	switch x := Deref(v).(type) {
+	case *Cset:
+		return x, true
+	case String, Integer, Real:
+		s, _ := ToString(x)
+		return NewCset(string(s)), true
+	default:
+		return nil, false
+	}
+}
+
+// MustInteger is ToInteger that raises Icon error 101 on failure.
+func MustInteger(v V) Integer {
+	i, ok := ToInteger(v)
+	if !ok {
+		Raise(ErrInteger, "integer expected", Deref(v))
+	}
+	return i
+}
+
+// MustNumber is ToNumber that raises Icon error 102 on failure.
+func MustNumber(v V) V {
+	n, ok := ToNumber(v)
+	if !ok {
+		Raise(ErrNumeric, "numeric expected", Deref(v))
+	}
+	return n
+}
+
+// MustString is ToString that raises Icon error 103 on failure.
+func MustString(v V) String {
+	s, ok := ToString(v)
+	if !ok {
+		Raise(ErrString, "string expected", Deref(v))
+	}
+	return s
+}
+
+// MustCset is ToCset that raises Icon error 104 on failure.
+func MustCset(v V) *Cset {
+	c, ok := ToCset(v)
+	if !ok {
+		Raise(ErrCset, "cset expected", Deref(v))
+	}
+	return c
+}
+
+// MustInt is MustInteger narrowed to a Go int, raising 101 when the value
+// does not fit a machine int (used for sizes and positions).
+func MustInt(v V) int {
+	i := MustInteger(v)
+	n, ok := i.Int64()
+	if !ok || int64(int(n)) != n {
+		Raise(ErrInteger, "integer out of range", Deref(v))
+	}
+	return int(n)
+}

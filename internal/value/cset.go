@@ -1,0 +1,91 @@
+package value
+
+import (
+	"sort"
+	"strings"
+)
+
+// Cset is a Unicon character set. Csets are immutable values.
+type Cset struct {
+	runes map[rune]struct{}
+	image string // cached sorted member string
+}
+
+// NewCset returns a cset containing the characters of s.
+func NewCset(s string) *Cset {
+	c := &Cset{runes: make(map[rune]struct{}, len(s))}
+	for _, r := range s {
+		c.runes[r] = struct{}{}
+	}
+	return c
+}
+
+// Predefined csets mirroring Icon keywords.
+var (
+	CsetLcase   = NewCset("abcdefghijklmnopqrstuvwxyz") // &lcase
+	CsetUcase   = NewCset("ABCDEFGHIJKLMNOPQRSTUVWXYZ") // &ucase
+	CsetDigits  = NewCset("0123456789")                 // &digits
+	CsetLetters = func() *Cset {                        // &letters
+		return NewCset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ")
+	}()
+)
+
+func (c *Cset) Type() string { return "cset" }
+
+func (c *Cset) Image() string { return "'" + strings.ReplaceAll(c.Members(), "'", `\'`) + "'" }
+
+// Members returns the member characters in sorted order.
+func (c *Cset) Members() string {
+	if c.image == "" {
+		rs := make([]rune, 0, len(c.runes))
+		for r := range c.runes {
+			rs = append(rs, r)
+		}
+		sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+		c.image = string(rs)
+	}
+	return c.image
+}
+
+// Contains reports whether r is a member.
+func (c *Cset) Contains(r rune) bool {
+	_, ok := c.runes[r]
+	return ok
+}
+
+// Len returns the number of member characters (*c).
+func (c *Cset) Len() int { return len(c.runes) }
+
+// Union returns c ++ d.
+func (c *Cset) Union(d *Cset) *Cset {
+	out := &Cset{runes: make(map[rune]struct{}, len(c.runes)+len(d.runes))}
+	for r := range c.runes {
+		out.runes[r] = struct{}{}
+	}
+	for r := range d.runes {
+		out.runes[r] = struct{}{}
+	}
+	return out
+}
+
+// Diff returns c -- d.
+func (c *Cset) Diff(d *Cset) *Cset {
+	out := &Cset{runes: make(map[rune]struct{})}
+	for r := range c.runes {
+		if !d.Contains(r) {
+			out.runes[r] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Intersect returns c ** d.
+func (c *Cset) Intersect(d *Cset) *Cset {
+	out := &Cset{runes: make(map[rune]struct{})}
+	for r := range c.runes {
+		if d.Contains(r) {
+			out.runes[r] = struct{}{}
+		}
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package value
+
+import (
+	"math"
+	"math/big"
+	"strings"
+	"testing"
+)
+
+// mustRaise asserts that f raises an Icon runtime error.
+func mustRaise(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(*RuntimeError); !ok {
+				t.Fatalf("%s: non-icon panic %v", what, r)
+			}
+			return
+		}
+		t.Fatalf("%s: expected runtime error", what)
+	}()
+	f()
+}
+
+func TestMustCoercionsRaise(t *testing.T) {
+	mustRaise(t, "MustInteger", func() { MustInteger(NewList()) })
+	mustRaise(t, "MustNumber", func() { MustNumber(String("abc")) })
+	mustRaise(t, "MustString", func() { MustString(NewList()) })
+	mustRaise(t, "MustCset", func() { MustCset(NewList()) })
+	mustRaise(t, "MustInt overflow", func() {
+		MustInt(NewBig(new(big.Int).Lsh(big.NewInt(1), 80)))
+	})
+}
+
+func TestModAndPowEdgeCases(t *testing.T) {
+	mustRaise(t, "mod zero", func() { Mod(NewInt(5), NewInt(0)) })
+	if got := Mod(Real(7.5), NewInt(2)).(Real); got != 1.5 {
+		t.Fatalf("7.5 %% 2 = %v", got)
+	}
+	mustRaise(t, "huge exponent", func() { Pow(NewInt(2), NewInt(1<<21)) })
+	// Negative integer exponent falls back to real arithmetic.
+	if got := Pow(NewInt(2), NewInt(-1)).(Real); got != 0.5 {
+		t.Fatalf("2^-1 = %v", got)
+	}
+}
+
+func TestNegBoundary(t *testing.T) {
+	// MinInt64 negation promotes to big.
+	n := Neg(NewInt(math.MinInt64)).(Integer)
+	if !n.IsBig() {
+		t.Fatal("-(MinInt64) should be big")
+	}
+	if got := Neg(Real(-2.5)).(Real); got != 2.5 {
+		t.Fatal("neg real")
+	}
+	if got := Pos(String("5")).(Integer); got.small != 5 {
+		t.Fatal("unary + coerces")
+	}
+}
+
+func TestBigPathsInComparisonAndArith(t *testing.T) {
+	big1 := NewBig(new(big.Int).Lsh(big.NewInt(1), 70))
+	big2 := NewBig(new(big.Int).Lsh(big.NewInt(1), 71))
+	if NumCompare(big1, big2) >= 0 {
+		t.Fatal("big compare")
+	}
+	if NumCompare(big1, big1) != 0 {
+		t.Fatal("big equal")
+	}
+	sum := Add(big1, NewInt(1)).(Integer)
+	if !sum.IsBig() {
+		t.Fatal("big+small stays big")
+	}
+	d := Div(big2, big1).(Integer)
+	if got, _ := d.Int64(); got != 2 {
+		t.Fatalf("big div = %v", d)
+	}
+	m := Mod(big2, big1).(Integer)
+	if m.Sign() != 0 {
+		t.Fatalf("big mod = %v", m)
+	}
+	if got := Mul(big1, NewInt(0)).(Integer); got.Sign() != 0 {
+		t.Fatal("big mul zero")
+	}
+	if got := Sub(big1, big1).(Integer); got.Sign() != 0 {
+		t.Fatal("big sub")
+	}
+}
+
+func TestEquivCrossTypesAndIdentity(t *testing.T) {
+	if Equiv(NewInt(1), String("1")) {
+		t.Fatal("1 === \"1\" must be false (type differs)")
+	}
+	c1, c2 := NewCset("ab"), NewCset("ba")
+	if !Equiv(c1, c2) {
+		t.Fatal("csets compare by content")
+	}
+	t1, t2 := NewTable(NullV), NewTable(NullV)
+	if Equiv(t1, t2) {
+		t.Fatal("tables compare by identity")
+	}
+	if !Equiv(t1, t1) {
+		t.Fatal("table self-identity")
+	}
+	p := NewProc("f", 0, nil)
+	if !Equiv(p, p) || Equiv(p, NewProc("f", 0, nil)) {
+		t.Fatal("procedures by identity")
+	}
+}
+
+func TestImagesOfStructuredValues(t *testing.T) {
+	tb := NewTable(NullV)
+	tb.Set(NewInt(1), NewInt(2))
+	if tb.Image() != "table(1)" {
+		t.Fatalf("table image = %s", tb.Image())
+	}
+	s := NewSet(NewInt(1))
+	if s.Image() != "set(1)" {
+		t.Fatalf("set image = %s", s.Image())
+	}
+	r := NewRecord("p", []string{"x"}, []V{NewInt(1)})
+	if r.Image() != "record p(1)" {
+		t.Fatalf("record image = %s", r.Image())
+	}
+	p := NewProc("f", 2, nil)
+	if p.Image() != "procedure f" {
+		t.Fatalf("proc image = %s", p.Image())
+	}
+	n := NewNative("g", nil)
+	if n.Image() != "function g" || n.Type() != "procedure" {
+		t.Fatalf("native image = %s", n.Image())
+	}
+	c := NewCset("a'b")
+	// Members are sorted: the quote (0x27) precedes the letters.
+	if c.Image() != `'\'ab'` {
+		t.Fatalf("cset image = %s", c.Image())
+	}
+	v := NewCell(NewInt(3))
+	if v.Image() != "variable(3)" || v.Type() != "variable" {
+		t.Fatalf("var image = %s", v.Image())
+	}
+}
+
+func TestSetAtAndNegativeIndexing(t *testing.T) {
+	l := NewList(NewInt(1), NewInt(2), NewInt(3))
+	if !l.SetAt(-1, NewInt(9)) {
+		t.Fatal("SetAt -1")
+	}
+	if v, _ := l.At(3); Image(v) != "9" {
+		t.Fatal("negative SetAt landed wrong")
+	}
+	if l.SetAt(0, NullV) || l.SetAt(4, NullV) {
+		t.Fatal("out-of-range SetAt must fail")
+	}
+}
+
+func TestTableCopyIndependence(t *testing.T) {
+	tb := NewTable(NewInt(0))
+	tb.Set(String("a"), NewInt(1))
+	cp := tb.Copy()
+	cp.Set(String("b"), NewInt(2))
+	if tb.Has(String("b")) {
+		t.Fatal("copy shares storage")
+	}
+	if Image(cp.Default()) != "0" {
+		t.Fatal("copy default")
+	}
+}
+
+func TestSubscriptRecordByNameAndPosition(t *testing.T) {
+	r := NewRecord("p", []string{"x", "y"}, []V{NewInt(1), NewInt(2)})
+	v, ok := Subscript(r, String("y"))
+	if !ok || Image(Deref(v)) != "2" {
+		t.Fatal("record by name")
+	}
+	v, ok = Subscript(r, NewInt(-1))
+	if !ok || Image(Deref(v)) != "2" {
+		t.Fatal("record by negative position")
+	}
+	if _, ok := Subscript(r, String("z")); ok {
+		t.Fatal("missing field subscript fails")
+	}
+	if _, ok := Subscript(r, NewInt(3)); ok {
+		t.Fatal("out-of-range record subscript fails")
+	}
+	// Field() helper.
+	if _, ok := Field(r, "x"); !ok {
+		t.Fatal("Field x")
+	}
+	if _, ok := Field(NewInt(1), "x"); ok {
+		t.Fatal("Field on non-record fails")
+	}
+}
+
+func TestSubscriptNumericCoercesToString(t *testing.T) {
+	v, ok := Subscript(NewInt(123), NewInt(2))
+	if !ok || v.(String) != "2" {
+		t.Fatalf("123[2] = %v", v)
+	}
+	mustRaise(t, "subscript table key on list index type", func() {
+		Subscript(NewList(), String("no"))
+	})
+}
+
+func TestSectionOnListAndCoercion(t *testing.T) {
+	l := NewList(NewInt(1), NewInt(2), NewInt(3))
+	v, ok := Section(l, NewInt(2), NewInt(0))
+	if !ok || v.(*List).Image() != "[2,3]" {
+		t.Fatalf("list section = %v", v)
+	}
+	v, ok = Section(NewInt(12345), NewInt(1), NewInt(3))
+	if !ok || v.(String) != "12" {
+		t.Fatalf("numeric section = %v", v)
+	}
+	mustRaise(t, "section of list-free type", func() { Section(NewTable(NullV), NewInt(1), NewInt(2)) })
+}
+
+func TestStrHelper(t *testing.T) {
+	if Str(NewInt(5)) != "5" || Str(Real(1)) != "1.0" {
+		t.Fatal("Str numeric")
+	}
+	if Str(NewList(NewInt(1))) != "[1]" {
+		t.Fatal("Str structure falls back to image")
+	}
+}
+
+func TestToNumberPrefersIntegerForIntegralStrings(t *testing.T) {
+	n, ok := ToNumber(String("16r10"))
+	if !ok {
+		t.Fatal("radix numeric")
+	}
+	if i, isInt := n.(Integer); !isInt || i.small != 16 {
+		t.Fatalf("16r10 = %v", Image(n))
+	}
+	if _, ok := ToNumber(String("")); ok {
+		t.Fatal("empty string not numeric")
+	}
+	n, _ = ToNumber(String("1e2"))
+	if _, isReal := n.(Real); !isReal {
+		t.Fatalf("1e2 should be real, got %s", Image(n))
+	}
+}
+
+func TestToIntegerRadixErrors(t *testing.T) {
+	if _, ok := ToInteger(String("99rZZ")); ok {
+		t.Fatal("radix 99 invalid")
+	}
+	if _, ok := ToInteger(String("2r102")); ok {
+		t.Fatal("digit out of radix")
+	}
+	if i, ok := ToInteger(String("2r101")); !ok || i.small != 5 {
+		t.Fatal("binary radix")
+	}
+	// Real-typed strings that are integral.
+	if i, ok := ToInteger(String("3e2")); !ok || i.small != 300 {
+		t.Fatalf("3e2 as integer = %v %v", i, ok)
+	}
+}
+
+func TestUnionIntersectionDifferenceErrors(t *testing.T) {
+	mustRaise(t, "set ++ cset", func() { Union(NewSet(), NewList()) })
+	mustRaise(t, "set ** list", func() { Intersection(NewSet(), NewList()) })
+	mustRaise(t, "set -- list", func() { Difference(NewSet(), NewList()) })
+	mustRaise(t, "list concat type", func() { ListConcat(NewList(), NewInt(1)) })
+	mustRaise(t, "concat type", func() { Concat(NewList(), String("x")) })
+}
+
+func TestRealImageSpecials(t *testing.T) {
+	if !strings.Contains(Real(math.Inf(1)).Image(), "Inf") {
+		t.Fatal("inf image")
+	}
+	if got := Real(-0.0).Image(); got != "-0.0" && got != "0.0" {
+		t.Fatalf("-0.0 image = %s", got)
+	}
+}
+
+func TestSizedInterfaceThroughSize(t *testing.T) {
+	if got := Size(sizedStub{}); Image(got) != "7" {
+		t.Fatalf("Sized = %s", Image(got))
+	}
+	mustRaise(t, "size of proc", func() { Size(NewProc("f", 0, nil)) })
+}
+
+type sizedStub struct{}
+
+func (sizedStub) Type() string  { return "stub" }
+func (sizedStub) Image() string { return "stub" }
+func (sizedStub) Size() int     { return 7 }
+
+func TestListSectionOutOfRange(t *testing.T) {
+	l := NewList(NewInt(1))
+	if _, ok := l.Section(1, 9); ok {
+		t.Fatal("section out of range must fail")
+	}
+}
+
+func TestDerefNilAndVarChains(t *testing.T) {
+	if !IsNull(Deref(nil)) {
+		t.Fatal("deref nil")
+	}
+	var v V
+	if !IsNull(v) == false && v != nil {
+		t.Fatal("nil interface is null")
+	}
+}

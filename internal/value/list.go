@@ -1,0 +1,158 @@
+package value
+
+import "strings"
+
+// List is a Unicon list: a mutable sequence with queue/stack operations.
+// Lists have reference semantics — copying a List value copies the pointer.
+type List struct {
+	elems []V
+}
+
+// NewList returns a list containing the given elements.
+func NewList(elems ...V) *List {
+	l := &List{elems: make([]V, len(elems))}
+	copy(l.elems, elems)
+	return l
+}
+
+// NewListSize returns a list of n copies of init (list(n, x) built-in).
+func NewListSize(n int, init V) *List {
+	if n < 0 {
+		n = 0
+	}
+	l := &List{elems: make([]V, n)}
+	for i := range l.elems {
+		l.elems[i] = init
+	}
+	return l
+}
+
+func (l *List) Type() string { return "list" }
+
+func (l *List) Image() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, e := range l.elems {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(Image(e))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Len returns the number of elements (*L).
+func (l *List) Len() int { return len(l.elems) }
+
+// At returns the element at 1-based index i, supporting Icon's negative
+// indexing (-1 is the last element). ok is false when i is out of range —
+// subscripting out of range fails in Icon rather than erroring.
+func (l *List) At(i int) (V, bool) {
+	i, ok := l.norm(i)
+	if !ok {
+		return nil, false
+	}
+	return l.elems[i], true
+}
+
+// SetAt assigns the element at 1-based (possibly negative) index i.
+func (l *List) SetAt(i int, v V) bool {
+	i, ok := l.norm(i)
+	if !ok {
+		return false
+	}
+	l.elems[i] = v
+	return true
+}
+
+// norm converts a 1-based possibly-negative index to a 0-based offset.
+func (l *List) norm(i int) (int, bool) {
+	n := len(l.elems)
+	if i < 0 {
+		i = n + 1 + i
+	}
+	if i < 1 || i > n {
+		return 0, false
+	}
+	return i - 1, true
+}
+
+// Put appends values at the right end (put built-in).
+func (l *List) Put(vs ...V) { l.elems = append(l.elems, vs...) }
+
+// Push prepends values at the left end (push built-in). As in Icon, multiple
+// arguments are pushed left to right, so the last ends up leftmost.
+func (l *List) Push(vs ...V) {
+	for _, v := range vs {
+		l.elems = append([]V{v}, l.elems...)
+	}
+}
+
+// Get removes and returns the leftmost element (get/pop built-in).
+func (l *List) Get() (V, bool) {
+	if len(l.elems) == 0 {
+		return nil, false
+	}
+	v := l.elems[0]
+	l.elems = l.elems[1:]
+	return v, true
+}
+
+// Pull removes and returns the rightmost element (pull built-in).
+func (l *List) Pull() (V, bool) {
+	if len(l.elems) == 0 {
+		return nil, false
+	}
+	v := l.elems[len(l.elems)-1]
+	l.elems = l.elems[:len(l.elems)-1]
+	return v, true
+}
+
+// Elems returns the backing slice. Callers must treat it as read-only.
+func (l *List) Elems() []V { return l.elems }
+
+// Copy returns a one-level copy of the list (copy built-in).
+func (l *List) Copy() *List { return NewList(l.elems...) }
+
+// Concat returns the concatenation l ||| m as a new list.
+func (l *List) Concat(m *List) *List {
+	out := make([]V, 0, len(l.elems)+len(m.elems))
+	out = append(out, l.elems...)
+	out = append(out, m.elems...)
+	return &List{elems: out}
+}
+
+// Section returns the sub-list l[i:j] with Icon's 1-based, position-between-
+// elements slicing. Positions may be negative (0 means "past the end").
+// Fails (ok == false) when positions are out of range.
+func (l *List) Section(i, j int) (*List, bool) {
+	i, j, ok := SliceRange(i, j, len(l.elems))
+	if !ok {
+		return nil, false
+	}
+	return NewList(l.elems[i:j]...), true
+}
+
+// SliceRange converts Icon string/list positions (1-based, 0 and negatives
+// counting from the right, order-insensitive) into a Go [lo,hi) pair.
+func SliceRange(i, j, n int) (lo, hi int, ok bool) {
+	conv := func(p int) (int, bool) {
+		if p <= 0 {
+			p = n + 1 + p
+		}
+		if p < 1 || p > n+1 {
+			return 0, false
+		}
+		return p - 1, true
+	}
+	a, ok1 := conv(i)
+	b, ok2 := conv(j)
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return a, b, true
+}

@@ -1,0 +1,398 @@
+package value
+
+import (
+	"math"
+	"math/big"
+)
+
+// Arithmetic follows Icon semantics: operands are coerced to numbers
+// (strings convert automatically), integer arithmetic promotes to big
+// integers on overflow, and mixing an integer with a real yields a real.
+// Type errors raise Icon runtime errors (see errors.go).
+
+// binNum coerces both operands and dispatches to the integer or real case.
+func binNum(a, b V, fi func(x, y Integer) V, fr func(x, y float64) V) V {
+	x := MustNumber(a)
+	y := MustNumber(b)
+	xi, xok := x.(Integer)
+	yi, yok := y.(Integer)
+	if xok && yok {
+		return fi(xi, yi)
+	}
+	xr, _ := ToReal(x)
+	yr, _ := ToReal(y)
+	return fr(float64(xr), float64(yr))
+}
+
+// Add implements a + b.
+func Add(a, b V) V {
+	return binNum(a, b,
+		func(x, y Integer) V {
+			if x.big == nil && y.big == nil {
+				if s, ok := addInt64(x.small, y.small); ok {
+					return NewInt(s)
+				}
+			}
+			return NewBig(new(big.Int).Add(x.Big(), y.Big()))
+		},
+		func(x, y float64) V { return Real(x + y) })
+}
+
+// Sub implements a - b.
+func Sub(a, b V) V {
+	return binNum(a, b,
+		func(x, y Integer) V {
+			if x.big == nil && y.big == nil {
+				if s, ok := subInt64(x.small, y.small); ok {
+					return NewInt(s)
+				}
+			}
+			return NewBig(new(big.Int).Sub(x.Big(), y.Big()))
+		},
+		func(x, y float64) V { return Real(x - y) })
+}
+
+// Mul implements a * b.
+func Mul(a, b V) V {
+	return binNum(a, b,
+		func(x, y Integer) V {
+			if x.big == nil && y.big == nil {
+				if p, ok := mulInt64(x.small, y.small); ok {
+					return NewInt(p)
+				}
+			}
+			return NewBig(new(big.Int).Mul(x.Big(), y.Big()))
+		},
+		func(x, y float64) V { return Real(x * y) })
+}
+
+// Div implements a / b. Integer division truncates toward zero as in Icon.
+func Div(a, b V) V {
+	return binNum(a, b,
+		func(x, y Integer) V {
+			if y.Sign() == 0 {
+				Raise(ErrDivideByZero, "division by zero", nil)
+			}
+			if x.big == nil && y.big == nil {
+				if !(x.small == math.MinInt64 && y.small == -1) {
+					return NewInt(x.small / y.small)
+				}
+			}
+			return NewBig(new(big.Int).Quo(x.Big(), y.Big()))
+		},
+		func(x, y float64) V { return Real(x / y) })
+}
+
+// Mod implements a % b with the sign of the dividend, as in Icon.
+func Mod(a, b V) V {
+	return binNum(a, b,
+		func(x, y Integer) V {
+			if y.Sign() == 0 {
+				Raise(ErrDivideByZero, "remainder by zero", nil)
+			}
+			if x.big == nil && y.big == nil {
+				if !(x.small == math.MinInt64 && y.small == -1) {
+					return NewInt(x.small % y.small)
+				}
+			}
+			return NewBig(new(big.Int).Rem(x.Big(), y.Big()))
+		},
+		func(x, y float64) V { return Real(math.Mod(x, y)) })
+}
+
+// Pow implements a ^ b (exponentiation).
+func Pow(a, b V) V {
+	x := MustNumber(a)
+	y := MustNumber(b)
+	xi, xok := x.(Integer)
+	yi, yok := y.(Integer)
+	if xok && yok && yi.Sign() >= 0 {
+		if e, fits := yi.Int64(); fits && e <= 1<<20 {
+			return NewBig(new(big.Int).Exp(xi.Big(), big.NewInt(e), nil))
+		}
+		Raise(ErrInteger, "exponent too large", y)
+	}
+	xr, _ := ToReal(x)
+	yr, _ := ToReal(y)
+	return Real(math.Pow(float64(xr), float64(yr)))
+}
+
+// Neg implements unary -a.
+func Neg(a V) V {
+	switch x := MustNumber(a).(type) {
+	case Integer:
+		if x.big == nil && x.small != math.MinInt64 {
+			return NewInt(-x.small)
+		}
+		return NewBig(new(big.Int).Neg(x.Big()))
+	case Real:
+		return Real(-x)
+	}
+	panic("unreachable")
+}
+
+// Pos implements unary +a (numeric coercion).
+func Pos(a V) V { return MustNumber(a) }
+
+func addInt64(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func subInt64(a, b int64) (int64, bool) {
+	s := a - b
+	if (a >= 0 && b < 0 && s < 0) || (a < 0 && b > 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func mulInt64(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a || (a == math.MinInt64 && b == -1) {
+		return 0, false
+	}
+	return p, true
+}
+
+// NumCompare returns -1, 0, +1 comparing two numerics.
+func NumCompare(a, b V) int {
+	x := MustNumber(a)
+	y := MustNumber(b)
+	xi, xok := x.(Integer)
+	yi, yok := y.(Integer)
+	if xok && yok {
+		if xi.big == nil && yi.big == nil {
+			switch {
+			case xi.small < yi.small:
+				return -1
+			case xi.small > yi.small:
+				return 1
+			}
+			return 0
+		}
+		return xi.Big().Cmp(yi.Big())
+	}
+	xr, _ := ToReal(x)
+	yr, _ := ToReal(y)
+	switch {
+	case xr < yr:
+		return -1
+	case xr > yr:
+		return 1
+	}
+	return 0
+}
+
+// Numeric comparison operators: in Icon, i < j succeeds producing j, or
+// fails. ok == false is failure.
+
+// NumLt implements a < b.
+func NumLt(a, b V) (V, bool) { return cmpResult(b, NumCompare(a, b) < 0) }
+
+// NumLe implements a <= b.
+func NumLe(a, b V) (V, bool) { return cmpResult(b, NumCompare(a, b) <= 0) }
+
+// NumGt implements a > b.
+func NumGt(a, b V) (V, bool) { return cmpResult(b, NumCompare(a, b) > 0) }
+
+// NumGe implements a >= b.
+func NumGe(a, b V) (V, bool) { return cmpResult(b, NumCompare(a, b) >= 0) }
+
+// NumEq implements a = b.
+func NumEq(a, b V) (V, bool) { return cmpResult(b, NumCompare(a, b) == 0) }
+
+// NumNe implements a ~= b.
+func NumNe(a, b V) (V, bool) { return cmpResult(b, NumCompare(a, b) != 0) }
+
+func cmpResult(b V, ok bool) (V, bool) {
+	if !ok {
+		return nil, false
+	}
+	return MustNumber(b), true
+}
+
+// String comparison operators (<<, <<=, >>, >>=, ==, ~==).
+
+// StrLt implements a << b.
+func StrLt(a, b V) (V, bool) { return strCmp(a, b, func(c int) bool { return c < 0 }) }
+
+// StrLe implements a <<= b.
+func StrLe(a, b V) (V, bool) { return strCmp(a, b, func(c int) bool { return c <= 0 }) }
+
+// StrGt implements a >> b.
+func StrGt(a, b V) (V, bool) { return strCmp(a, b, func(c int) bool { return c > 0 }) }
+
+// StrGe implements a >>= b.
+func StrGe(a, b V) (V, bool) { return strCmp(a, b, func(c int) bool { return c >= 0 }) }
+
+// StrEq implements a == b.
+func StrEq(a, b V) (V, bool) { return strCmp(a, b, func(c int) bool { return c == 0 }) }
+
+// StrNe implements a ~== b.
+func StrNe(a, b V) (V, bool) { return strCmp(a, b, func(c int) bool { return c != 0 }) }
+
+func strCmp(a, b V, pred func(int) bool) (V, bool) {
+	x := MustString(a)
+	y := MustString(b)
+	c := 0
+	switch {
+	case x < y:
+		c = -1
+	case x > y:
+		c = 1
+	}
+	if !pred(c) {
+		return nil, false
+	}
+	return y, true
+}
+
+// Same implements a === b: value equivalence (numbers by value, strings by
+// content, structures by identity), succeeding with b.
+func Same(a, b V) (V, bool) {
+	if Equiv(a, b) {
+		return Deref(b), true
+	}
+	return nil, false
+}
+
+// NotSame implements a ~=== b.
+func NotSame(a, b V) (V, bool) {
+	if !Equiv(a, b) {
+		return Deref(b), true
+	}
+	return nil, false
+}
+
+// Equiv reports Icon value equivalence of a and b.
+func Equiv(a, b V) bool {
+	da, db := Deref(a), Deref(b)
+	if TypeOf(da) != TypeOf(db) {
+		// integer/real cross-type: === requires same type in Icon.
+		return false
+	}
+	return mapKey(da) == mapKey(db)
+}
+
+// Concat implements string concatenation a || b.
+func Concat(a, b V) V { return MustString(a) + MustString(b) }
+
+// ListConcat implements list concatenation a ||| b.
+func ListConcat(a, b V) V {
+	x, ok := Deref(a).(*List)
+	if !ok {
+		Raise(ErrNotList, "list expected", Deref(a))
+	}
+	y, ok := Deref(b).(*List)
+	if !ok {
+		Raise(ErrNotList, "list expected", Deref(b))
+	}
+	return x.Concat(y)
+}
+
+// Size implements unary *x: the size of a string, cset, list, table, set or
+// record.
+func Size(v V) V {
+	switch x := Deref(v).(type) {
+	case String:
+		return NewInt(int64(len(x)))
+	case *Cset:
+		return NewInt(int64(x.Len()))
+	case *List:
+		return NewInt(int64(x.Len()))
+	case *Table:
+		return NewInt(int64(x.Len()))
+	case *Set:
+		return NewInt(int64(x.Len()))
+	case *Record:
+		return NewInt(int64(len(r2(x))))
+	case Sized:
+		return NewInt(int64(x.Size()))
+	default:
+		if s, ok := ToString(x); ok {
+			return NewInt(int64(len(s)))
+		}
+		Raise(ErrString, "size: invalid type", x)
+	}
+	panic("unreachable")
+}
+
+func r2(r *Record) []V { return r.Values }
+
+// Sized is implemented by extension values (such as co-expressions, whose
+// size is the number of results produced so far) that support *x.
+type Sized interface {
+	Size() int
+}
+
+// Union implements a ++ b on csets or sets.
+func Union(a, b V) V {
+	if s, ok := Deref(a).(*Set); ok {
+		t, ok := Deref(b).(*Set)
+		if !ok {
+			Raise(ErrCset, "set expected", Deref(b))
+		}
+		out := s.Copy()
+		for _, v := range t.Members() {
+			out.Insert(v)
+		}
+		return out
+	}
+	return MustCset(a).Union(MustCset(b))
+}
+
+// Intersection implements a ** b on csets or sets.
+func Intersection(a, b V) V {
+	if s, ok := Deref(a).(*Set); ok {
+		t, ok := Deref(b).(*Set)
+		if !ok {
+			Raise(ErrCset, "set expected", Deref(b))
+		}
+		out := NewSet()
+		for _, v := range s.Members() {
+			if t.Has(v) {
+				out.Insert(v)
+			}
+		}
+		return out
+	}
+	return MustCset(a).Intersect(MustCset(b))
+}
+
+// Difference implements a -- b on csets or sets.
+func Difference(a, b V) V {
+	if s, ok := Deref(a).(*Set); ok {
+		t, ok := Deref(b).(*Set)
+		if !ok {
+			Raise(ErrCset, "set expected", Deref(b))
+		}
+		out := NewSet()
+		for _, v := range s.Members() {
+			if !t.Has(v) {
+				out.Insert(v)
+			}
+		}
+		return out
+	}
+	return MustCset(a).Diff(MustCset(b))
+}
+
+// Complement implements unary ~c (cset complement) over the ASCII universe,
+// which is what classic Icon uses for &cset.
+func Complement(v V) V {
+	c := MustCset(v)
+	out := make([]rune, 0, 256)
+	for r := rune(0); r < 256; r++ {
+		if !c.Contains(r) {
+			out = append(out, r)
+		}
+	}
+	return NewCset(string(out))
+}

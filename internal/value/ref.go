@@ -1,0 +1,104 @@
+package value
+
+// Subscript implements x[i] with Icon's reference semantics: for lists,
+// tables and records the result is a reified variable (an updatable
+// reference, §5A); for strings and csets it is a plain one-character string
+// value. ok is false when subscripting fails (index out of range), which is
+// failure, not an error, in Icon.
+func Subscript(x, i V) (V, bool) {
+	switch c := Deref(x).(type) {
+	case *List:
+		idx := MustInt(i)
+		if _, ok := c.At(idx); !ok {
+			return nil, false
+		}
+		return NewVar(
+			func() V { v, _ := c.At(idx); return v },
+			func(v V) { c.SetAt(idx, v) },
+		), true
+	case *Table:
+		key := Deref(i)
+		return NewVar(
+			func() V { return c.Get(key) },
+			func(v V) { c.Set(key, v) },
+		), true
+	case *Record:
+		// r[i] by position, or r["field"] by name.
+		if s, ok := Deref(i).(String); ok {
+			if idx := c.FieldIndex(string(s)); idx >= 0 {
+				return fieldVar(c, idx), true
+			}
+			return nil, false
+		}
+		idx := MustInt(i)
+		if idx < 0 {
+			idx = len(c.Values) + 1 + idx
+		}
+		if idx < 1 || idx > len(c.Values) {
+			return nil, false
+		}
+		return fieldVar(c, idx-1), true
+	case String:
+		idx := MustInt(i)
+		n := len(c)
+		if idx < 0 {
+			idx = n + 1 + idx
+		}
+		if idx < 1 || idx > n {
+			return nil, false
+		}
+		return c[idx-1 : idx], true
+	default:
+		if s, ok := ToString(c); ok {
+			return Subscript(s, i)
+		}
+		Raise(ErrNotList, "subscript: invalid type", c)
+	}
+	panic("unreachable")
+}
+
+func fieldVar(r *Record, idx int) *Var {
+	return NewVar(
+		func() V { return r.Values[idx] },
+		func(v V) { r.Values[idx] = v },
+	)
+}
+
+// Field implements x.name field access, returning an updatable reference for
+// records. ok is false when the field does not exist.
+func Field(x V, name string) (V, bool) {
+	r, ok := Deref(x).(*Record)
+	if !ok {
+		return nil, false
+	}
+	idx := r.FieldIndex(name)
+	if idx < 0 {
+		return nil, false
+	}
+	return fieldVar(r, idx), true
+}
+
+// Section implements x[i:j], yielding a new string or list. ok is false on
+// out-of-range positions (failure).
+func Section(x, i, j V) (V, bool) {
+	switch c := Deref(x).(type) {
+	case *List:
+		l, ok := c.Section(MustInt(i), MustInt(j))
+		if !ok {
+			return nil, false
+		}
+		return l, true
+	case String:
+		lo, hi, ok := SliceRange(MustInt(i), MustInt(j), len(c))
+		if !ok {
+			return nil, false
+		}
+		return c[lo:hi], true
+	default:
+		if s, ok := ToString(c); ok {
+			return Section(s, i, j)
+		}
+		Raise(ErrString, "section: invalid type", c)
+	}
+	panic("unreachable")
+}

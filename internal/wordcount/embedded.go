@@ -1,0 +1,199 @@
+package wordcount
+
+import (
+	"fmt"
+
+	"junicon/internal/core"
+	"junicon/internal/mapreduce"
+	"junicon/internal/pipe"
+	"junicon/internal/value"
+)
+
+// The embedded suite (§VII): "a sequential word-count, a pipeline-parallel
+// word-count that split the hash function into two tasks, a map-reduce
+// word-count that spread the hash function and its summation reduction over
+// chunks of data, and a data-parallel word-count that ... split out the
+// reduction".
+//
+// These are the kernel compositions the translator emits for the Figure 3
+// program — the "compiled to Java" forms of the paper, here compiled to
+// kernel-constructor calls. The interpreted path (embedded_interp.go) runs
+// the same programs from Junicon source for the ablation.
+
+// EmbeddedConfig carries the embedded suite's knobs.
+type EmbeddedConfig struct {
+	// Buffer bounds each pipe's blocking queue (default pipe.DefaultBuffer).
+	Buffer int
+	// ChunkSize is the map-reduce partition size in lines (default 1000,
+	// the paper's DataParallel(1000)).
+	ChunkSize int
+}
+
+func (c EmbeddedConfig) chunk() int {
+	if c.ChunkSize <= 0 {
+		return 1000
+	}
+	return c.ChunkSize
+}
+
+// wordToNumberProc exposes the host hash stage as a native (Figure 3's
+// public Object wordToNumber), participating in goal-directed evaluation:
+// malformed words fail rather than erroring.
+func wordToNumberProc(w Weight) *value.Native {
+	return value.NewNative("wordToNumber", func(args ...value.V) (value.V, error) {
+		s, ok := value.ToString(args[0])
+		if !ok {
+			return nil, fmt.Errorf("wordToNumber: string expected")
+		}
+		n, ok := WordToNumber(w, string(s))
+		if !ok {
+			return nil, nil // native failure
+		}
+		return value.NewBig(n), nil
+	})
+}
+
+// hashNumberProc exposes the second host hash stage (Figure 3's
+// hashNumber).
+func hashNumberProc(w Weight) *value.Native {
+	return value.NewNative("hashNumber", func(args ...value.V) (value.V, error) {
+		i, ok := value.ToInteger(args[0])
+		if !ok {
+			return nil, fmt.Errorf("hashNumber: integer expected")
+		}
+		return value.Real(HashNumber(w, i.Big())), nil
+	})
+}
+
+// readLinesProc is Figure 3's readLines: suspend !lines.
+func readLinesProc(lines []string) *value.Proc {
+	return value.NewProc("readLines", 0, func(...value.V) core.Gen {
+		return core.NewGen(func(yield func(value.V) bool) {
+			for _, l := range lines {
+				if !yield(value.String(l)) {
+					return
+				}
+			}
+		})
+	})
+}
+
+// splitWordsProc is Figure 3's splitWords: suspend !line::split("\\s+").
+func splitWordsProc() *value.Proc {
+	return value.NewProc("splitWords", 1, func(args ...value.V) core.Gen {
+		s, ok := value.ToString(args[0])
+		if !ok {
+			value.Raise(value.ErrString, "splitWords: string expected", value.Deref(args[0]))
+		}
+		words := SplitWords(string(s))
+		return core.NewGen(func(yield func(value.V) bool) {
+			for _, w := range words {
+				if !yield(value.String(w)) {
+					return
+				}
+			}
+		})
+	})
+}
+
+// hashWordsProc is Figure 3's hashWords: the whole per-line hash as one
+// generator function — suspend hashNumber(wordToNumber(!splitWords(line))).
+func hashWordsProc(w Weight) *value.Proc {
+	split := splitWordsProc()
+	toNum := wordToNumberProc(w)
+	hash := hashNumberProc(w)
+	return value.NewProc("hashWords", 1, func(args ...value.V) core.Gen {
+		line := value.Deref(args[0])
+		word := value.NewCell(value.NullV)
+		num := value.NewCell(value.NullV)
+		return core.Product(
+			core.In(word, split.Call(line)),
+			core.In(num, core.Defer(func() core.Gen { return core.InvokeVal(toNum, word.Get()) })),
+			core.Defer(func() core.Gen { return core.InvokeVal(hash, num.Get()) }),
+		)
+	})
+}
+
+// sumHashProc is Figure 3's sumHash reduction function.
+var sumHashProc = value.NewProc("sumHash", 2, func(args ...value.V) core.Gen {
+	return core.Unit(value.Add(args[0], args[1]))
+})
+
+// hashPipelineGen builds the full hash generator for the sequential and
+// pipeline variants: the normalized form of
+//
+//	hashNumber(wordToNumber(!splitWords(readLines())))
+//
+// with, for the pipeline variant, a generator proxy spun around the
+// word→number stage exactly as Figure 3's runPipeline:
+//
+//	hashNumber( ! (|> wordToNumber( ! splitWords(readLines()))))
+func hashPipelineGen(lines []string, w Weight, piped bool, buffer int) core.Gen {
+	readLines := readLinesProc(lines)
+	split := splitWordsProc()
+	toNum := wordToNumberProc(w)
+	hash := hashNumberProc(w)
+
+	line := value.NewCell(value.NullV)
+	word := value.NewCell(value.NullV)
+	stage1 := core.Product(
+		core.In(line, readLines.Call()),
+		core.In(word, core.Defer(func() core.Gen { return split.Call(line.Get()) })),
+		core.Defer(func() core.Gen { return core.InvokeVal(toNum, word.Get()) }),
+	)
+	numbers := stage1
+	if piped {
+		p := pipe.FromGen(stage1, buffer)
+		p.StartEager()
+		numbers = core.Bang(p)
+	}
+	num := value.NewCell(value.NullV)
+	return core.Product(
+		core.In(num, numbers),
+		core.Defer(func() core.Gen { return core.InvokeVal(hash, num.Get()) }),
+	)
+}
+
+// sumGen drives a generator of reals to failure, summing (the host for
+// statement of Figure 3's runPipeline).
+func sumGen(g core.Gen) float64 {
+	total := 0.0
+	core.Each(g, func(v value.V) bool {
+		r, ok := value.ToReal(v)
+		if ok {
+			total += float64(r)
+		}
+		return true
+	})
+	return total
+}
+
+// JuniconSequential runs the embedded sequential word-count.
+func JuniconSequential(lines []string, w Weight, cfg EmbeddedConfig) float64 {
+	return sumGen(hashPipelineGen(lines, w, false, cfg.Buffer))
+}
+
+// JuniconPipeline runs the embedded pipeline-parallel word-count: the hash
+// is split into two tasks joined by a generator proxy.
+func JuniconPipeline(lines []string, w Weight, cfg EmbeddedConfig) float64 {
+	return sumGen(hashPipelineGen(lines, w, true, cfg.Buffer))
+}
+
+// JuniconMapReduce runs the embedded map-reduce word-count (Figure 3's
+// runMapReduce over Figure 4's mapReduce): per-chunk pipes map hashWords
+// and reduce with sumHash; the per-chunk partials are summed by the host
+// loop.
+func JuniconMapReduce(lines []string, w Weight, cfg EmbeddedConfig) float64 {
+	dp := mapreduce.Config{ChunkSize: cfg.chunk(), Buffer: cfg.Buffer}
+	g := dp.MapReduce(hashWordsProc(w), readLinesProc(lines), sumHashProc, value.Real(0))
+	return sumGen(g)
+}
+
+// JuniconDataParallel runs the embedded data-parallel word-count: chunks
+// are mapped in concurrent pipes but the reduction is split out and
+// performed serially over the flattened result sequence.
+func JuniconDataParallel(lines []string, w Weight, cfg EmbeddedConfig) float64 {
+	dp := mapreduce.Config{ChunkSize: cfg.chunk(), Buffer: cfg.Buffer}
+	g := dp.MapFlat(hashWordsProc(w), readLinesProc(lines))
+	return sumGen(g)
+}

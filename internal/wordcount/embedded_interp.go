@@ -1,0 +1,93 @@
+package wordcount
+
+import (
+	"fmt"
+	"io"
+
+	"junicon/internal/interp"
+	"junicon/internal/value"
+)
+
+// The interpreted path: the Figure 3 WordCount methods as Junicon source,
+// loaded into the interpreter with the host hash stages registered as
+// natives — the mixed-language program of §4 run end to end. Used by the
+// interpreter-overhead ablation (DESIGN.md); the paper's Figure 6 numbers
+// correspond to the translated/kernel path in embedded.go.
+
+// Figure3Source is the embedded region of Figure 3, adapted to the
+// implemented subset (our methods generate directly, so the surface !
+// around method results is not needed).
+const Figure3Source = `
+def readLines () { suspend !lines; }
+def splitWords (line) { suspend !line::split(); }
+def hashWords (line) {
+  suspend this::hashNumber(this::wordToNumber(splitWords(line)));
+}
+def sumHash (sofar, hash) { return sofar + hash; }
+`
+
+// NewInterpreter returns an interpreter loaded with the Figure 3 program:
+// the corpus bound to the global lines, and the host stages wordToNumber,
+// hashNumber and split registered as natives.
+func NewInterpreter(lines []string, w Weight) (*interp.Interp, error) {
+	in := interp.New(interp.WithOutput(io.Discard))
+	in.RegisterNative("wordToNumber", wordToNumberProc(w).Fn)
+	in.RegisterNative("hashNumber", hashNumberProc(w).Fn)
+	in.RegisterNative("split", func(args ...value.V) (value.V, error) {
+		s, ok := value.ToString(args[0])
+		if !ok {
+			return nil, fmt.Errorf("split: string expected")
+		}
+		out := value.NewList()
+		for _, word := range SplitWords(string(s)) {
+			out.Put(value.String(word))
+		}
+		return out, nil
+	})
+	corpus := value.NewList()
+	for _, l := range lines {
+		corpus.Put(value.String(l))
+	}
+	in.Define("lines", corpus)
+	if err := in.LoadProgram(Figure3Source); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// InterpretedSequential runs the sequential word-count through the
+// interpreter: the expression of Figure 3's runPipeline without the pipe.
+func InterpretedSequential(lines []string, w Weight) (float64, error) {
+	in, err := NewInterpreter(lines, w)
+	if err != nil {
+		return 0, err
+	}
+	return interpSum(in, `this::hashNumber(this::wordToNumber(splitWords(readLines())))`)
+}
+
+// InterpretedPipeline runs Figure 3's runPipeline expression verbatim: a
+// generator proxy spun around the word→number stage.
+func InterpretedPipeline(lines []string, w Weight) (float64, error) {
+	in, err := NewInterpreter(lines, w)
+	if err != nil {
+		return 0, err
+	}
+	return interpSum(in, `this::hashNumber( ! (|> this::wordToNumber(splitWords(readLines()))))`)
+}
+
+func interpSum(in *interp.Interp, expr string) (float64, error) {
+	g, err := in.EvalGen(expr)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for {
+		v, ok := g.Next()
+		if !ok {
+			return total, nil
+		}
+		if r, isReal := value.ToReal(value.Deref(v)); isReal {
+			total += float64(r)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package wordcount
+
+import (
+	"math/big"
+
+	"junicon/internal/queue"
+	"junicon/internal/streams"
+)
+
+// The native suite (§VII): "a sequential word-count, a pipelined version
+// built using BlockingQueues over two threads, a parallel stream-based
+// version that implemented map-reduce, and a data-parallel version that was
+// also stream-based but that split out the reduction."
+
+// NativeConfig carries the native suite's knobs.
+type NativeConfig struct {
+	// Buffer bounds the pipeline's blocking queue (default 1024).
+	Buffer int
+	// Workers and ChunkSize configure the parallel-stream variants.
+	Workers   int
+	ChunkSize int
+}
+
+func (c NativeConfig) buffer() int {
+	if c.Buffer <= 0 {
+		return 1024
+	}
+	return c.Buffer
+}
+
+func (c NativeConfig) parallel() streams.ParallelConfig {
+	return streams.ParallelConfig{Workers: c.Workers, ChunkSize: c.ChunkSize}
+}
+
+// NativeSequential is the plain single-threaded program.
+func NativeSequential(lines []string, w Weight) float64 {
+	return SequentialTotal(lines, w)
+}
+
+// NativePipeline splits the hash into two tasks over two goroutines
+// connected by a bounded blocking queue: stage one performs word→number,
+// stage two hashes and sums.
+func NativePipeline(lines []string, w Weight, cfg NativeConfig) float64 {
+	q := queue.NewArrayBlocking[*big.Int](cfg.buffer())
+	go func() {
+		for _, line := range lines {
+			for _, word := range SplitWords(line) {
+				n, ok := WordToNumber(w, word)
+				if !ok {
+					continue
+				}
+				if q.Put(n) != nil {
+					return
+				}
+			}
+		}
+		q.Close()
+	}()
+	total := 0.0
+	for {
+		n, err := q.Take()
+		if err != nil {
+			return total
+		}
+		total += HashNumber(w, n)
+	}
+}
+
+// NativeMapReduce is the parallel-stream map-reduce: chunks of words are
+// mapped and reduced on a worker pool, with per-chunk partials combined in
+// order.
+func NativeMapReduce(lines []string, w Weight, cfg NativeConfig) float64 {
+	words := streams.FlatMap(streams.FromSlice(lines), SplitWords)
+	return streams.ParallelMapReduce(words, cfg.parallel(),
+		func(word string) float64 {
+			n, ok := WordToNumber(w, word)
+			if !ok {
+				return 0
+			}
+			return HashNumber(w, n)
+		},
+		0.0,
+		func(acc, h float64) float64 { return acc + h },
+		func(a, b float64) float64 { return a + b },
+	)
+}
+
+// NativeDataParallel maps chunks in parallel but splits out the reduction:
+// the flattened hash stream is summed serially (§VII's fourth variant).
+func NativeDataParallel(lines []string, w Weight, cfg NativeConfig) float64 {
+	words := streams.FlatMap(streams.FromSlice(lines), SplitWords)
+	hashes := streams.ParallelMap(words, cfg.parallel(), func(word string) float64 {
+		n, ok := WordToNumber(w, word)
+		if !ok {
+			return 0
+		}
+		return HashNumber(w, n)
+	})
+	return streams.Reduce(hashes, 0.0, func(acc, h float64) float64 { return acc + h })
+}
