@@ -10,6 +10,8 @@
 //	junicon -x 'expr' prog.jn        load program, evaluate expression
 //	junicon -e '(1 to 3) * 2'        evaluate a standalone expression
 //	junicon -emit -pkg gen prog.jn   emit the Go translation to stdout
+//	junicon -vet prog.jn …           static checks only; exit 1 on errors
+//	junicon -vet -Werror prog.jn     … treating warnings as errors
 //	junicon -xml 'expr'              print the parsed XML term form
 //
 // Mixed-language files (any file containing @<script …> annotations) are
@@ -36,8 +38,27 @@ func main() {
 		xml    = flag.String("xml", "", "parse an expression and print its XML term form")
 		maxRes = flag.Int("n", 0, "maximum results to print per expression (0 = all)")
 		trace  = flag.Bool("trace", false, "enable Icon-style procedure tracing (&trace)")
+		vet    = flag.Bool("vet", false, "run static checks only; report diagnostics without executing")
+		werror = flag.Bool("Werror", false, "with -vet, treat warnings as errors")
 	)
 	flag.Parse()
+
+	if *vet {
+		if flag.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "junicon: -vet requires at least one file")
+			os.Exit(2)
+		}
+		failed := false
+		for _, path := range flag.Args() {
+			if !vetFile(path, *werror) {
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *xml != "" {
 		n, err := parser.ParseExpression(*xml)
@@ -98,6 +119,34 @@ func main() {
 			fail(err)
 		}
 	}
+}
+
+// vetFile runs the static analyzer over one file (plain or mixed) and
+// prints its diagnostics. It returns false when the file should fail the
+// check: parse failure, an error-severity diagnostic, or — under -Werror —
+// any diagnostic at all.
+func vetFile(path string, werror bool) bool {
+	srcBytes, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "junicon:", err)
+		return false
+	}
+	src := string(srcBytes)
+	var diags []junicon.Diag
+	if strings.Contains(src, "@<") {
+		diags, err = junicon.VetMixed(src, nil)
+	} else {
+		diags, err = junicon.Vet(src, nil)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		return false
+	}
+	junicon.FprintDiags(os.Stderr, path, diags)
+	if werror {
+		return len(diags) == 0
+	}
+	return !junicon.HasVetErrors(diags)
 }
 
 func evalPrint(in *junicon.Interp, expr string, max int) {

@@ -61,17 +61,22 @@ func repl(in *junicon.Interp, input io.Reader, out io.Writer, prompt bool) {
 	}
 }
 
-// evalLine loads declarations or evaluates an expression.
+// evalLine loads declarations or evaluates an expression, printing
+// analyzer diagnostics first. Diagnostics never block the REPL — even an
+// error-severity finding still evaluates, so the user sees the runtime
+// behaviour it predicts.
 func evalLine(in *junicon.Interp, src string, out io.Writer, maxResults int) {
 	trimmed := strings.TrimSpace(src)
 	first := strings.SplitN(trimmed, " ", 2)[0]
 	switch first {
 	case "def", "procedure", "method", "record", "global", "class", "local", "var", "static":
+		warn(in, trimmed, out, false)
 		if err := in.LoadProgram(trimmed); err != nil {
 			fmt.Fprintln(out, "error:", err)
 		}
 		return
 	}
+	warn(in, trimmed, out, true)
 	vs, err := in.Eval(trimmed, maxResults)
 	if err != nil {
 		fmt.Fprintln(out, "error:", err)
@@ -86,6 +91,30 @@ func evalLine(in *junicon.Interp, src string, out io.Writer, maxResults int) {
 	}
 	if len(vs) == maxResults {
 		fmt.Fprintf(out, "-- (stopped after %d results)\n", maxResults)
+	}
+}
+
+// warn prints analyzer diagnostics for one REPL input. Names already
+// defined in the interpreter (previous definitions, host bindings) are
+// known, so cross-line references do not warn. Parse failures are silent
+// here — evaluation reports them properly.
+func warn(in *junicon.Interp, src string, out io.Writer, isExpr bool) {
+	known := func(name string) bool {
+		_, ok := in.Global(name)
+		return ok
+	}
+	var diags []junicon.Diag
+	var err error
+	if isExpr {
+		diags, err = junicon.VetExpr(src, known)
+	} else {
+		diags, err = junicon.Vet(src, known)
+	}
+	if err != nil {
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, "vet:", d)
 	}
 }
 

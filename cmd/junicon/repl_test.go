@@ -56,6 +56,27 @@ func TestReplCapsInfiniteGenerators(t *testing.T) {
 	}
 }
 
+func TestReplWarnsOnSuspiciousInput(t *testing.T) {
+	out := runRepl(t, "write(neverSet)\n")
+	if !strings.Contains(out, "JV001") {
+		t.Fatalf("vet warning missing:\n%s", out)
+	}
+	// The input still evaluates: neverSet defaults to &null.
+	if !strings.Contains(out, "&null") {
+		t.Fatalf("evaluation suppressed:\n%s", out)
+	}
+}
+
+func TestReplKnowsEarlierDefinitions(t *testing.T) {
+	out := runRepl(t, "total := 10\ntotal + 5\n")
+	if strings.Contains(out, "JV001") {
+		t.Fatalf("earlier REPL global should be known:\n%s", out)
+	}
+	if !strings.Contains(out, "15") {
+		t.Fatalf("out:\n%s", out)
+	}
+}
+
 func TestReplQuitCommand(t *testing.T) {
 	out := runRepl(t, ":q\n99\n")
 	if strings.Contains(out, "99") {

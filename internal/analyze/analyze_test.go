@@ -1,0 +1,175 @@
+package analyze
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"junicon/internal/ast"
+	"junicon/internal/parser"
+	"junicon/internal/transform"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current analyzer output")
+
+// TestFixtures is the fixture-driven golden suite: every testdata/*.jn
+// program is analyzed and its rendered diagnostics compared against the
+// sibling .golden file. Fixtures without a golden file (the *_ok.jn clean
+// twins) must produce no diagnostics at all.
+func TestFixtures(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.jn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no fixtures found")
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := parser.ParseProgram(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			got := render(Program(prog, Options{}))
+
+			goldenPath := strings.TrimSuffix(file, ".jn") + ".golden"
+			if *update {
+				if got == "" {
+					os.Remove(goldenPath)
+				} else if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want := ""
+			if b, err := os.ReadFile(goldenPath); err == nil {
+				want = string(b)
+			}
+			if got != want {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestFixtureCoverage pins the acceptance floor: every diagnostic code has
+// at least one fixture that triggers it and a clean twin that does not.
+func TestFixtureCoverage(t *testing.T) {
+	codes := []string{
+		CodeNeverAssigned, CodeNonVariable, CodeDeadAlternative, CodeBadLimit,
+		CodeNotCoexpr, CodePipeRefresh, CodeSelfActivation, CodeShadowMutation,
+		CodeZeroStep, CodeUnreachable,
+	}
+	if len(codes) < 8 {
+		t.Fatalf("acceptance requires >= 8 diagnostic codes, have %d", len(codes))
+	}
+	for i, code := range codes {
+		num := i + 1
+		bad := analyzeFixture(t, filepath.Join("testdata", fixtureName(num, "bad")))
+		found := false
+		for _, d := range bad {
+			if d.Code == code {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: bad fixture does not trigger %s (got %v)", fixtureName(num, "bad"), code, bad)
+		}
+		ok := analyzeFixture(t, filepath.Join("testdata", fixtureName(num, "ok")))
+		for _, d := range ok {
+			if d.Code == code {
+				t.Errorf("%s: clean fixture triggers %s: %s", fixtureName(num, "ok"), code, d)
+			}
+		}
+	}
+}
+
+func fixtureName(num int, kind string) string {
+	return fmt.Sprintf("jv%03d_%s.jn", num, kind)
+}
+
+func analyzeFixture(t *testing.T, path string) []Diag {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", path, err)
+	}
+	prog, err := parser.ParseProgram(string(src))
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	return Program(prog, Options{})
+}
+
+// TestNormalizedTrees runs the analyzer over the §5A normal form of every
+// fixture: normalization must not manufacture new errors (temporaries are
+// bound by their BindIn terms) and every diagnostic must keep a real
+// source position.
+func TestNormalizedTrees(t *testing.T) {
+	files, _ := filepath.Glob(filepath.Join("testdata", "*.jn"))
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := parser.ParseProgram(string(src))
+		if err != nil {
+			t.Fatalf("parse %s: %v", file, err)
+		}
+		rawErrs := errorCodes(Program(prog, Options{}))
+		norm := transform.Normalize(prog).(*ast.Program)
+		normDiags := Program(norm, Options{})
+		for code := range errorCodes(normDiags) {
+			if !rawErrs[code] {
+				t.Errorf("%s: normalization introduced error %s", file, code)
+			}
+		}
+		for _, d := range normDiags {
+			if d.Pos.Line == 0 {
+				t.Errorf("%s: diagnostic on normalized tree lost its position: %s", file, d)
+			}
+		}
+	}
+}
+
+func errorCodes(diags []Diag) map[string]bool {
+	out := map[string]bool{}
+	for _, d := range diags {
+		if d.Severity == Error {
+			out[d.Code] = true
+		}
+	}
+	return out
+}
+
+// TestExprKnown pins the REPL path: Options.Known suppresses JV001 for
+// interpreter-defined globals.
+func TestExprKnown(t *testing.T) {
+	e, err := parser.ParseExpression("hostValue + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := Expr(e, Options{}); len(ds) != 1 || ds[0].Code != CodeNeverAssigned {
+		t.Fatalf("expected one JV001 without Known, got %v", ds)
+	}
+	known := func(name string) bool { return name == "hostValue" }
+	if ds := Expr(e, Options{Known: known}); len(ds) != 0 {
+		t.Fatalf("expected no diagnostics with Known, got %v", ds)
+	}
+}
+
+func render(diags []Diag) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

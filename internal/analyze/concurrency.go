@@ -1,0 +1,173 @@
+package analyze
+
+import (
+	"junicon/internal/ast"
+)
+
+// concurrency is pass 4: checks grounded in the calculus of concurrent
+// generators (Figure 1) and its degenerate forms (§4). It reports
+//
+//   - JV005: `@e` / `x @ e` where e is statically not a co-expression or
+//     pipe — activation of a plain value raises "co-expression expected";
+//   - JV006: `^e` where e is a pipe. The calculus defines refresh for
+//     co-expressions only; a pipe is restarted by re-creating it with |>,
+//     and refreshing one silently abandons the producer thread;
+//   - JV007: `x := |> …@x…` — the pipe's producer activates the pipe it
+//     feeds. Under a bounded buffer (buffer 1: the future/M-var
+//     degeneration of §4) producer and consumer wait on each other and
+//     the program deadlocks;
+//   - JV008: `|<>e` (or `|>e`) whose body assigns a variable it was
+//     declared to snapshot — the body mutates its private copy, so the
+//     update is invisible to the enclosing scope.
+func (a *Analyzer) concurrency(sc *scope, n ast.Node) {
+	ast.Walk(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.Unary:
+			switch x.Op {
+			case "@":
+				a.checkActivation(sc, x.X)
+			case "^":
+				a.checkRefresh(sc, x.X)
+			case "|<>", "|>":
+				a.checkShadowMutation(sc, x)
+			}
+		case *ast.Binary:
+			if x.Op == "@" {
+				a.checkActivation(sc, x.R)
+			}
+			if x.Op == ":=" {
+				a.checkSelfActivation(x)
+			}
+		}
+		return true
+	})
+}
+
+// checkActivation flags JV005 when the activated operand is statically a
+// plain value.
+func (a *Analyzer) checkActivation(sc *scope, e ast.Node) {
+	if name, ok := identName(e); ok {
+		if sc.onlyKind(name, kindValue) && !sc.params[name] && !a.globals[name] && !a.known(name) {
+			a.diag(e.Pos(), CodeNotCoexpr, Error,
+				"activation of %q, which is never a co-expression or pipe in this scope", name)
+		}
+		return
+	}
+	if exprKind(e) == kindValue {
+		a.diag(e.Pos(), CodeNotCoexpr, Error,
+			"activation of %s: @ requires a co-expression or pipe", describe(e))
+	}
+}
+
+// checkRefresh flags JV006 when the refreshed operand is a pipe.
+func (a *Analyzer) checkRefresh(sc *scope, e ast.Node) {
+	isPipe := false
+	if u, ok := e.(*ast.Unary); ok && u.Op == "|>" {
+		isPipe = true
+	}
+	if name, ok := identName(e); ok && sc.onlyKind(name, kindPipe) {
+		isPipe = true
+	}
+	if isPipe {
+		a.diag(e.Pos(), CodePipeRefresh, Warning,
+			"refresh (^) of a pipe is undefined in the calculus of concurrent generators: re-create it with |> instead")
+	}
+	// Refreshing a plain value raises like activating one.
+	if name, ok := identName(e); ok {
+		if sc.onlyKind(name, kindValue) && !sc.params[name] && !a.globals[name] && !a.known(name) {
+			a.diag(e.Pos(), CodeNotCoexpr, Error,
+				"refresh of %q, which is never a co-expression or pipe in this scope", name)
+		}
+		return
+	}
+	if exprKind(e) == kindValue {
+		a.diag(e.Pos(), CodeNotCoexpr, Error,
+			"refresh of %s: ^ requires a co-expression or pipe", describe(e))
+	}
+}
+
+// checkSelfActivation flags JV007 on `x := |> body` where body activates
+// or promotes x.
+func (a *Analyzer) checkSelfActivation(assign *ast.Binary) {
+	name, ok := identName(assign.L)
+	if !ok {
+		return
+	}
+	create, ok := assign.R.(*ast.Unary)
+	if !ok || create.Op != "|>" {
+		return
+	}
+	ast.Walk(create.X, func(m ast.Node) bool {
+		var operand ast.Node
+		switch x := m.(type) {
+		case *ast.Unary:
+			if x.Op == "@" || x.Op == "!" {
+				operand = x.X
+			}
+		case *ast.Binary:
+			if x.Op == "@" {
+				operand = x.R
+			}
+		}
+		if operand != nil {
+			if opName, ok := identName(operand); ok && opName == name {
+				a.diag(operand.Pos(), CodeSelfActivation, Warning,
+					"pipe assigned to %q consumes itself inside its own producer: a bounded pipe (buffer 1: the future/M-var degeneration) deadlocks here", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkShadowMutation flags JV008 on assignments inside a shadowed create
+// expression (|<>e, |>e) whose targets are variables of the enclosing
+// scope — exactly the names the co-expression snapshots at creation.
+func (a *Analyzer) checkShadowMutation(sc *scope, create *ast.Unary) {
+	body := create.X
+	// Names declared local inside the body belong to the body.
+	inner := declaredNames(body)
+	reported := map[string]bool{}
+	ast.Walk(body, func(m ast.Node) bool {
+		if u, ok := m.(*ast.Unary); ok && (u.Op == "|<>" || u.Op == "|>") {
+			// A nested shadowed create owns its assignments; the enclosing
+			// statement walk reaches it and runs its own shadow check.
+			return false
+		}
+		x, ok := m.(*ast.Binary)
+		if !ok || !isAssignOp(x.Op) {
+			return true
+		}
+		targets := []ast.Node{x.L}
+		if x.Op == ":=:" || x.Op == "<->" {
+			targets = append(targets, x.R)
+		}
+		for _, t := range targets {
+			name, ok := identName(t)
+			if !ok || inner[name] || reported[name] {
+				continue
+			}
+			if sc.outer(name, create) {
+				reported[name] = true
+				a.diag(t.Pos(), CodeShadowMutation, Warning,
+					"%s snapshots %q: this assignment mutates the co-expression's private copy and is invisible to the enclosing scope", create.Op, name)
+			}
+		}
+		return true
+	})
+}
+
+// outer reports whether name is a variable of the scope outside the given
+// create expression: a parameter or declared local, or a name assigned
+// somewhere in the scope outside the create body.
+func (sc *scope) outer(name string, create *ast.Unary) bool {
+	if sc.params[name] || sc.declared[name] {
+		return true
+	}
+	if !sc.assigned[name] {
+		return false
+	}
+	// Assigned somewhere in the scope — discount assignments inside this
+	// create body itself (a name assigned only inside the body is private
+	// to it, not snapshotted).
+	return sc.assignedOutside(name, create)
+}

@@ -1,0 +1,83 @@
+package analyze
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"junicon/internal/meta"
+	"junicon/internal/parser"
+)
+
+// TestCorpus runs the analyzer over every Junicon program shipped with the
+// repository — the ported example programs under testdata/ at the module
+// root, the mixed-language examples (*.gmix), and the translator's own test
+// programs. None may produce an error-severity diagnostic: junicon -vet
+// must pass the shipped corpus clean.
+func TestCorpus(t *testing.T) {
+	var files []string
+	for _, pattern := range []string{
+		filepath.Join("..", "..", "testdata", "*.jn"),
+		filepath.Join("..", "..", "examples", "*", "*.jn"),
+		filepath.Join("..", "..", "examples", "*", "*.gmix"),
+		filepath.Join("..", "..", "internal", "translate", "testdata", "*.jn"),
+	} {
+		matches, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, matches...)
+	}
+	if len(files) < 5 {
+		t.Fatalf("corpus too small: found only %v", files)
+	}
+	for _, file := range files {
+		t.Run(filepath.ToSlash(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if filepath.Ext(file) == ".gmix" {
+				checkMixed(t, string(src))
+				return
+			}
+			checkSource(t, string(src))
+		})
+	}
+}
+
+// checkSource parses and analyzes one pure-Junicon source, failing the test
+// on parse failure or any error-severity diagnostic.
+func checkSource(t *testing.T, src string) {
+	t.Helper()
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	diags := Program(prog, Options{})
+	for _, d := range diags {
+		t.Logf("diag: %s", d)
+	}
+	if HasErrors(diags) {
+		t.Error("corpus program produces analyzer errors")
+	}
+}
+
+// checkMixed analyzes every junicon region of a mixed-language file.
+func checkMixed(t *testing.T, src string) {
+	t.Helper()
+	segs, err := meta.Parse(src)
+	if err != nil {
+		t.Fatalf("metaparse: %v", err)
+	}
+	var walk func([]meta.Segment)
+	walk = func(segs []meta.Segment) {
+		for _, r := range meta.Regions(segs) {
+			if r.Lang() == "junicon" {
+				checkSource(t, r.Raw)
+			}
+			walk(r.Segments)
+		}
+	}
+	walk(segs)
+}

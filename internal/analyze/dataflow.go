@@ -1,0 +1,177 @@
+package analyze
+
+import (
+	"junicon/internal/ast"
+)
+
+// dataflow is pass 2: goal-directed dataflow over one scope. It reports
+//
+//   - JV001: a read of a variable that no assignment in the program can
+//     ever bind — under Icon's default-local rule the read can only ever
+//     produce &null, so conditionals built on it are dead and products
+//     through it never fail as intended;
+//   - JV002: assignment to an operand that can never denote a variable
+//     (a literal, an arithmetic result, a create expression …), which
+//     raises "variable expected" at runtime;
+//   - JV010: statements that can never execute because every path before
+//     them leaves the enclosing block (return / fail / break / next).
+func (a *Analyzer) dataflow(sc *scope, n ast.Node) {
+	a.reads(sc, n)
+	a.assignTargets(sc, n)
+	a.unreachable(n)
+}
+
+// reads flags JV001 on identifier reads that can never be bound.
+func (a *Analyzer) reads(sc *scope, n ast.Node) {
+	seen := map[string]bool{}
+	var walk func(m ast.Node, writing bool)
+	walk = func(m ast.Node, writing bool) {
+		switch x := m.(type) {
+		case nil:
+			return
+		case *ast.Ident:
+			if writing || seen[x.Name] || sc.bound(x.Name) {
+				return
+			}
+			seen[x.Name] = true
+			a.diag(x.P, CodeNeverAssigned, Warning,
+				"variable %q is read but never assigned: it can only ever be &null", x.Name)
+		case *ast.Binary:
+			if isAssignOp(x.Op) {
+				// The target position writes; everything beneath it that is
+				// not the written name itself still reads (q[c] := r reads q
+				// and c).
+				walk(x.L, true)
+				writing := x.Op == ":=:" || x.Op == "<->"
+				walk(x.R, writing)
+				return
+			}
+			walk(x.L, false)
+			walk(x.R, false)
+		case *ast.Unary:
+			// /x and \x in target position still assign x itself; !L in
+			// target position assigns L's elements but reads L.
+			walk(x.X, writing && (x.Op == "/" || x.Op == "\\"))
+		case *ast.Index:
+			walk(x.X, false)
+			walk(x.I, false)
+		case *ast.Slice:
+			walk(x.X, false)
+			walk(x.I, false)
+			walk(x.J, false)
+		case *ast.Field:
+			walk(x.X, false)
+		default:
+			for _, c := range ast.Children(m) {
+				walk(c, false)
+			}
+		}
+	}
+	walk(n, false)
+}
+
+// assignTargets flags JV002 on assignments whose target can never denote a
+// variable.
+func (a *Analyzer) assignTargets(sc *scope, n ast.Node) {
+	ast.Walk(n, func(m ast.Node) bool {
+		x, ok := m.(*ast.Binary)
+		if !ok || !isAssignOp(x.Op) {
+			return true
+		}
+		a.checkTarget(x.L)
+		if x.Op == ":=:" || x.Op == "<->" {
+			a.checkTarget(x.R)
+		}
+		return true
+	})
+}
+
+// checkTarget reports JV002 when the node is statically a non-variable.
+// Only certainly-wrong targets are flagged: calls, subscripts and fields
+// may produce variable references, so they pass.
+func (a *Analyzer) checkTarget(n ast.Node) {
+	switch x := n.(type) {
+	case *ast.IntLit, *ast.RealLit, *ast.StrLit, *ast.CsetLit, *ast.ListLit, *ast.ToBy:
+		a.diag(n.Pos(), CodeNonVariable, Error,
+			"cannot assign to %s: a literal is not a variable", describe(n))
+	case *ast.Keyword:
+		// Only &subject and &pos are assignable keywords.
+		if x.Name != "subject" && x.Name != "pos" {
+			a.diag(x.P, CodeNonVariable, Error,
+				"cannot assign to &%s: not an assignable keyword", x.Name)
+		}
+	case *ast.Unary:
+		switch x.Op {
+		case "*", "-", "+", "~", "not", "=", "<>", "|<>", "|>":
+			a.diag(x.P, CodeNonVariable, Error,
+				"cannot assign to the result of unary %q: not a variable", x.Op)
+		}
+	case *ast.Binary:
+		if isValueOp(x.Op) {
+			a.diag(x.P, CodeNonVariable, Error,
+				"cannot assign to the result of operator %q: not a variable", x.Op)
+		}
+	}
+}
+
+// unreachable flags JV010 on block statements following an unconditional
+// control transfer.
+func (a *Analyzer) unreachable(n ast.Node) {
+	ast.Walk(n, func(m ast.Node) bool {
+		b, ok := m.(*ast.Block)
+		if !ok {
+			return true
+		}
+		for i, s := range b.Stmts {
+			if i == len(b.Stmts)-1 {
+				break
+			}
+			if transfersControl(s) {
+				a.diag(b.Stmts[i+1].Pos(), CodeUnreachable, Warning,
+					"unreachable: the preceding %s always leaves this block", describe(s))
+				break // one report per block is enough
+			}
+		}
+		return true
+	})
+}
+
+// transfersControl reports whether a statement unconditionally leaves the
+// enclosing block. suspend does not: the producer resumes after it.
+func transfersControl(s ast.Node) bool {
+	switch s.(type) {
+	case *ast.Return, *ast.Fail, *ast.Break, *ast.NextStmt:
+		return true
+	}
+	return false
+}
+
+// describe names a node kind for diagnostics.
+func describe(n ast.Node) string {
+	switch x := n.(type) {
+	case *ast.IntLit:
+		return "integer literal " + x.Text
+	case *ast.RealLit:
+		return "real literal " + x.Text
+	case *ast.StrLit:
+		return "string literal"
+	case *ast.CsetLit:
+		return "cset literal"
+	case *ast.ListLit:
+		return "list constructor"
+	case *ast.ToBy:
+		return "to-by range"
+	case *ast.Return:
+		return "return"
+	case *ast.Fail:
+		return "fail"
+	case *ast.Break:
+		return "break"
+	case *ast.NextStmt:
+		return "next"
+	case *ast.Ident:
+		return "identifier " + x.Name
+	default:
+		return "expression"
+	}
+}

@@ -189,6 +189,23 @@ func parts(n Node) ([]attr, []child) {
 	}
 }
 
+// Children returns a node's direct children in syntax order (nil children
+// omitted) — the generic traversal hook used by Walk and by analysis
+// passes that need custom recursion.
+func Children(n Node) []Node {
+	if n == nil {
+		return nil
+	}
+	_, cs := parts(n)
+	out := make([]Node, 0, len(cs))
+	for _, c := range cs {
+		if c.node != nil {
+			out = append(out, c.node)
+		}
+	}
+	return out
+}
+
 // Walk applies f to n and every descendant in pre-order; f returning false
 // prunes the subtree.
 func Walk(n Node, f func(Node) bool) {

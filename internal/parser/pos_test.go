@@ -1,0 +1,97 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"junicon/internal/ast"
+)
+
+// TestEveryNodeKindCarriesPos is the table-driven position audit: for each
+// node kind the parser can produce, a source fragment that produces it, and
+// the invariant that every node in the resulting tree — not just the root —
+// carries a non-zero position. Diagnostics are only as good as the
+// positions under them.
+func TestEveryNodeKindCarriesPos(t *testing.T) {
+	cases := []struct {
+		kind string // reflect-style name of the node type that must appear
+		src  string // program producing it
+	}{
+		{"IntLit", `write(42)`},
+		{"RealLit", `write(3.14)`},
+		{"StrLit", `write("s")`},
+		{"CsetLit", `write('abc')`},
+		{"Keyword", `write(&digits)`},
+		{"Ident", `write(x)`},
+		{"ListLit", `write([1, 2])`},
+		{"Binary", `write(1 + 2)`},
+		{"Unary", `write(-x)`},
+		{"ToBy", `every write(1 to 9 by 2)`},
+		{"Call", `f(1)`},
+		{"NativeCall", `this::host(1)`},
+		{"Index", `write(a[1])`},
+		{"Slice", `write(a[1:2])`},
+		{"Field", `write(p.x)`},
+		{"If", `if 1 < 2 then write(1) else write(2)`},
+		{"While", `while 1 < 2 do write(1)`},
+		{"Every", `every x := 1 to 3 do write(x)`},
+		{"Repeat", `def f() { repeat { break 1; }; }`},
+		{"Case", `case x of { 1: write(1); default: write(0); }`},
+		{"Block", `{ write(1); write(2); }`},
+		{"Return", `def f() { return 1; }`},
+		{"Suspend", `def f() { suspend 1 to 3; }`},
+		{"Fail", `def f() { fail; }`},
+		{"Break", `while 1 do break`},
+		{"NextStmt", `while 1 do next`},
+		{"Initial", `def f() { initial write(1); }`},
+		{"VarDecl", `def f() { local a, b; }`},
+		{"ProcDecl", `def f(x) { return x; }`},
+		{"RecordDecl", `record point(x, y)`},
+		{"GlobalDecl", `global g`},
+		{"ClassDecl", `class C(n) { method m() { return n; } }`},
+	}
+	for _, c := range cases {
+		t.Run(c.kind, func(t *testing.T) {
+			prog, err := ParseProgram(c.src)
+			if err != nil {
+				t.Fatalf("parse %q: %v", c.src, err)
+			}
+			seen := false
+			walkAll(prog, func(n ast.Node) {
+				name := nodeKind(n)
+				if name == c.kind {
+					seen = true
+				}
+				// The Program wrapper aside, every parsed node must know
+				// where it came from.
+				if name != "Program" && n.Pos().Line == 0 {
+					t.Errorf("%s node in %q has zero position", name, c.src)
+				}
+			})
+			if !seen {
+				t.Fatalf("source %q did not produce a %s node", c.src, c.kind)
+			}
+		})
+	}
+}
+
+// walkAll visits every node including the root.
+func walkAll(n ast.Node, visit func(ast.Node)) {
+	if n == nil {
+		return
+	}
+	visit(n)
+	for _, c := range ast.Children(n) {
+		walkAll(c, visit)
+	}
+}
+
+// nodeKind returns the bare type name of a node.
+func nodeKind(n ast.Node) string {
+	s := fmt.Sprintf("%T", n)
+	if i := strings.LastIndex(s, "."); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}

@@ -1,0 +1,50 @@
+package transform_test
+
+import (
+	"testing"
+
+	"junicon/internal/ast"
+	"junicon/internal/parser"
+	"junicon/internal/transform"
+)
+
+// TestTemporariesCarryHoistedPos pins the diagnostic contract of
+// normalization: every compiler-introduced node — BindIn, TmpRef,
+// FlatProduct — is stamped with the position of the expression it hoists,
+// so analyzer output over normal forms points at real source.
+func TestTemporariesCarryHoistedPos(t *testing.T) {
+	sources := []string{
+		`def f(n) { return g(h(n), n + 1); }`,
+		`def f(o, i) { suspend o.c[i + 1]; }`,
+		`def f(xs) { every write(!xs + sum(!xs)); }`,
+		`def f(n) { while n := n - step(n) do put(out, n * n); }`,
+		`def f(c) { suspend ! (|> worker(!c)); }`,
+	}
+	for _, src := range sources {
+		prog, err := parser.ParseProgram(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		norm := transform.Normalize(prog)
+		synthesized := 0
+		ast.Walk(norm, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.BindIn, *ast.TmpRef, *ast.FlatProduct:
+				synthesized++
+				if n.Pos().Line == 0 {
+					t.Errorf("%q: synthesized %T lost its source position", src, n)
+				}
+			default:
+				if n != nil && n.Pos().Line == 0 {
+					if _, isProg := n.(*ast.Program); !isProg {
+						t.Errorf("%q: normalized %T has zero position", src, n)
+					}
+				}
+			}
+			return true
+		})
+		if synthesized == 0 {
+			t.Errorf("%q: normalization introduced no temporaries — test source too simple", src)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package junicon_test
+
+import (
+	"strings"
+	"testing"
+
+	"junicon"
+)
+
+const badActivation = `
+def f() {
+  x := 5;
+  return @x;
+}
+`
+
+// TestVetReportsCalculusErrors: the public Vet surface finds code that is
+// statically wrong under the calculus.
+func TestVetReportsCalculusErrors(t *testing.T) {
+	diags, err := junicon.Vet(badActivation, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !junicon.HasVetErrors(diags) {
+		t.Fatalf("expected an error diagnostic, got %v", diags)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Code == "JV005" && d.Severity == junicon.SeverityError {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected JV005, got %v", diags)
+	}
+}
+
+// TestVetKnownSuppressesHostNames: names the host binds (embedding
+// scenarios, REPL globals) do not warn as never-assigned.
+func TestVetKnownSuppressesHostNames(t *testing.T) {
+	src := `def g() { suspend !corpus; }`
+	diags, err := junicon.Vet(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Code != "JV001" {
+		t.Fatalf("expected one JV001 without known names, got %v", diags)
+	}
+	known := func(name string) bool { return name == "corpus" }
+	diags, err = junicon.Vet(src, known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics with corpus known, got %v", diags)
+	}
+}
+
+// TestVetMixedOffsetsLines: diagnostics from an embedded region carry
+// whole-file line numbers.
+func TestVetMixedOffsetsLines(t *testing.T) {
+	mixed := "package host\n" + // line 1
+		"\n" + // line 2
+		"@<script lang=\"junicon\">\n" + // line 3
+		"def f() { return @&null; }\n" + // line 4
+		"@</script>\n"
+	diags, err := junicon.VetMixed(mixed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected a diagnostic from the embedded region")
+	}
+	if diags[0].Pos.Line != 4 {
+		t.Fatalf("expected whole-file line 4, got %d (%s)", diags[0].Pos.Line, diags[0])
+	}
+}
+
+// TestTranslateGateAbortsOnErrors: the pre-translation gate refuses to
+// emit code for programs with error-level findings, and routes warnings
+// to the configured writer.
+func TestTranslateGateAbortsOnErrors(t *testing.T) {
+	var warnings strings.Builder
+	_, err := junicon.Translate(badActivation, junicon.TranslateOptions{Diagnostics: &warnings})
+	if err == nil || !strings.Contains(err.Error(), "JV005") {
+		t.Fatalf("expected JV005 gate error, got %v", err)
+	}
+
+	warnings.Reset()
+	out, err := junicon.Translate(`def g() { return maybe; }`, junicon.TranslateOptions{Diagnostics: &warnings})
+	if err != nil {
+		t.Fatalf("warnings must not abort translation: %v", err)
+	}
+	if !strings.Contains(warnings.String(), "JV001") {
+		t.Fatalf("warning not routed to Diagnostics: %q", warnings.String())
+	}
+	if !strings.Contains(out, "package translated") {
+		t.Fatalf("no code emitted:\n%s", out)
+	}
+
+	// NoVet bypasses the gate entirely.
+	warnings.Reset()
+	if _, err := junicon.Translate(badActivation, junicon.TranslateOptions{NoVet: true}); err != nil {
+		t.Fatalf("NoVet should bypass the gate: %v", err)
+	}
+	if warnings.String() != "" {
+		t.Fatalf("NoVet still produced diagnostics: %q", warnings.String())
+	}
+}
