@@ -1,0 +1,112 @@
+// Command junicond is the generator-serving daemon: it exposes registered
+// generators — and, with -allow-source, vetted Junicon source — over the
+// remote-pipe protocol of internal/remote. A junicond worker is the far
+// end of a remote pipe: the paper's |>e with the bounded queue stretched
+// across a TCP connection.
+//
+// Usage:
+//
+//	junicond [flags]
+//
+//	junicond -addr :9707                     serve built-in generators
+//	junicond -addr :9707 -allow-source       also serve vetted Junicon source
+//	junicond -addr :9707 -max-conns 16       bound concurrent streams
+//
+// Built-in generators:
+//
+//	range         integers lo to hi (two integer arguments)
+//	wc.mapreduce  distributed word-count partials (internal/wordcount)
+//	wc.hash       per-word hash stream (internal/wordcount)
+//
+// The daemon logs one line per stream open/close and refusal; -quiet
+// silences it. On SIGINT/SIGTERM it stops accepting, waits for in-flight
+// streams, and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"junicon/internal/core"
+	"junicon/internal/remote"
+	"junicon/internal/value"
+	"junicon/internal/wordcount"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:9707", "listen address")
+		allowSource = flag.Bool("allow-source", false, "serve vetted Junicon source streams")
+		maxConns    = flag.Int("max-conns", remote.DefaultMaxConns, "maximum concurrent connections")
+		idleTimeout = flag.Duration("idle-timeout", remote.DefaultIdleTimeout, "client silence tolerated before dropping a stream")
+		quiet       = flag.Bool("quiet", false, "suppress per-stream logging")
+	)
+	flag.Parse()
+
+	srv := remote.NewServer()
+	srv.AllowSource = *allowSource
+	srv.MaxConns = *maxConns
+	srv.IdleTimeout = *idleTimeout
+	if !*quiet {
+		logger := log.New(os.Stderr, "junicond: ", log.LstdFlags)
+		srv.Logf = logger.Printf
+	}
+
+	srv.Register("range", func(args []value.V) (core.Gen, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("range: want [lo, hi], got %d args", len(args))
+		}
+		lo, ok1 := value.ToInteger(args[0])
+		hi, ok2 := value.ToInteger(args[1])
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("range: integer arguments required")
+		}
+		l, lok := lo.Int64()
+		h, hok := hi.Int64()
+		if !lok || !hok {
+			return nil, fmt.Errorf("range: arguments out of range")
+		}
+		return core.IntRange(l, h), nil
+	})
+	wordcount.RegisterWordCount(srv)
+
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "junicond: %v\n", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "junicond: listening on %s, serving %s (source streams %s)\n",
+			bound, strings.Join(srv.Names(), ", "), enabled(*allowSource))
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	<-sigc
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "junicond: shutting down (%d streams served)\n", srv.Served())
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		fmt.Fprintln(os.Stderr, "junicond: streams still draining after 10s, exiting anyway")
+	}
+}
+
+func enabled(b bool) string {
+	if b {
+		return "enabled"
+	}
+	return "disabled"
+}

@@ -1,0 +1,102 @@
+// Command distributed runs the distributed word-count end-to-end: the
+// corpus is sharded across junicond workers, each worker maps and
+// partially reduces its shard (the embedded map-reduce of Figure 4 serving
+// as a remote generator), and the coordinator sums the streamed partials.
+// The distributed total is checked against the sequential reference; a
+// mismatch (or any worker failure) exits non-zero, so CI can run this as
+// an end-to-end gate.
+//
+// Usage:
+//
+//	distributed -workers 127.0.0.1:9707,127.0.0.1:9708
+//	distributed                      (no -workers: spawns two in-process workers)
+//
+// Flags -lines, -words, -weight, -chunk and -buffer size the workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"junicon/internal/remote"
+	"junicon/internal/wordcount"
+)
+
+func main() {
+	var (
+		workers = flag.String("workers", "", "comma-separated junicond addresses (empty: two in-process workers)")
+		lines   = flag.Int("lines", 2000, "corpus lines")
+		words   = flag.Int("words", 10, "words per line")
+		weight  = flag.String("weight", wordcount.Light.String(), "hash weight: lightweight | heavyweight")
+		chunk   = flag.Int("chunk", 250, "per-worker map-reduce chunk size in lines")
+		buffer  = flag.Int("buffer", 64, "remote pipe buffer (credit bound)")
+		timeout = flag.Duration("timeout", 2*time.Minute, "per-Next deadline on each remote pipe")
+	)
+	flag.Parse()
+
+	w, err := wordcount.ParseWeight(*weight)
+	if err != nil {
+		fatal(err)
+	}
+
+	var addrs []string
+	if *workers == "" {
+		// Self-contained mode: spin up two in-process workers, the same
+		// servers junicond runs, on loopback ports.
+		for i := 0; i < 2; i++ {
+			srv := remote.NewServer()
+			wordcount.RegisterWordCount(srv)
+			bound, err := srv.Start("127.0.0.1:0")
+			if err != nil {
+				fatal(err)
+			}
+			defer srv.Close()
+			addrs = append(addrs, bound.String())
+		}
+		fmt.Printf("spawned in-process workers at %s\n", strings.Join(addrs, ", "))
+	} else {
+		for _, a := range strings.Split(*workers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+	}
+	if len(addrs) == 0 {
+		fatal(fmt.Errorf("no worker addresses"))
+	}
+
+	corpus := wordcount.GenerateLines(*lines, *words, 42)
+	seqStart := time.Now()
+	want := wordcount.SequentialTotal(corpus, w)
+	seqDur := time.Since(seqStart)
+
+	distStart := time.Now()
+	got, err := wordcount.DistributedMapReduce(corpus, w, wordcount.DistributedConfig{
+		Workers:   addrs,
+		ChunkSize: *chunk,
+		Remote:    remote.Config{Buffer: *buffer, Deadline: *timeout},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	distDur := time.Since(distStart)
+
+	fmt.Printf("workers     %d (%s)\n", len(addrs), strings.Join(addrs, ", "))
+	fmt.Printf("corpus      %d lines × %d words, %s hash\n", *lines, *words, w)
+	fmt.Printf("sequential  %14.6f  in %v\n", want, seqDur)
+	fmt.Printf("distributed %14.6f  in %v\n", got, distDur)
+
+	if math.Abs(got-want) > 1e-6*math.Abs(want) {
+		fatal(fmt.Errorf("distributed total %v does not match sequential %v", got, want))
+	}
+	fmt.Println("totals match")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "distributed: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+package bench
+
+// BenchmarkRemotePipe: the loopback transport ablation. The same integer
+// stream is drained through an in-process pipe and through a remote pipe
+// over loopback TCP, across a sweep of buffer sizes (= credit bounds).
+// The buffer is the §3B queue bound in both cases; the sweep shows how
+// much of the in-process pipe's throughput survives the framing, syscalls
+// and credit round-trips of the network transport, and how larger credit
+// windows amortize them — the remote analogue of DESIGN.md's buffer
+// ablation.
+
+import (
+	"fmt"
+	"testing"
+
+	"junicon/internal/core"
+	"junicon/internal/pipe"
+	"junicon/internal/remote"
+	"junicon/internal/value"
+)
+
+// benchStream is the per-op workload: an integer stream of this length.
+const benchStream = 1000
+
+// startBenchServer launches a loopback server serving the integer stream.
+func startBenchServer(tb testing.TB) string {
+	tb.Helper()
+	srv := remote.NewServer()
+	srv.Register("ints", func(args []value.V) (core.Gen, error) {
+		return core.IntRange(1, benchStream), nil
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { srv.Close() })
+	return addr.String()
+}
+
+// drainRemote opens, drains and closes one remote stream.
+func drainRemote(tb testing.TB, addr string, buffer int) {
+	p := remote.Open(addr, "ints", nil, remote.Config{Buffer: buffer})
+	n := 0
+	for {
+		if _, ok := p.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if err := p.Err(); err != nil {
+		tb.Fatal(err)
+	}
+	if n != benchStream {
+		tb.Fatalf("drained %d values, want %d", n, benchStream)
+	}
+	p.Stop()
+}
+
+// drainLocal drains the same stream through an in-process pipe.
+func drainLocal(tb testing.TB, buffer int) {
+	p := pipe.New(core.NewFirstClass(core.IntRange(1, benchStream)), buffer)
+	n := 0
+	for {
+		if _, ok := p.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if err := p.Err(); err != nil {
+		tb.Fatal(err)
+	}
+	if n != benchStream {
+		tb.Fatalf("drained %d values, want %d", n, benchStream)
+	}
+	p.Stop()
+}
+
+var remoteSweep = []int{1, 4, 64, 1024}
+
+func BenchmarkRemotePipe(b *testing.B) {
+	addr := startBenchServer(b)
+	for _, buf := range remoteSweep {
+		b.Run(fmt.Sprintf("remote/buffer=%d", buf), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				drainRemote(b, addr, buf)
+			}
+		})
+	}
+	for _, buf := range remoteSweep {
+		b.Run(fmt.Sprintf("local/buffer=%d", buf), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				drainLocal(b, buf)
+			}
+		})
+	}
+}
+
+// TestRemotePipeBenchPath keeps the benchmark path under plain `go test`
+// (and -race): one drain per sweep point, both transports.
+func TestRemotePipeBenchPath(t *testing.T) {
+	addr := startBenchServer(t)
+	for _, buf := range remoteSweep {
+		drainRemote(t, addr, buf)
+		drainLocal(t, buf)
+	}
+}

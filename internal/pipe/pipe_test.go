@@ -333,3 +333,57 @@ func TestNoGoroutineLeakAfterStopAndDrain(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestStopUnblocksProducerBlockedOnFullQueue is the regression test the
+// remote server's stream cancellation relies on: a producer parked inside
+// Put on a full queue must be released — not leaked — by Stop's close.
+func TestStopUnblocksProducerBlockedOnFullQueue(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var steps atomic.Int64
+	p := FromGen(core.NewGen(func(yield func(value.V) bool) {
+		for i := 0; ; i++ {
+			steps.Add(1)
+			if !yield(value.NewInt(int64(i))) {
+				return
+			}
+		}
+	}), 2)
+	p.StartEager()
+
+	// The producer fills the buffer (2) and blocks in Put with one value
+	// in hand: exactly 3 steps, then it must make no further progress.
+	deadline := time.Now().Add(2 * time.Second)
+	for steps.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("producer took %d steps, never reached the full queue", steps.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := steps.Load(); got != 3 {
+		t.Fatalf("producer took %d steps against a full buffer of 2, want exactly 3", got)
+	}
+
+	// Stop closes the queue; the blocked Put returns ErrClosed and the
+	// producer goroutine exits without stepping the source again.
+	p.Stop()
+	deadline = time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines before=%d after=%d: Stop left the producer blocked",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := steps.Load(); got != 3 {
+		t.Fatalf("producer stepped the source after Stop (%d steps)", got)
+	}
+	// Already-buffered values stay drainable after Stop, but the stream
+	// must end — bounded by the buffer, never replenished.
+	for i := 0; i < 3; i++ {
+		if _, ok := p.Next(); !ok {
+			return
+		}
+	}
+	t.Fatal("stopped pipe kept producing past its buffered values")
+}

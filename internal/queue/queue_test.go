@@ -2,6 +2,7 @@ package queue
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -435,5 +436,142 @@ func TestCloseIdempotent(t *testing.T) {
 		q.Close()
 		q.Close() // must not panic or deadlock
 		_ = name
+	}
+}
+
+// Concurrent Put/Close stress: the close/poison semantics the remote
+// protocol's EOS handling sits on. Invariant: every Put that returned nil
+// deposited a value some Take retrieves; every Put after close returns
+// ErrClosed; nothing deadlocks.
+func TestConcurrentPutCloseStress(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			for round := 0; round < 20; round++ {
+				q := mk()
+				const producers = 8
+				var accepted, taken int64
+				var wg sync.WaitGroup
+				for id := 0; id < producers; id++ {
+					wg.Add(1)
+					go func(id int) {
+						defer wg.Done()
+						for i := 0; i < 50; i++ {
+							err := q.Put(id*1000 + i)
+							if err != nil {
+								if err != ErrClosed {
+									t.Errorf("Put: %v, want nil or ErrClosed", err)
+								}
+								return
+							}
+							atomic.AddInt64(&accepted, 1)
+						}
+					}(id)
+				}
+				consumerDone := make(chan struct{})
+				go func() {
+					defer close(consumerDone)
+					for {
+						if _, err := q.Take(); err != nil {
+							if err != ErrClosed {
+								t.Errorf("Take: %v, want ErrClosed", err)
+							}
+							return
+						}
+						atomic.AddInt64(&taken, 1)
+					}
+				}()
+				time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
+				q.Close()
+				waitOrFatal(t, &wg, "producers blocked after Close")
+				select {
+				case <-consumerDone:
+				case <-time.After(5 * time.Second):
+					t.Fatal("consumer blocked after Close")
+				}
+				if a, k := atomic.LoadInt64(&accepted), atomic.LoadInt64(&taken); a != k {
+					t.Fatalf("round %d: %d Puts accepted but %d values taken", round, a, k)
+				}
+			}
+		})
+	}
+}
+
+// TestCloseReleasesManyBlockedProducers parks a crowd of producers on a
+// full queue and closes it: all must return promptly with ErrClosed, and
+// the drain must retrieve exactly the accepted values.
+func TestCloseReleasesManyBlockedProducers(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			const producers = 16
+			var accepted int64
+			var wg sync.WaitGroup
+			for id := 0; id < producers; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					for {
+						if err := q.Put(id); err != nil {
+							if err != ErrClosed {
+								t.Errorf("Put: %v, want ErrClosed", err)
+							}
+							return
+						}
+						atomic.AddInt64(&accepted, 1)
+					}
+				}(id)
+			}
+			// Let the crowd saturate the queue, then poison it.
+			for q.Len() < q.Cap() && q.Cap() > 0 {
+				time.Sleep(time.Millisecond)
+			}
+			time.Sleep(5 * time.Millisecond)
+			q.Close()
+			waitOrFatal(t, &wg, "blocked producers not released by Close")
+			var taken int64
+			for {
+				if _, err := q.Take(); err != nil {
+					break
+				}
+				taken++
+			}
+			if a := atomic.LoadInt64(&accepted); a != taken {
+				t.Fatalf("%d Puts accepted but %d values drained", a, taken)
+			}
+		})
+	}
+}
+
+// TestConcurrentCloseIsSafe races multiple Close calls against active
+// Put/Take traffic: no panic, and the queue ends closed.
+func TestConcurrentCloseIsSafe(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			var wg sync.WaitGroup
+			for i := 0; i < 4; i++ {
+				wg.Add(3)
+				go func(i int) { defer wg.Done(); q.Put(i) }(i)
+				go func() { defer wg.Done(); q.Take() }()
+				go func() { defer wg.Done(); q.Close() }()
+			}
+			waitOrFatal(t, &wg, "Close raced with Put/Take deadlocked")
+			if err := q.Put(1); err != ErrClosed {
+				t.Fatalf("Put after Close = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+// waitOrFatal guards a WaitGroup wait with a timeout so a poison-semantics
+// regression shows as a failure, not a hung test binary.
+func waitOrFatal(t *testing.T, wg *sync.WaitGroup, what string) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal(what)
 	}
 }

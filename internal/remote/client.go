@@ -1,0 +1,396 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"junicon/internal/core"
+	"junicon/internal/queue"
+	"junicon/internal/value"
+	"junicon/internal/wire"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultBuffer matches pipe.DefaultBuffer: the credit window a remote
+	// pipe grants its producer when none is configured.
+	DefaultBuffer = 1024
+	// DefaultDialTimeout bounds connection establishment.
+	DefaultDialTimeout = 5 * time.Second
+	// DefaultHeartbeat is the PING interval keeping idle streams alive and
+	// detecting dead peers.
+	DefaultHeartbeat = 2 * time.Second
+)
+
+// ErrDeadline reports that a Next call waited longer than Config.Deadline;
+// the stream is torn down so the pipe fails instead of hanging.
+var ErrDeadline = errors.New("remote: deadline exceeded waiting for next value")
+
+// RemoteError is a server-reported stream error: the serving generator
+// raised a runtime error or panicked (the remote analogue of pipe.Pipe's
+// producer error), or the server rejected the OPEN (unknown generator,
+// vet errors, connection limit).
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "remote: server error: " + e.Msg }
+
+// Config tunes a RemotePipe. The zero value is usable.
+type Config struct {
+	// Buffer is the credit window — the remote equivalent of the pipe's
+	// bounded queue size (§3B throttling). <= 0 selects DefaultBuffer;
+	// 1 yields remote future/M-var behaviour.
+	Buffer int
+	// DialTimeout bounds connection establishment; <= 0 selects
+	// DefaultDialTimeout.
+	DialTimeout time.Duration
+	// Deadline bounds each Next call; 0 means no per-call deadline. On
+	// expiry the stream is torn down and Err reports ErrDeadline.
+	Deadline time.Duration
+	// Heartbeat is the PING interval; <= 0 selects DefaultHeartbeat. A
+	// peer silent for several intervals is treated as lost.
+	Heartbeat time.Duration
+}
+
+func (c Config) buffer() int {
+	if c.Buffer <= 0 {
+		return DefaultBuffer
+	}
+	return c.Buffer
+}
+
+func (c Config) dialTimeout() time.Duration {
+	if c.DialTimeout <= 0 {
+		return DefaultDialTimeout
+	}
+	return c.DialTimeout
+}
+
+func (c Config) heartbeat() time.Duration {
+	if c.Heartbeat <= 0 {
+		return DefaultHeartbeat
+	}
+	return c.Heartbeat
+}
+
+// RemotePipe is a generator proxy whose producer runs in another process:
+// the remote counterpart of pipe.Pipe, with the same Next/Restart/Stop/
+// Refresh/Err surface and the same core.Stepper contract, so it composes
+// under product, alternation, limit, promotion and mapreduce unchanged.
+//
+// The stream opens lazily on the first Next (as |>e spawns its thread on
+// first use); Restart cancels the stream and re-opens a fresh one, which
+// re-evaluates the remote generator from the start — the network analogue
+// of ^ over a refreshed co-expression.
+type RemotePipe struct {
+	mu   sync.Mutex
+	addr string
+	cfg  Config
+	spec openReq // immutable template (credit filled per open)
+
+	conn     net.Conn
+	wmu      sync.Mutex // serializes writes: CREDIT, PING, CANCEL
+	out      queue.Queue[value.V]
+	started  bool
+	err      error
+	results  int
+	pingStop chan struct{}
+	// done is closed by readLoop when the stream ends for any reason, so
+	// pingLoop exits promptly instead of pinging a dead stream.
+	done chan struct{}
+}
+
+var (
+	_ value.Gen    = (*RemotePipe)(nil)
+	_ core.Stepper = (*RemotePipe)(nil)
+	_ value.Sized  = (*RemotePipe)(nil)
+)
+
+// Open returns a remote pipe over the generator registered under name on
+// the server at addr, applied to args. No connection is made until the
+// first Next.
+func Open(addr, name string, args []value.V, cfg Config) *RemotePipe {
+	return &RemotePipe{
+		addr: addr,
+		cfg:  cfg,
+		spec: openReq{mode: openNamed, name: name, args: marshalArgs(args)},
+	}
+}
+
+// OpenSource returns a remote pipe over a Junicon source stream: program
+// holds declarations (may be empty), expr is the generator expression the
+// server evaluates and serves. The server vets the source with the static
+// analyzer before running it and rejects error-level findings.
+func OpenSource(addr, program, expr string, args []value.V, cfg Config) *RemotePipe {
+	return &RemotePipe{
+		addr: addr,
+		cfg:  cfg,
+		spec: openReq{mode: openSource, program: program, expr: expr, args: marshalArgs(args)},
+	}
+}
+
+// marshalArgs encodes the argument vector as one wire list. Encoding
+// errors (cyclic arguments) are deferred to open time via a poison value.
+func marshalArgs(args []value.V) []byte {
+	b, err := wire.Marshal(value.NewList(args...))
+	if err != nil {
+		return nil // parseOpen side treats empty args as no arguments
+	}
+	return b
+}
+
+// fail records the first fatal stream error.
+func (p *RemotePipe) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// start dials and opens the stream. Caller holds p.mu.
+func (p *RemotePipe) start() error {
+	conn, err := net.DialTimeout("tcp", p.addr, p.cfg.dialTimeout())
+	if err != nil {
+		return fmt.Errorf("remote: dial %s: %w", p.addr, err)
+	}
+	open := p.spec
+	open.credit = uint64(p.cfg.buffer())
+	if err := writeFrame(conn, frameOpen, open.marshal()); err != nil {
+		conn.Close()
+		return fmt.Errorf("remote: open %s: %w", p.addr, err)
+	}
+	p.conn = conn
+	p.out = queue.NewArrayBlocking[value.V](p.cfg.buffer())
+	p.started = true
+	p.err = nil
+	p.pingStop = make(chan struct{})
+	p.done = make(chan struct{})
+	go p.readLoop(conn, p.out, p.done)
+	go p.pingLoop(p.pingStop, p.done)
+	return nil
+}
+
+// readLoop consumes frames into the local bounded queue until the stream
+// ends (EOS), errors (ERR / connection loss / malformed frame) or the
+// consumer stops the pipe.
+func (p *RemotePipe) readLoop(conn net.Conn, out queue.Queue[value.V], done chan struct{}) {
+	defer func() {
+		close(done)
+		conn.Close()
+		out.Close()
+	}()
+	// A peer silent for several heartbeat intervals is lost: PONGs answer
+	// our PINGs, so frames normally arrive at least once per interval.
+	liveness := 4 * p.cfg.heartbeat()
+	for {
+		conn.SetReadDeadline(time.Now().Add(liveness))
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			p.fail(fmt.Errorf("remote: connection lost: %w", err))
+			return
+		}
+		switch typ {
+		case frameValue:
+			v, err := wire.Unmarshal(payload)
+			if err != nil {
+				p.fail(fmt.Errorf("remote: malformed value frame: %w", err))
+				return
+			}
+			if out.Put(v) != nil {
+				// Consumer stopped the pipe: tell the producer.
+				p.sendFrame(frameCancel, nil)
+				return
+			}
+		case frameEOS:
+			return // clean end: generator failed
+		case frameErr:
+			p.fail(&RemoteError{Msg: string(payload)})
+			return
+		case framePong, framePing:
+			// liveness only; PING from the server is tolerated and ignored
+		default:
+			p.fail(fmt.Errorf("remote: unexpected %s frame", frameName(typ)))
+			return
+		}
+	}
+}
+
+// pingLoop keeps the stream alive and detects dead peers while the
+// consumer is slow or idle.
+func (p *RemotePipe) pingLoop(stop, done chan struct{}) {
+	t := time.NewTicker(p.cfg.heartbeat())
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-done:
+			return
+		case <-t.C:
+			if err := p.sendFrame(framePing, nil); err != nil {
+				// readLoop surfaces the connection loss; just stop pinging.
+				return
+			}
+		}
+	}
+}
+
+// sendFrame serializes control-frame writes.
+func (p *RemotePipe) sendFrame(typ byte, payload []byte) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	p.mu.Lock()
+	conn := p.conn
+	p.mu.Unlock()
+	if conn == nil {
+		return errors.New("remote: stream not open")
+	}
+	return writeFrame(conn, typ, payload)
+}
+
+// Next takes the next remote result, failing when the serving generator
+// has failed (EOS), the stream errored, or the per-call deadline expired.
+// Each consumed value grants the producer one replacement credit, so at
+// most Buffer values are ever in flight — the §3B throttle, across the
+// wire.
+func (p *RemotePipe) Next() (value.V, bool) {
+	p.mu.Lock()
+	if !p.started {
+		if err := p.start(); err != nil {
+			p.started = true // don't re-dial every Next; Restart resets
+			p.err = err
+			p.out = queue.NewArrayBlocking[value.V](1)
+			p.out.Close()
+			p.mu.Unlock()
+			return nil, false
+		}
+	}
+	out, conn := p.out, p.conn
+	p.mu.Unlock()
+
+	var timer *time.Timer
+	if d := p.cfg.Deadline; d > 0 {
+		timer = time.AfterFunc(d, func() {
+			p.fail(ErrDeadline)
+			if conn != nil {
+				conn.Close()
+			}
+			out.Close()
+		})
+	}
+	v, err := out.Take()
+	if timer != nil {
+		timer.Stop()
+	}
+	if err != nil {
+		return nil, false
+	}
+	p.mu.Lock()
+	p.results++
+	p.mu.Unlock()
+	p.sendFrame(frameCredit, creditPayload(1)) // best effort; loss surfaces in readLoop
+	return v, true
+}
+
+// Err reports the error that terminated the stream, if any: a
+// *RemoteError for server-side producer errors and rejections, ErrDeadline
+// for per-call deadline expiry, or a connection/protocol error. A remote
+// generator that simply ran to failure leaves Err nil, exactly as
+// pipe.Pipe distinguishes exhaustion from producer error.
+func (p *RemotePipe) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// StartEager opens the stream immediately instead of on first Next — used
+// by distributed map-reduce, where all remote task pipes must run
+// concurrently from the moment they are created (Figure 4). Dial errors
+// surface on the first Next via Err.
+func (p *RemotePipe) StartEager() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return
+	}
+	if err := p.start(); err != nil {
+		p.started = true
+		p.err = err
+		p.out = queue.NewArrayBlocking[value.V](1)
+		p.out.Close()
+	}
+}
+
+// stopLocked cancels the current stream. Caller holds p.mu.
+func (p *RemotePipe) stopLocked() {
+	if p.conn != nil {
+		// Best-effort CANCEL so the server can release the stream promptly;
+		// closing the connection is the authoritative signal.
+		writeFrame(p.conn, frameCancel, nil)
+		p.conn.Close()
+		p.conn = nil
+	}
+	if p.pingStop != nil {
+		close(p.pingStop)
+		p.pingStop = nil
+	}
+	if p.out != nil {
+		p.out.Close()
+	}
+}
+
+// Stop terminates the stream without restarting; further Nexts fail until
+// Restart. Safe to call at any time, including concurrently with Next.
+func (p *RemotePipe) Stop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.started {
+		p.out = queue.NewArrayBlocking[value.V](1)
+		p.out.Close()
+		p.started = true
+		return
+	}
+	p.stopLocked()
+}
+
+// Restart cancels the stream and arranges for a fresh one — a fresh
+// evaluation of the remote generator — on the next Next.
+func (p *RemotePipe) Restart() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		p.stopLocked()
+		p.started = false
+	}
+	p.err = nil
+	p.results = 0
+}
+
+// Step implements the activation operator @ on the remote pipe.
+func (p *RemotePipe) Step(value.V) (value.V, bool) { return p.Next() }
+
+// Refresh implements ^: a new proxy that will open its own fresh stream.
+func (p *RemotePipe) Refresh() core.Stepper {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		p.stopLocked()
+	}
+	return &RemotePipe{addr: p.addr, cfg: p.cfg, spec: p.spec}
+}
+
+// Size reports the number of results taken so far (*P).
+func (p *RemotePipe) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.results
+}
+
+// Type returns "co-expression": a remote pipe proxies one, like pipe.Pipe.
+func (p *RemotePipe) Type() string { return "co-expression" }
+
+// Image identifies the value as a remote pipe.
+func (p *RemotePipe) Image() string { return fmt.Sprintf("remote-pipe(%s)", p.addr) }

@@ -1,0 +1,242 @@
+package remote
+
+// Failure-mode coverage for RemotePipe: every way a stream can go wrong —
+// server crash mid-stream, per-call deadline expiry, malformed frames,
+// silent peers — must surface through Err() and a failing Next, never a
+// deadlock. The fake servers below speak just enough of the protocol to
+// misbehave precisely.
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"junicon/internal/value"
+	"junicon/internal/wire"
+)
+
+// fakeServer accepts one connection and hands it to behave on its own
+// goroutine.
+func fakeServer(t *testing.T, behave func(conn net.Conn)) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		behave(conn)
+	}()
+	return l.Addr().String()
+}
+
+// expectOpen consumes the OPEN frame, failing silently (the client will
+// notice the teardown).
+func expectOpen(conn net.Conn) bool {
+	typ, _, err := readFrame(conn)
+	return err == nil && typ == frameOpen
+}
+
+// sendValues writes n integer VALUE frames.
+func sendValues(conn net.Conn, n int) {
+	for i := 1; i <= n; i++ {
+		data, _ := wire.Marshal(value.NewInt(int64(i)))
+		if writeFrame(conn, frameValue, data) != nil {
+			return
+		}
+	}
+}
+
+func TestServerCrashMidStream(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		if !expectOpen(conn) {
+			return
+		}
+		sendValues(conn, 2)
+		conn.Close() // crash: no EOS, no ERR, connection just dies
+	})
+	p := Open(addr, "whatever", nil, testConfig())
+	defer p.Stop()
+	within(t, 5*time.Second, "crash surfacing", func() {
+		got := drainInts(t, p, 100)
+		if len(got) != 2 {
+			t.Errorf("got %d values before crash, want 2", len(got))
+		}
+	})
+	if p.Err() == nil {
+		t.Fatal("server crash left Err nil — indistinguishable from clean EOS")
+	}
+	// Further Nexts keep failing fast, they do not hang or re-dial.
+	within(t, time.Second, "post-crash Next", func() {
+		if _, ok := p.Next(); ok {
+			t.Error("crashed stream produced a value")
+		}
+	})
+}
+
+func TestDeadlineExpirySurfacesAsErr(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		if !expectOpen(conn) {
+			return
+		}
+		sendValues(conn, 1)
+		// Stall forever, but keep the connection alive by answering pings.
+		for {
+			typ, _, err := readFrame(conn)
+			if err != nil {
+				return
+			}
+			if typ == framePing {
+				if writeFrame(conn, framePong, nil) != nil {
+					return
+				}
+			}
+		}
+	})
+	cfg := testConfig()
+	cfg.Deadline = 150 * time.Millisecond
+	p := Open(addr, "whatever", nil, cfg)
+	defer p.Stop()
+	within(t, 5*time.Second, "deadline", func() {
+		if _, ok := p.Next(); !ok {
+			t.Error("first value should arrive")
+		}
+		start := time.Now()
+		if _, ok := p.Next(); ok {
+			t.Error("stalled stream produced a value")
+		}
+		if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+			t.Errorf("Next failed after %v, before the deadline", elapsed)
+		}
+	})
+	if p.Err() != ErrDeadline {
+		t.Fatalf("want ErrDeadline, got %v", p.Err())
+	}
+}
+
+func TestMalformedValuePayloadSurfacesAsErr(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		if !expectOpen(conn) {
+			return
+		}
+		writeFrame(conn, frameValue, []byte{0xee, 0xff, 0x01}) // unknown wire tag
+		// Keep the conn open: the client must fail on the bad frame
+		// itself, not on a subsequent connection error.
+		time.Sleep(2 * time.Second)
+		conn.Close()
+	})
+	p := Open(addr, "whatever", nil, testConfig())
+	defer p.Stop()
+	within(t, 5*time.Second, "malformed value", func() {
+		if _, ok := p.Next(); ok {
+			t.Error("malformed frame decoded to a value")
+		}
+	})
+	if p.Err() == nil {
+		t.Fatal("malformed value frame left Err nil")
+	}
+}
+
+func TestUnexpectedFrameTypeSurfacesAsErr(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		if !expectOpen(conn) {
+			return
+		}
+		writeFrame(conn, 0x7f, []byte("junk")) // not a protocol frame type
+		time.Sleep(2 * time.Second)
+		conn.Close()
+	})
+	p := Open(addr, "whatever", nil, testConfig())
+	defer p.Stop()
+	within(t, 5*time.Second, "unexpected frame", func() {
+		if _, ok := p.Next(); ok {
+			t.Error("unexpected frame type produced a value")
+		}
+	})
+	if p.Err() == nil {
+		t.Fatal("unexpected frame type left Err nil")
+	}
+}
+
+func TestOversizedFramePrefixSurfacesAsErr(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		if !expectOpen(conn) {
+			return
+		}
+		// A length prefix over MaxFrame: the client must reject it before
+		// allocating, not try to read 4GiB.
+		conn.Write([]byte{frameValue, 0xff, 0xff, 0xff, 0xff})
+		time.Sleep(2 * time.Second)
+		conn.Close()
+	})
+	p := Open(addr, "whatever", nil, testConfig())
+	defer p.Stop()
+	within(t, 5*time.Second, "oversized prefix", func() {
+		if _, ok := p.Next(); ok {
+			t.Error("oversized frame produced a value")
+		}
+	})
+	if p.Err() == nil {
+		t.Fatal("oversized frame prefix left Err nil")
+	}
+}
+
+func TestSilentPeerIsDetectedByLiveness(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		if !expectOpen(conn) {
+			return
+		}
+		// Say nothing, answer nothing: a machine that froze with the
+		// TCP connection still established.
+		time.Sleep(5 * time.Second)
+		conn.Close()
+	})
+	cfg := testConfig() // heartbeat 25ms → liveness window 100ms
+	p := Open(addr, "whatever", nil, cfg)
+	defer p.Stop()
+	within(t, 3*time.Second, "liveness detection", func() {
+		if _, ok := p.Next(); ok {
+			t.Error("silent peer produced a value")
+		}
+	})
+	if p.Err() == nil {
+		t.Fatal("silent peer left Err nil — Next would have hung without liveness")
+	}
+}
+
+func TestMalformedFrameOnServerSideDropsStreamNotDaemon(t *testing.T) {
+	// The server must also survive garbage: a client that sends a valid
+	// OPEN then garbage frames loses its stream; the daemon keeps serving.
+	s, addr := startServer(t, nil)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	open := &openReq{mode: openNamed, credit: 4, name: "range"}
+	args, _ := wire.Marshal(value.NewList(value.NewInt(1), value.NewInt(3)))
+	open.args = args
+	if err := writeFrame(conn, frameOpen, open.marshal()); err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte{0x99, 0x00, 0x00, 0x00, 0x02, 0xab, 0xcd}) // garbage frame
+	deadline := time.Now().Add(5 * time.Second)
+	for s.ActiveStreams() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.ActiveStreams() != 0 {
+		t.Fatal("garbage frame did not tear the stream down")
+	}
+	// Daemon still healthy.
+	p := Open(addr, "range", []value.V{value.NewInt(1), value.NewInt(2)}, testConfig())
+	defer p.Stop()
+	within(t, 5*time.Second, "post-garbage stream", func() {
+		if got := drainInts(t, p, 10); len(got) != 2 {
+			t.Errorf("daemon unhealthy after garbage: got %v", got)
+		}
+	})
+}

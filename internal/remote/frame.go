@@ -1,0 +1,248 @@
+// Package remote serves generators across process boundaries: it is the
+// network transport behind remote pipes. The paper's pipe |>e proxies a
+// co-expression through a bounded blocking queue to another thread (§3B);
+// this package keeps that contract — lazy, demand-driven, terminated by
+// Icon failure — and swaps the in-memory queue for a framed TCP protocol,
+// the same move as Tarau's "logic engines as interactors" (engines exposed
+// as answer-serving agents over a protocol).
+//
+// # Protocol
+//
+// One connection carries one stream. The client sends OPEN naming either a
+// registered generator (plus arguments) or a vetted Junicon source
+// program; the server runs the generator and streams results back:
+//
+//	client                          server
+//	  | OPEN{name|source, args, credit}
+//	  |------------------------------>|
+//	  |<------------------- VALUE ... |   (at most `credit` unacknowledged)
+//	  | CREDIT{1}                     |   (after each consumed value)
+//	  |------------------------------>|
+//	  |<------------------------- EOS |   (generator failed = clean end)
+//	  |<------------------------- ERR |   (producer error, vet rejection)
+//	  | PING / PONG in both gaps      |   (liveness)
+//	  | CANCEL                        |   (consumer stopped the pipe)
+//
+// Flow control is credit-based: the server may have at most as many
+// unacknowledged VALUE frames in flight as the client has granted credits,
+// and the client grants exactly its pipe buffer up front then one credit
+// per consumed value. The pipe's buffer bound therefore throttles the
+// remote producer exactly as §3B's bounded queue throttles a local
+// threaded co-expression — a RemotePipe with buffer 1 degenerates to a
+// remote future/M-var, just as locally.
+//
+// Failure propagates faithfully: the serving generator's Icon failure
+// becomes EOS (the remote pipe's Next fails, Err() == nil); a producer
+// runtime error or panic becomes ERR (Next fails, Err() reports it),
+// mirroring pipe.Pipe.Err. Connection loss, deadline expiry and malformed
+// frames also surface through Err() — never as a hang.
+package remote
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame types. Append-only, like the wire codec's tag space.
+const (
+	frameOpen   byte = 0x01 // client→server: open a stream
+	frameCredit byte = 0x02 // client→server: grant n more credits
+	frameValue  byte = 0x03 // server→client: one wire-encoded result
+	frameEOS    byte = 0x04 // server→client: generator failed (clean end)
+	frameErr    byte = 0x05 // either: fatal stream error, payload = message
+	framePing   byte = 0x06 // either: liveness probe
+	framePong   byte = 0x07 // either: probe answer
+	frameCancel byte = 0x08 // client→server: stop the stream
+)
+
+// MaxFrame bounds a single frame payload; larger length prefixes are
+// treated as a protocol error, protecting both sides from hostile peers.
+const MaxFrame = 32 << 20
+
+// frameName makes protocol errors readable.
+func frameName(t byte) string {
+	switch t {
+	case frameOpen:
+		return "OPEN"
+	case frameCredit:
+		return "CREDIT"
+	case frameValue:
+		return "VALUE"
+	case frameEOS:
+		return "EOS"
+	case frameErr:
+		return "ERR"
+	case framePing:
+		return "PING"
+	case framePong:
+		return "PONG"
+	case frameCancel:
+		return "CANCEL"
+	}
+	return fmt.Sprintf("frame %#x", t)
+}
+
+// writeFrame emits one frame: 1-byte type, 4-byte big-endian payload
+// length, payload. Callers serialize access to w.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("remote: %s payload %d exceeds MaxFrame", frameName(typ), len(payload))
+	}
+	hdr := [5]byte{typ}
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame, rejecting oversized length prefixes before
+// allocating.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("remote: frame length %d exceeds MaxFrame", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// ---- OPEN payload ----
+
+// openVersion guards against skew between mixed-version peers.
+const openVersion = 1
+
+// Open modes.
+const (
+	openNamed  byte = 0 // a generator registered on the server
+	openSource byte = 1 // a vetted Junicon source program + expression
+)
+
+// openReq is the decoded OPEN payload.
+type openReq struct {
+	mode    byte
+	credit  uint64 // initial credit grant == client pipe buffer
+	name    string // openNamed
+	program string // openSource: declarations (may be empty)
+	expr    string // openSource: the generator expression
+	args    []byte // wire-encoded argument list (decoded lazily server-side)
+}
+
+func appendUvarint(b []byte, u uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return append(b, tmp[:binary.PutUvarint(tmp[:], u)]...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func (o *openReq) marshal() []byte {
+	b := []byte{openVersion, o.mode}
+	b = appendUvarint(b, o.credit)
+	switch o.mode {
+	case openNamed:
+		b = appendString(b, o.name)
+	case openSource:
+		b = appendString(b, o.program)
+		b = appendString(b, o.expr)
+	}
+	return append(b, o.args...)
+}
+
+type byteReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *byteReader) byte() (byte, error) {
+	if r.pos >= len(r.buf) {
+		return 0, errors.New("remote: truncated OPEN payload")
+	}
+	c := r.buf[r.pos]
+	r.pos++
+	return c, nil
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	u, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, errors.New("remote: bad uvarint in OPEN payload")
+	}
+	r.pos += n
+	return u, nil
+}
+
+func (r *byteReader) string() (string, error) {
+	u, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if u > uint64(len(r.buf)-r.pos) {
+		return "", errors.New("remote: truncated string in OPEN payload")
+	}
+	s := string(r.buf[r.pos : r.pos+int(u)])
+	r.pos += int(u)
+	return s, nil
+}
+
+func parseOpen(payload []byte) (*openReq, error) {
+	r := &byteReader{buf: payload}
+	ver, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != openVersion {
+		return nil, fmt.Errorf("remote: protocol version %d, want %d", ver, openVersion)
+	}
+	o := &openReq{}
+	if o.mode, err = r.byte(); err != nil {
+		return nil, err
+	}
+	if o.credit, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	switch o.mode {
+	case openNamed:
+		if o.name, err = r.string(); err != nil {
+			return nil, err
+		}
+	case openSource:
+		if o.program, err = r.string(); err != nil {
+			return nil, err
+		}
+		if o.expr, err = r.string(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("remote: unknown OPEN mode %d", o.mode)
+	}
+	o.args = payload[r.pos:]
+	return o, nil
+}
+
+// creditPayload encodes a CREDIT grant.
+func creditPayload(n uint64) []byte { return appendUvarint(nil, n) }
+
+func parseCredit(payload []byte) (uint64, error) {
+	u, n := binary.Uvarint(payload)
+	if n <= 0 || n != len(payload) {
+		return 0, errors.New("remote: bad CREDIT payload")
+	}
+	return u, nil
+}

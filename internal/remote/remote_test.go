@@ -1,0 +1,441 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"junicon/internal/core"
+	"junicon/internal/pipe"
+	"junicon/internal/value"
+)
+
+// testConfig keeps test streams snappy: small heartbeat so liveness
+// detection fires in milliseconds, not seconds.
+func testConfig() Config {
+	return Config{Buffer: 8, Heartbeat: 25 * time.Millisecond, DialTimeout: time.Second}
+}
+
+// startServer runs a server with the standard test registry on a loopback
+// port and returns its address.
+func startServer(t *testing.T, mutate func(*Server)) (*Server, string) {
+	t.Helper()
+	s := NewServer()
+	s.Register("range", func(args []value.V) (core.Gen, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("range wants 2 args, got %d", len(args))
+		}
+		i := value.MustInt(args[0])
+		j := value.MustInt(args[1])
+		return core.IntRange(int64(i), int64(j)), nil
+	})
+	s.Register("fail", func(args []value.V) (core.Gen, error) {
+		return core.Empty(), nil
+	})
+	s.Register("boom", func(args []value.V) (core.Gen, error) {
+		return core.NewGen(func(yield func(value.V) bool) {
+			yield(value.NewInt(1))
+			value.Raise(value.ErrNumeric, "numeric expected", value.String("x"))
+		}), nil
+	})
+	s.Register("panic", func(args []value.V) (core.Gen, error) {
+		return core.NewGen(func(yield func(value.V) bool) {
+			yield(value.NewInt(1))
+			panic("foreign producer panic")
+		}), nil
+	})
+	if mutate != nil {
+		mutate(s)
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("start server: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, addr.String()
+}
+
+// within fails the test if f does not complete in d — the protocol's
+// promise is "error, never hang", and these tests hold it to that.
+func within(t *testing.T, d time.Duration, what string, f func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatalf("%s did not complete within %v", what, d)
+	}
+}
+
+func drainInts(t *testing.T, g value.Gen, max int) []int64 {
+	t.Helper()
+	var out []int64
+	for len(out) < max {
+		v, ok := g.Next()
+		if !ok {
+			break
+		}
+		i, ok := value.ToInteger(value.Deref(v))
+		if !ok {
+			t.Fatalf("non-integer result %s", value.Image(v))
+		}
+		n, _ := i.Int64()
+		out = append(out, n)
+	}
+	return out
+}
+
+func TestRemotePipeServesNamedGenerator(t *testing.T) {
+	_, addr := startServer(t, nil)
+	p := Open(addr, "range", []value.V{value.NewInt(1), value.NewInt(5)}, testConfig())
+	defer p.Stop()
+	within(t, 5*time.Second, "drain", func() {
+		got := drainInts(t, p, 100)
+		want := []int64{1, 2, 3, 4, 5}
+		if len(got) != len(want) {
+			t.Errorf("got %v, want %v", got, want)
+			return
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("got %v, want %v", got, want)
+				return
+			}
+		}
+	})
+	if err := p.Err(); err != nil {
+		t.Fatalf("clean exhaustion must leave Err nil, got %v", err)
+	}
+}
+
+func TestRemoteFailureIsCleanEOS(t *testing.T) {
+	_, addr := startServer(t, nil)
+	p := Open(addr, "fail", nil, testConfig())
+	defer p.Stop()
+	within(t, 5*time.Second, "next", func() {
+		if _, ok := p.Next(); ok {
+			t.Error("empty generator produced a value")
+		}
+	})
+	if err := p.Err(); err != nil {
+		t.Fatalf("Icon failure is not an error; got %v", err)
+	}
+}
+
+func TestUnknownGeneratorSurfacesAsErr(t *testing.T) {
+	_, addr := startServer(t, nil)
+	p := Open(addr, "no-such", nil, testConfig())
+	defer p.Stop()
+	within(t, 5*time.Second, "next", func() {
+		if _, ok := p.Next(); ok {
+			t.Error("unknown generator produced a value")
+		}
+	})
+	if _, ok := p.Err().(*RemoteError); !ok {
+		t.Fatalf("want *RemoteError, got %v", p.Err())
+	}
+}
+
+func TestProducerRuntimeErrorPropagates(t *testing.T) {
+	_, addr := startServer(t, nil)
+	p := Open(addr, "boom", nil, testConfig())
+	defer p.Stop()
+	within(t, 5*time.Second, "drain", func() {
+		if got := drainInts(t, p, 100); len(got) != 1 {
+			t.Errorf("want the one good value before the error, got %v", got)
+		}
+	})
+	err, ok := p.Err().(*RemoteError)
+	if !ok {
+		t.Fatalf("want *RemoteError, got %v", p.Err())
+	}
+	if err.Msg == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestProducerForeignPanicIsContained(t *testing.T) {
+	s, addr := startServer(t, nil)
+	p := Open(addr, "panic", nil, testConfig())
+	defer p.Stop()
+	within(t, 5*time.Second, "drain", func() {
+		drainInts(t, p, 100)
+	})
+	if _, ok := p.Err().(*RemoteError); !ok {
+		t.Fatalf("want *RemoteError from contained panic, got %v", p.Err())
+	}
+	// The daemon survives: a fresh stream still works.
+	p2 := Open(addr, "range", []value.V{value.NewInt(1), value.NewInt(2)}, testConfig())
+	defer p2.Stop()
+	within(t, 5*time.Second, "fresh stream", func() {
+		if got := drainInts(t, p2, 10); len(got) != 2 {
+			t.Errorf("fresh stream got %v", got)
+		}
+	})
+	_ = s
+}
+
+func TestCreditThrottlesRemoteProducer(t *testing.T) {
+	var produced atomic.Int64
+	_, addr := startServer(t, func(s *Server) {
+		s.Register("count", func([]value.V) (core.Gen, error) {
+			return core.NewGen(func(yield func(value.V) bool) {
+				for i := 0; ; i++ {
+					produced.Add(1)
+					if !yield(value.NewInt(int64(i))) {
+						return
+					}
+				}
+			}), nil
+		})
+	})
+	cfg := testConfig()
+	cfg.Buffer = 3
+	p := Open(addr, "count", nil, cfg)
+	defer p.Stop()
+	p.StartEager()
+	// The producer may run exactly `credit` values ahead, then must stall.
+	deadline := time.Now().Add(2 * time.Second)
+	for produced.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond) // would overrun here if unthrottled
+	if n := produced.Load(); n != 3 {
+		t.Fatalf("producer ran %d values ahead, credit window is 3", n)
+	}
+	// Consuming one value grants one credit: exactly one more production.
+	within(t, 5*time.Second, "next", func() { p.Next() })
+	deadline = time.Now().Add(2 * time.Second)
+	for produced.Load() < 4 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if n := produced.Load(); n != 4 {
+		t.Fatalf("after one Next, produced = %d, want 4", n)
+	}
+}
+
+func TestRemotePipeComposesWithKernel(t *testing.T) {
+	_, addr := startServer(t, nil)
+	// limit: take 3 of an infinite-ish remote stream.
+	p := Open(addr, "range", []value.V{value.NewInt(1), value.NewInt(1000)}, testConfig())
+	defer p.Stop()
+	within(t, 5*time.Second, "limit", func() {
+		got := core.Drain(core.Limit(core.Bang(p), 3), 100)
+		if len(got) != 3 {
+			t.Errorf("limit 3 over remote pipe yielded %d values", len(got))
+		}
+	})
+	// alternation: remote | local.
+	q := Open(addr, "range", []value.V{value.NewInt(1), value.NewInt(2)}, testConfig())
+	defer q.Stop()
+	within(t, 5*time.Second, "alternation", func() {
+		got := core.Drain(core.Alt(core.Bang(q), core.Values(value.NewInt(9))), 100)
+		if len(got) != 3 {
+			t.Errorf("remote|local yielded %d values, want 3", len(got))
+		}
+	})
+	// product: a remote pipe must behave exactly as a local pipe.Pipe in
+	// the same position — a pipe is a hot stream (§3B), so the inner
+	// operand yields one pass and is then exhausted; parity with the
+	// in-process transport is the contract.
+	local := core.Drain(core.Product(
+		core.Values(value.NewInt(1), value.NewInt(2)),
+		core.Bang(pipe.New(core.NewFirstClass(core.IntRange(1, 3)), 8)),
+	), 100)
+	a := Open(addr, "range", []value.V{value.NewInt(1), value.NewInt(3)}, testConfig())
+	defer a.Stop()
+	within(t, 5*time.Second, "product", func() {
+		got := core.Drain(core.Product(
+			core.Values(value.NewInt(1), value.NewInt(2)),
+			core.Bang(a),
+		), 100)
+		if len(got) != len(local) {
+			t.Errorf("product over remote pipe yielded %d values, local pipe yields %d", len(got), len(local))
+		}
+	})
+}
+
+func TestRestartReopensFreshStream(t *testing.T) {
+	_, addr := startServer(t, nil)
+	p := Open(addr, "range", []value.V{value.NewInt(1), value.NewInt(3)}, testConfig())
+	defer p.Stop()
+	within(t, 10*time.Second, "restart cycle", func() {
+		first := drainInts(t, p, 2)
+		p.Restart()
+		second := drainInts(t, p, 100)
+		if len(first) != 2 || len(second) != 3 || second[0] != 1 {
+			t.Errorf("restart: first %v, second %v", first, second)
+		}
+	})
+	if p.Err() != nil {
+		t.Fatalf("restart left err: %v", p.Err())
+	}
+}
+
+func TestRefreshYieldsIndependentRemotePipe(t *testing.T) {
+	_, addr := startServer(t, nil)
+	p := Open(addr, "range", []value.V{value.NewInt(1), value.NewInt(3)}, testConfig())
+	defer p.Stop()
+	within(t, 10*time.Second, "refresh", func() {
+		drainInts(t, p, 1)
+		q := p.Refresh().(*RemotePipe)
+		defer q.Stop()
+		got := drainInts(t, q, 100)
+		if len(got) != 3 || got[0] != 1 {
+			t.Errorf("refreshed pipe got %v", got)
+		}
+	})
+}
+
+func TestSourceStreamIsServedAndVetted(t *testing.T) {
+	_, addr := startServer(t, func(s *Server) { s.AllowSource = true })
+	// A healthy source stream: squares of 1..4.
+	p := OpenSource(addr, "", "(1 to 4) ^ 2", nil, testConfig())
+	defer p.Stop()
+	within(t, 5*time.Second, "source drain", func() {
+		got := drainInts(t, p, 100)
+		want := []int64{1, 4, 9, 16}
+		if len(got) != len(want) {
+			t.Fatalf("got %v", got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("got %v, want %v", got, want)
+			}
+		}
+	})
+	// A program with declarations, plus args transmission.
+	q := OpenSource(addr,
+		"procedure double(x)\n  return x * 2\nend",
+		"double(!args)",
+		[]value.V{value.NewInt(10), value.NewInt(20)}, testConfig())
+	defer q.Stop()
+	within(t, 5*time.Second, "program drain", func() {
+		got := drainInts(t, q, 100)
+		if len(got) != 2 || got[0] != 20 || got[1] != 40 {
+			t.Fatalf("got %v, want [20 40]", got)
+		}
+	})
+}
+
+func TestSourceStreamVetRejection(t *testing.T) {
+	_, addr := startServer(t, func(s *Server) { s.AllowSource = true })
+	// Activating an integer literal is a JV error: the vet gate must
+	// refuse it before any evaluation.
+	p := OpenSource(addr, "", "@42", nil, testConfig())
+	defer p.Stop()
+	within(t, 5*time.Second, "vet rejection", func() {
+		if _, ok := p.Next(); ok {
+			t.Error("statically wrong source was served")
+		}
+	})
+	re, ok := p.Err().(*RemoteError)
+	if !ok {
+		t.Fatalf("want *RemoteError, got %v", p.Err())
+	}
+	if re.Msg == "" {
+		t.Fatal("vet rejection carried no diagnostics")
+	}
+}
+
+func TestSourceDisabledByDefault(t *testing.T) {
+	_, addr := startServer(t, nil)
+	p := OpenSource(addr, "", "1 to 3", nil, testConfig())
+	defer p.Stop()
+	within(t, 5*time.Second, "refusal", func() {
+		if _, ok := p.Next(); ok {
+			t.Error("source stream served despite AllowSource=false")
+		}
+	})
+	if _, ok := p.Err().(*RemoteError); !ok {
+		t.Fatalf("want *RemoteError, got %v", p.Err())
+	}
+}
+
+func TestConnectionLimit(t *testing.T) {
+	var blockers []*RemotePipe
+	_, addr := startServer(t, func(s *Server) {
+		s.MaxConns = 2
+		s.Register("hold", func([]value.V) (core.Gen, error) {
+			return core.RepeatAlt(core.Unit(value.NewInt(1))), nil
+		})
+	})
+	defer func() {
+		for _, p := range blockers {
+			p.Stop()
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		p := Open(addr, "hold", nil, testConfig())
+		p.StartEager()
+		within(t, 5*time.Second, "held stream", func() { p.Next() })
+		blockers = append(blockers, p)
+	}
+	over := Open(addr, "hold", nil, testConfig())
+	defer over.Stop()
+	within(t, 5*time.Second, "over-limit refusal", func() {
+		if _, ok := over.Next(); ok {
+			t.Error("over-limit connection was served")
+		}
+	})
+	if _, ok := over.Err().(*RemoteError); !ok {
+		t.Fatalf("want *RemoteError refusal, got %v", over.Err())
+	}
+}
+
+func TestStreamAccounting(t *testing.T) {
+	s, addr := startServer(t, nil)
+	p := Open(addr, "range", []value.V{value.NewInt(1), value.NewInt(1000)}, testConfig())
+	p.StartEager()
+	within(t, 5*time.Second, "first value", func() { p.Next() })
+	if s.ActiveStreams() != 1 || s.ActiveConns() != 1 {
+		t.Fatalf("mid-stream accounting: streams=%d conns=%d", s.ActiveStreams(), s.ActiveConns())
+	}
+	p.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for (s.ActiveStreams() != 0 || s.ActiveConns() != 0) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.ActiveStreams() != 0 || s.ActiveConns() != 0 {
+		t.Fatalf("after Stop: streams=%d conns=%d", s.ActiveStreams(), s.ActiveConns())
+	}
+	if s.Served() != 1 {
+		t.Fatalf("served=%d, want 1", s.Served())
+	}
+}
+
+func TestStopBeforeStart(t *testing.T) {
+	p := Open("127.0.0.1:1", "range", nil, testConfig())
+	p.Stop()
+	if _, ok := p.Next(); ok {
+		t.Fatal("stopped pipe produced a value")
+	}
+}
+
+func TestDialFailureSurfacesAsError(t *testing.T) {
+	// A port with nothing listening: grab one, close it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	cfg := testConfig()
+	cfg.DialTimeout = 500 * time.Millisecond
+	p := Open(addr, "range", nil, cfg)
+	within(t, 5*time.Second, "dial failure", func() {
+		if _, ok := p.Next(); ok {
+			t.Error("unreachable server produced a value")
+		}
+	})
+	if p.Err() == nil {
+		t.Fatal("dial failure left Err nil")
+	}
+}

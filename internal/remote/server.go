@@ -1,0 +1,468 @@
+package remote
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"junicon/internal/analyze"
+	"junicon/internal/core"
+	"junicon/internal/interp"
+	"junicon/internal/parser"
+	"junicon/internal/value"
+	"junicon/internal/wire"
+)
+
+// Server defaults.
+const (
+	// DefaultMaxConns bounds concurrently served streams (one per
+	// connection); excess connections are refused with an ERR frame.
+	DefaultMaxConns = 64
+	// DefaultIdleTimeout is how long the server waits for any client frame
+	// (credits, pings, cancel) before declaring the client lost. Client
+	// heartbeats arrive every DefaultHeartbeat, so a healthy stream never
+	// approaches it.
+	DefaultIdleTimeout = 30 * time.Second
+)
+
+// A Generator constructs the generator a named OPEN serves. It is called
+// once per stream with the decoded (and dereferenced) argument vector; the
+// returned generator is iterated to failure on the stream's producer
+// goroutine. Returning an error rejects the OPEN with an ERR frame.
+type Generator func(args []value.V) (core.Gen, error)
+
+// Server serves registered generators — and, when AllowSource is set,
+// vetted Junicon source — over the remote-pipe protocol. Every stream gets
+// one producer goroutine whose pace is governed entirely by the client's
+// credits: the remote pipe's buffer bound throttles this goroutine exactly
+// as §3B's bounded queue throttles a local pipe producer.
+type Server struct {
+	// AllowSource permits OPEN frames carrying Junicon source. Source is
+	// gated through the internal/analyze static analyzer: programs with
+	// error-level findings are refused before any evaluation.
+	AllowSource bool
+	// MaxConns bounds concurrent connections; <= 0 selects
+	// DefaultMaxConns.
+	MaxConns int
+	// IdleTimeout bounds the gap between client frames; <= 0 selects
+	// DefaultIdleTimeout.
+	IdleTimeout time.Duration
+	// Logf, when set, receives one line per notable event (stream open,
+	// stream end, refusals).
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	gens     map[string]Generator
+	listener net.Listener
+	closed   bool
+
+	conns   atomic.Int64 // active connections (accepted, not yet closed)
+	streams atomic.Int64 // active producer goroutines
+	served  atomic.Int64 // streams opened over the server's lifetime
+	wg      sync.WaitGroup
+}
+
+// NewServer returns a server with an empty registry.
+func NewServer() *Server { return &Server{gens: make(map[string]Generator)} }
+
+// Register adds (or replaces) a named generator.
+func (s *Server) Register(name string, g Generator) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gens[name] = g
+}
+
+// Names returns the registered generator names, sorted.
+func (s *Server) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.gens))
+	for n := range s.gens {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookup finds a registered generator.
+func (s *Server) lookup(name string) (Generator, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.gens[name]
+	return g, ok
+}
+
+// ActiveConns reports currently accepted connections.
+func (s *Server) ActiveConns() int { return int(s.conns.Load()) }
+
+// ActiveStreams reports currently running producer goroutines — the
+// server-side per-stream goroutine accounting.
+func (s *Server) ActiveStreams() int { return int(s.streams.Load()) }
+
+// Served reports the total number of streams opened.
+func (s *Server) Served() int { return int(s.served.Load()) }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) maxConns() int {
+	if s.MaxConns <= 0 {
+		return DefaultMaxConns
+	}
+	return s.MaxConns
+}
+
+func (s *Server) idleTimeout() time.Duration {
+	if s.IdleTimeout <= 0 {
+		return DefaultIdleTimeout
+	}
+	return s.IdleTimeout
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves in a background
+// goroutine, returning the bound address. It is the convenience entry for
+// tests, benchmarks and in-process workers.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go s.Serve(l)
+	return l.Addr(), nil
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve accepts connections on l until Close. Each connection carries one
+// stream.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return fmt.Errorf("remote: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		if int(s.conns.Load()) >= s.maxConns() {
+			// Refuse politely: drain the OPEN first so the client's write
+			// never hits a reset connection, then send ERR. The client
+			// surfaces the refusal via Err().
+			s.logf("refused %s: connection limit %d", conn.RemoteAddr(), s.maxConns())
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				conn.SetReadDeadline(time.Now().Add(s.idleTimeout()))
+				readFrame(conn)
+				writeFrame(conn, frameErr, []byte("server at connection limit"))
+			}()
+			continue
+		}
+		s.conns.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.conns.Add(-1)
+			defer conn.Close()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight streams to finish. Streams
+// whose clients are alive keep running until the client closes or cancels;
+// callers that need a hard stop close the clients first.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// stream is the per-connection credit account shared by the connection
+// reader (deposits) and the producer goroutine (withdrawals).
+type stream struct {
+	mu        sync.Mutex
+	cond      sync.Cond
+	credits   uint64
+	cancelled bool
+}
+
+func newStream(initial uint64) *stream {
+	st := &stream{credits: initial}
+	st.cond.L = &st.mu
+	return st
+}
+
+// acquire blocks until one credit is available or the stream is cancelled;
+// it reports whether a credit was taken.
+func (st *stream) acquire() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for st.credits == 0 && !st.cancelled {
+		st.cond.Wait()
+	}
+	if st.cancelled {
+		return false
+	}
+	st.credits--
+	return true
+}
+
+func (st *stream) deposit(n uint64) {
+	st.mu.Lock()
+	st.credits += n
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+func (st *stream) cancel() {
+	st.mu.Lock()
+	st.cancelled = true
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// handleConn runs one stream: OPEN, then produce under credit control
+// until EOS/ERR/cancel.
+func (s *Server) handleConn(conn net.Conn) {
+	idle := s.idleTimeout()
+	conn.SetReadDeadline(time.Now().Add(idle))
+	typ, payload, err := readFrame(conn)
+	if err != nil || typ != frameOpen {
+		writeFrame(conn, frameErr, []byte("expected OPEN frame"))
+		return
+	}
+	open, err := parseOpen(payload)
+	if err != nil {
+		writeFrame(conn, frameErr, []byte(err.Error()))
+		return
+	}
+	gen, err := s.buildGenerator(open)
+	if err != nil {
+		writeFrame(conn, frameErr, []byte(err.Error()))
+		s.logf("refused %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+
+	st := newStream(open.credit)
+	var wmu sync.Mutex // serializes VALUE/EOS/ERR (producer) with PONG (reader)
+	s.served.Add(1)
+	s.streams.Add(1)
+	s.logf("stream open from %s (credit %d)", conn.RemoteAddr(), open.credit)
+
+	// Producer goroutine: iterate the generator to failure, one VALUE per
+	// credit. Runtime errors and panics become ERR frames, mirroring
+	// pipe.Pipe's producer containment.
+	prodDone := make(chan struct{})
+	go func() {
+		defer s.streams.Add(-1)
+		defer close(prodDone)
+		sendErr := func(msg string) {
+			wmu.Lock()
+			writeFrame(conn, frameErr, []byte(msg))
+			wmu.Unlock()
+		}
+		// Contain panics like pipe.start does: an Icon runtime error or a
+		// foreign panic in a served generator must not crash the daemon —
+		// it becomes an ERR frame, the remote Pipe.Err.
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					if re, ok := r.(*value.RuntimeError); ok {
+						err = re
+					} else {
+						err = fmt.Errorf("producer panic: %v", r)
+					}
+				}
+			}()
+			for st.acquire() {
+				v, ok := gen.Next()
+				if !ok {
+					wmu.Lock()
+					writeFrame(conn, frameEOS, nil)
+					wmu.Unlock()
+					return
+				}
+				data, merr := wire.Marshal(value.Deref(v))
+				if merr != nil {
+					sendErr("encode: " + merr.Error())
+					return
+				}
+				wmu.Lock()
+				werr := writeFrame(conn, frameValue, data)
+				wmu.Unlock()
+				if werr != nil {
+					return // connection gone; reader tears down
+				}
+			}
+			return nil
+		}()
+		if err != nil {
+			sendErr(err.Error())
+		}
+	}()
+
+	// Connection reader: credits, pings, cancel; any read error (including
+	// the rolling idle deadline) or protocol violation cancels the stream.
+reader:
+	for {
+		conn.SetReadDeadline(time.Now().Add(idle))
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			break
+		}
+		switch typ {
+		case frameCredit:
+			n, err := parseCredit(payload)
+			if err != nil {
+				break reader
+			}
+			st.deposit(n)
+		case framePing:
+			wmu.Lock()
+			writeFrame(conn, framePong, nil)
+			wmu.Unlock()
+		case frameCancel:
+			st.cancel()
+		default:
+			// Protocol violation: drop the stream.
+			break reader
+		}
+	}
+	// Connection lost or cancelled: stop the producer (closing the conn
+	// unblocks any in-flight write) and wait for it so stream accounting
+	// is exact.
+	st.cancel()
+	conn.Close()
+	<-prodDone
+	s.logf("stream from %s done", conn.RemoteAddr())
+}
+
+// buildGenerator resolves an OPEN request to the generator it serves.
+func (s *Server) buildGenerator(open *openReq) (core.Gen, error) {
+	args, err := decodeArgs(open.args)
+	if err != nil {
+		return nil, err
+	}
+	switch open.mode {
+	case openNamed:
+		g, ok := s.lookup(open.name)
+		if !ok {
+			return nil, fmt.Errorf("unknown generator %q (registered: %s)", open.name, strings.Join(s.Names(), ", "))
+		}
+		return g(args)
+	case openSource:
+		if !s.AllowSource {
+			return nil, fmt.Errorf("source streams are disabled on this server")
+		}
+		return s.sourceGenerator(open.program, open.expr, args)
+	}
+	return nil, fmt.Errorf("unknown OPEN mode %d", open.mode)
+}
+
+func decodeArgs(data []byte) ([]value.V, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	v, err := wire.Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("malformed argument list: %w", err)
+	}
+	l, ok := v.(*value.List)
+	if !ok {
+		return nil, fmt.Errorf("argument payload is %s, want list", value.TypeOf(v))
+	}
+	return l.Elems(), nil
+}
+
+// sourceGenerator vets, loads and evaluates a source stream. The analyzer
+// gate refuses error-level findings exactly as the translator does
+// (migrating statically wrong code across the network is as worthless as
+// compiling it); warnings are tolerated, as on the interpreter paths.
+func (s *Server) sourceGenerator(program, expr string, args []value.V) (core.Gen, error) {
+	known := func(name string) bool { return name == "args" }
+	if program != "" {
+		prog, err := parser.ParseProgram(program)
+		if err != nil {
+			return nil, fmt.Errorf("parse program: %w", err)
+		}
+		if diags := analyze.Program(prog, analyze.Options{Known: known}); analyze.HasErrors(diags) {
+			return nil, fmt.Errorf("vet rejected program: %s", diagErrors(diags))
+		}
+	}
+	e, err := parser.ParseExpression(expr)
+	if err != nil {
+		return nil, fmt.Errorf("parse expression: %w", err)
+	}
+	// The expression may use names the program defines; vet it with those
+	// known. Re-parsing the program for its globals is cheaper than
+	// plumbing a symbol table out of the analyzer.
+	knownExpr := known
+	if program != "" {
+		in := interp.New(interp.WithOutput(io.Discard))
+		if err := in.LoadProgram(program); err != nil {
+			return nil, fmt.Errorf("load program: %w", err)
+		}
+		knownExpr = func(name string) bool {
+			if name == "args" {
+				return true
+			}
+			_, ok := in.Global(name)
+			return ok
+		}
+		if diags := analyze.Expr(e, analyze.Options{Known: knownExpr}); analyze.HasErrors(diags) {
+			return nil, fmt.Errorf("vet rejected expression: %s", diagErrors(diags))
+		}
+		in.Define("args", value.NewList(args...))
+		return in.EvalGen(expr)
+	}
+	if diags := analyze.Expr(e, analyze.Options{Known: knownExpr}); analyze.HasErrors(diags) {
+		return nil, fmt.Errorf("vet rejected expression: %s", diagErrors(diags))
+	}
+	in := interp.New(interp.WithOutput(io.Discard))
+	in.Define("args", value.NewList(args...))
+	return in.EvalGen(expr)
+}
+
+func diagErrors(diags []analyze.Diag) string {
+	var msgs []string
+	for _, d := range diags {
+		if d.Severity == analyze.Error {
+			msgs = append(msgs, d.String())
+		}
+	}
+	return strings.Join(msgs, "; ")
+}

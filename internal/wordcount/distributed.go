@@ -1,0 +1,183 @@
+package wordcount
+
+// The distributed suite: the map-reduce word-count of §VII with the map
+// side pushed across process boundaries. Each worker serves the embedded
+// JuniconMapReduce composition over its shard of the corpus as a remote
+// generator; the coordinator opens one remote pipe per worker, drains the
+// per-chunk partial sums, and combines them. This is Figure 4's mapReduce
+// with the per-chunk pipes replaced by remote pipes — the same demand-
+// driven, failure-terminated contract, now over TCP.
+
+import (
+	"fmt"
+	"sync"
+
+	"junicon/internal/core"
+	"junicon/internal/mapreduce"
+	"junicon/internal/remote"
+	"junicon/internal/value"
+)
+
+// MapReduceGenerator is the name under which RegisterWordCount registers
+// the worker-side word-count generator.
+const MapReduceGenerator = "wc.mapreduce"
+
+// HashGenerator is the name of the per-word hash stream generator — the
+// finest-grained remote word-count, useful for exercising credit flow.
+const HashGenerator = "wc.hash"
+
+// ParseWeight inverts Weight.String for wire and flag use.
+func ParseWeight(s string) (Weight, error) {
+	switch s {
+	case Light.String():
+		return Light, nil
+	case Heavy.String():
+		return Heavy, nil
+	}
+	return Light, fmt.Errorf("wordcount: unknown weight %q", s)
+}
+
+// wcArgs decodes the argument convention shared by both generators:
+// [weightString, chunkSize, linesList].
+func wcArgs(args []value.V) (Weight, int, []string, error) {
+	if len(args) != 3 {
+		return Light, 0, nil, fmt.Errorf("wordcount: want [weight, chunkSize, lines], got %d args", len(args))
+	}
+	ws, ok := value.ToString(args[0])
+	if !ok {
+		return Light, 0, nil, fmt.Errorf("wordcount: weight must be a string")
+	}
+	w, err := ParseWeight(string(ws))
+	if err != nil {
+		return Light, 0, nil, err
+	}
+	ci, ok := value.ToInteger(args[1])
+	if !ok {
+		return Light, 0, nil, fmt.Errorf("wordcount: chunkSize must be an integer")
+	}
+	chunk, ok := ci.Int64()
+	if !ok || chunk < 1 {
+		return Light, 0, nil, fmt.Errorf("wordcount: chunkSize out of range")
+	}
+	ll, ok := value.Deref(args[2]).(*value.List)
+	if !ok {
+		return Light, 0, nil, fmt.Errorf("wordcount: lines must be a list")
+	}
+	lines := make([]string, 0, ll.Len())
+	for _, e := range ll.Elems() {
+		s, ok := value.ToString(e)
+		if !ok {
+			return Light, 0, nil, fmt.Errorf("wordcount: line is %s, want string", value.TypeOf(value.Deref(e)))
+		}
+		lines = append(lines, string(s))
+	}
+	return w, int(chunk), lines, nil
+}
+
+// wcArgList builds the wire argument list wcArgs decodes.
+func wcArgList(w Weight, chunkSize int, lines []string) []value.V {
+	ll := value.NewList()
+	for _, l := range lines {
+		ll.Put(value.String(l))
+	}
+	return []value.V{value.String(w.String()), value.NewInt(int64(chunkSize)), ll}
+}
+
+// RegisterWordCount registers the distributed word-count generators on a
+// remote server. Both junicond and the tests register through here, so the
+// daemon and in-process workers serve identical streams.
+func RegisterWordCount(srv *remote.Server) {
+	srv.Register(MapReduceGenerator, func(args []value.V) (core.Gen, error) {
+		w, chunk, lines, err := wcArgs(args)
+		if err != nil {
+			return nil, err
+		}
+		// The worker-side map: the embedded map-reduce composition of
+		// Figure 4, yielding one partial hash sum per chunk. Chunks run
+		// on concurrent local pipes; partials stream back under the
+		// client's credit.
+		dp := mapreduce.Config{ChunkSize: chunk}
+		return dp.MapReduce(hashWordsProc(w), readLinesProc(lines), sumHashProc, value.Real(0)), nil
+	})
+	srv.Register(HashGenerator, func(args []value.V) (core.Gen, error) {
+		w, _, lines, err := wcArgs(args)
+		if err != nil {
+			return nil, err
+		}
+		// One hash per word: the full Figure 3 hash generator, streamed.
+		return hashPipelineGen(lines, w, false, 0), nil
+	})
+}
+
+// DistributedConfig carries the coordinator's knobs.
+type DistributedConfig struct {
+	// Workers lists junicond addresses; at least one is required.
+	Workers []string
+	// ChunkSize is the per-worker map-reduce partition (default 1000).
+	ChunkSize int
+	// Remote configures each remote pipe (buffer = credit bound).
+	Remote remote.Config
+}
+
+func (c DistributedConfig) chunk() int {
+	if c.ChunkSize <= 0 {
+		return 1000
+	}
+	return c.ChunkSize
+}
+
+// DistributedMapReduce runs the distributed word-count: lines are sharded
+// round-robin across the workers, each worker maps and partially reduces
+// its shard, and the coordinator sums the streamed partials. Any worker
+// failure (connection loss, producer error, vet refusal) aborts the whole
+// computation with that worker's error.
+func DistributedMapReduce(lines []string, w Weight, cfg DistributedConfig) (float64, error) {
+	if len(cfg.Workers) == 0 {
+		return 0, fmt.Errorf("wordcount: no workers configured")
+	}
+	shards := make([][]string, len(cfg.Workers))
+	for i, line := range lines {
+		shards[i%len(shards)] = append(shards[i%len(shards)], line)
+	}
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		total  float64
+		outErr error
+	)
+	for i, addr := range cfg.Workers {
+		if len(shards[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(addr string, shard []string) {
+			defer wg.Done()
+			p := remote.Open(addr, MapReduceGenerator, wcArgList(w, cfg.chunk(), shard), cfg.Remote)
+			defer p.Stop()
+			sum := 0.0
+			for {
+				v, ok := p.Next()
+				if !ok {
+					break
+				}
+				if r, ok := value.ToReal(v); ok {
+					sum += float64(r)
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err := p.Err(); err != nil {
+				if outErr == nil {
+					outErr = fmt.Errorf("worker %s: %w", addr, err)
+				}
+				return
+			}
+			total += sum
+		}(addr, shards[i])
+	}
+	wg.Wait()
+	if outErr != nil {
+		return 0, outErr
+	}
+	return total, nil
+}

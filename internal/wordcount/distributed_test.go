@@ -1,0 +1,118 @@
+package wordcount
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"junicon/internal/remote"
+)
+
+// startWorkers spins up n in-process word-count workers on loopback ports.
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		srv := remote.NewServer()
+		RegisterWordCount(srv)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = addr.String()
+	}
+	return addrs
+}
+
+func TestDistributedMapReduceMatchesSequential(t *testing.T) {
+	lines := GenerateLines(200, 8, 7)
+	want := SequentialTotal(lines, Light)
+	addrs := startWorkers(t, 2)
+	got, err := DistributedMapReduce(lines, Light, DistributedConfig{
+		Workers:   addrs,
+		ChunkSize: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-6*math.Abs(want) {
+		t.Fatalf("distributed total %v, sequential %v", got, want)
+	}
+}
+
+func TestDistributedMapReduceSingleWorker(t *testing.T) {
+	lines := GenerateLines(50, 5, 11)
+	want := SequentialTotal(lines, Light)
+	addrs := startWorkers(t, 1)
+	got, err := DistributedMapReduce(lines, Light, DistributedConfig{Workers: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-6*math.Abs(want) {
+		t.Fatalf("distributed total %v, sequential %v", got, want)
+	}
+}
+
+func TestDistributedMapReduceSurfacesWorkerFailure(t *testing.T) {
+	lines := GenerateLines(10, 4, 3)
+	addrs := startWorkers(t, 1)
+	// Second worker address is dead: the coordinator must fail, not hang
+	// or silently return a partial total.
+	_, err := DistributedMapReduce(lines, Light, DistributedConfig{
+		Workers: []string{addrs[0], "127.0.0.1:1"},
+	})
+	if err == nil {
+		t.Fatal("dead worker did not surface as an error")
+	}
+}
+
+func TestDistributedMapReduceNoWorkers(t *testing.T) {
+	if _, err := DistributedMapReduce(nil, Light, DistributedConfig{}); err == nil {
+		t.Fatal("want error with no workers")
+	}
+}
+
+func TestParseWeight(t *testing.T) {
+	for _, w := range []Weight{Light, Heavy} {
+		got, err := ParseWeight(w.String())
+		if err != nil || got != w {
+			t.Fatalf("ParseWeight(%q) = %v, %v", w.String(), got, err)
+		}
+	}
+	if _, err := ParseWeight("featherweight"); err == nil {
+		t.Fatal("want error for unknown weight")
+	}
+}
+
+func TestHashGeneratorStreamsPerWord(t *testing.T) {
+	lines := []string{"ab cd", "ef"}
+	addrs := startWorkers(t, 1)
+	p := remote.Open(addrs[0], HashGenerator, wcArgList(Light, 1, lines), remote.Config{Buffer: 2})
+	defer p.Stop()
+	n := 0
+	for {
+		if _, ok := p.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(strings.Fields("ab cd ef")); n != want {
+		t.Fatalf("hash stream yielded %d values, want %d", n, want)
+	}
+}
+
+func TestWordCountArgValidation(t *testing.T) {
+	addrs := startWorkers(t, 1)
+	p := remote.Open(addrs[0], MapReduceGenerator, nil, remote.Config{})
+	defer p.Stop()
+	if _, ok := p.Next(); ok {
+		t.Fatal("malformed args were served")
+	}
+	if _, ok := p.Err().(*remote.RemoteError); !ok {
+		t.Fatalf("want *RemoteError for malformed args, got %v", p.Err())
+	}
+}
