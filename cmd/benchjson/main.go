@@ -1,0 +1,94 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// artifact, so benchmark numbers travel through CI as data rather than
+// log text.
+//
+// Usage:
+//
+//	go test -bench 'Pipe|Queue' -benchmem . | benchjson -o BENCH_pipeline.json
+//	benchjson -o BENCH_pipeline.json bench.txt
+//
+// The artifact is a single object: environment metadata plus one entry
+// per benchmark with iterations, ns/op and (when -benchmem was used)
+// B/op and allocs/op. -o defaults to stdout. With -require n, fewer than
+// n parsed benchmarks is an error — catching a filter typo that would
+// otherwise publish an empty artifact as success.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"junicon/internal/bench"
+)
+
+type artifact struct {
+	Generated string                `json:"generated"`
+	GoVersion string                `json:"go_version"`
+	GOOS      string                `json:"goos"`
+	GOARCH    string                `json:"goarch"`
+	NumCPU    int                   `json:"num_cpu"`
+	Results   []bench.GoBenchResult `json:"results"`
+}
+
+func main() {
+	var (
+		out     = flag.String("o", "", "output file (default: stdout)")
+		require = flag.Int("require", 0, "fail unless at least this many benchmarks were parsed")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	results, err := bench.ParseGoBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) < *require {
+		fatal(fmt.Errorf("parsed %d benchmarks, require %d", len(results), *require))
+	}
+
+	a := artifact{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Results:   results,
+	}
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	b = append(b, '\n')
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.Write(b); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

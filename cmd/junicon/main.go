@@ -13,12 +13,20 @@
 //	junicon -vet prog.jn …           static checks only; exit 1 on errors
 //	junicon -vet -Werror prog.jn     … treating warnings as errors
 //	junicon -xml 'expr'              print the parsed XML term form
+//	junicon -trace=run.json prog.jn  write a telemetry trace of the run
+//	junicon -metrics -e 'expr'       print runtime metrics after the run
+//
+// -trace records kernel/pipe/queue telemetry events and writes them when
+// the program ends: Chrome trace_event JSON (chrome://tracing, Perfetto)
+// if the file name ends in .json, JSONL otherwise. -itrace is the
+// Icon-style procedure tracing (&trace) formerly spelled -trace.
 //
 // Mixed-language files (any file containing @<script …> annotations) are
 // fed through the metaparser first; every junicon region is loaded.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,21 +35,33 @@ import (
 	"junicon"
 	"junicon/internal/ast"
 	"junicon/internal/parser"
+	"junicon/internal/telemetry"
 )
 
 func main() {
 	var (
-		expr   = flag.String("e", "", "evaluate a standalone expression and print its results")
-		exec   = flag.String("x", "", "expression to evaluate after loading the file")
-		emit   = flag.Bool("emit", false, "emit the Go translation instead of interpreting")
-		pkg    = flag.String("pkg", "translated", "package name for -emit")
-		xml    = flag.String("xml", "", "parse an expression and print its XML term form")
-		maxRes = flag.Int("n", 0, "maximum results to print per expression (0 = all)")
-		trace  = flag.Bool("trace", false, "enable Icon-style procedure tracing (&trace)")
-		vet    = flag.Bool("vet", false, "run static checks only; report diagnostics without executing")
-		werror = flag.Bool("Werror", false, "with -vet, treat warnings as errors")
+		expr      = flag.String("e", "", "evaluate a standalone expression and print its results")
+		exec      = flag.String("x", "", "expression to evaluate after loading the file")
+		emit      = flag.Bool("emit", false, "emit the Go translation instead of interpreting")
+		pkg       = flag.String("pkg", "translated", "package name for -emit")
+		xml       = flag.String("xml", "", "parse an expression and print its XML term form")
+		maxRes    = flag.Int("n", 0, "maximum results to print per expression (0 = all)")
+		itrace    = flag.Bool("itrace", false, "enable Icon-style procedure tracing (&trace)")
+		traceFile = flag.String("trace", "", "write telemetry trace events to this file (.json = Chrome trace format, else JSONL)")
+		metrics   = flag.Bool("metrics", false, "print runtime metrics to stderr when the program ends")
+		vet       = flag.Bool("vet", false, "run static checks only; report diagnostics without executing")
+		werror    = flag.Bool("Werror", false, "with -vet, treat warnings as errors")
 	)
 	flag.Parse()
+
+	if *traceFile != "" {
+		telemetry.StartTrace(telemetry.DefaultRingSize)
+	}
+	if *metrics {
+		telemetry.SetMetrics(true)
+	}
+	flush = func() { flushTelemetry(*traceFile, *metrics) }
+	defer flush()
 
 	if *vet {
 		if flag.NArg() < 1 {
@@ -68,7 +88,7 @@ func main() {
 	}
 
 	in := junicon.NewInterp(os.Stdout)
-	if *trace {
+	if *itrace {
 		in.EnableTrace(os.Stderr)
 	}
 
@@ -160,6 +180,44 @@ func evalPrint(in *junicon.Interp, expr string, max int) {
 func fail(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "junicon:", err)
+		flush()
 		os.Exit(1)
+	}
+}
+
+// flush writes pending telemetry output; fail() routes through it so
+// -trace/-metrics survive error exits. A no-op until main installs it.
+var flush = func() {}
+
+// flushTelemetry writes the buffered trace to traceFile (Chrome format
+// for .json, JSONL otherwise) and, with metrics on, a metrics snapshot
+// to stderr.
+func flushTelemetry(traceFile string, metrics bool) {
+	if traceFile != "" {
+		evs := telemetry.Tag("junicon", telemetry.DrainTrace())
+		f, err := os.Create(traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "junicon: trace:", err)
+		} else {
+			if strings.HasSuffix(traceFile, ".json") {
+				err = telemetry.WriteChromeTrace(f, evs)
+			} else {
+				err = telemetry.WriteJSONL(f, evs)
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "junicon: trace:", err)
+			}
+		}
+	}
+	if metrics {
+		b, err := json.MarshalIndent(telemetry.Snapshot(), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "junicon: metrics:", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "%s\n", b)
 	}
 }

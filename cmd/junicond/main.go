@@ -11,6 +11,8 @@
 //	junicond -addr :9707                     serve built-in generators
 //	junicond -addr :9707 -allow-source       also serve vetted Junicon source
 //	junicond -addr :9707 -max-conns 16       bound concurrent streams
+//	junicond -addr :9707 -debug-addr :9708   expose /debug/vars, /debug/pprof,
+//	                                         /debug/trace on a second listener
 //
 // Built-in generators:
 //
@@ -18,15 +20,20 @@
 //	wc.mapreduce  distributed word-count partials (internal/wordcount)
 //	wc.hash       per-word hash stream (internal/wordcount)
 //
-// The daemon logs one line per stream open/close and refusal; -quiet
-// silences it. On SIGINT/SIGTERM it stops accepting, waits for in-flight
-// streams, and exits.
+// The daemon logs one structured line (log/slog) per stream open/close and
+// refusal, carrying the stream's telemetry ID so log lines correlate with
+// trace events; -quiet silences it, -log-json switches to JSON. With
+// -debug-addr set, telemetry metrics are enabled and served as expvar JSON
+// at /debug/vars, pprof at /debug/pprof/, and buffered trace events as
+// JSONL at /debug/trace. On SIGINT/SIGTERM it stops accepting, waits for
+// in-flight streams, and exits.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -35,6 +42,7 @@ import (
 
 	"junicon/internal/core"
 	"junicon/internal/remote"
+	"junicon/internal/telemetry"
 	"junicon/internal/value"
 	"junicon/internal/wordcount"
 )
@@ -42,21 +50,23 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:9707", "listen address")
+		debugAddr   = flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/trace on this address (enables metrics)")
 		allowSource = flag.Bool("allow-source", false, "serve vetted Junicon source streams")
 		maxConns    = flag.Int("max-conns", remote.DefaultMaxConns, "maximum concurrent connections")
 		idleTimeout = flag.Duration("idle-timeout", remote.DefaultIdleTimeout, "client silence tolerated before dropping a stream")
 		quiet       = flag.Bool("quiet", false, "suppress per-stream logging")
+		logJSON     = flag.Bool("log-json", false, "emit logs as JSON (default: text)")
+		traceBuf    = flag.Int("trace-buf", telemetry.DefaultRingSize, "trace ring capacity (events) for /debug/trace")
 	)
 	flag.Parse()
+
+	logger := newLogger(*quiet, *logJSON)
 
 	srv := remote.NewServer()
 	srv.AllowSource = *allowSource
 	srv.MaxConns = *maxConns
 	srv.IdleTimeout = *idleTimeout
-	if !*quiet {
-		logger := log.New(os.Stderr, "junicond: ", log.LstdFlags)
-		srv.Logf = logger.Printf
-	}
+	srv.Log = logger
 
 	srv.Register("range", func(args []value.V) (core.Gen, error) {
 		if len(args) != 2 {
@@ -76,22 +86,33 @@ func main() {
 	})
 	wordcount.RegisterWordCount(srv)
 
+	if *debugAddr != "" {
+		telemetry.SetMetrics(true)
+		telemetry.StartTrace(*traceBuf)
+		telemetry.PublishExpvar()
+		dbg := &http.Server{Addr: *debugAddr, Handler: telemetry.Handler("junicond")}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug server failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("debug server listening", "addr", *debugAddr)
+	}
+
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "junicond: %v\n", err)
 		os.Exit(1)
 	}
-	if !*quiet {
-		fmt.Fprintf(os.Stderr, "junicond: listening on %s, serving %s (source streams %s)\n",
-			bound, strings.Join(srv.Names(), ", "), enabled(*allowSource))
-	}
+	logger.Info("listening",
+		"addr", bound.String(),
+		"generators", strings.Join(srv.Names(), ", "),
+		"source_streams", *allowSource)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	<-sigc
-	if !*quiet {
-		fmt.Fprintf(os.Stderr, "junicond: shutting down (%d streams served)\n", srv.Served())
-	}
+	logger.Info("shutting down", "streams_served", srv.Served())
 	done := make(chan struct{})
 	go func() {
 		srv.Close()
@@ -100,13 +121,18 @@ func main() {
 	select {
 	case <-done:
 	case <-time.After(10 * time.Second):
-		fmt.Fprintln(os.Stderr, "junicond: streams still draining after 10s, exiting anyway")
+		logger.Warn("streams still draining after 10s, exiting anyway")
 	}
 }
 
-func enabled(b bool) string {
-	if b {
-		return "enabled"
+// newLogger builds the daemon's structured logger: text to stderr by
+// default, JSON with -log-json, discarded with -quiet.
+func newLogger(quiet, json bool) *slog.Logger {
+	if quiet {
+		return slog.New(slog.DiscardHandler)
 	}
-	return "disabled"
+	if json {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }

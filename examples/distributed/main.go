@@ -12,31 +12,50 @@
 //	distributed                      (no -workers: spawns two in-process workers)
 //
 // Flags -lines, -words, -weight, -chunk and -buffer size the workload.
+//
+// With -trace=<file> the coordinator records telemetry events and writes
+// them when the run ends (Chrome trace_event JSON for .json, JSONL
+// otherwise). In self-contained mode the in-process workers share the
+// coordinator's trace ring, so one file already holds both sides of every
+// stream. Against external junicond workers started with -debug-addr,
+// pass -worker-debug with their debug base URLs and each worker's
+// /debug/trace is fetched and merged in — the OPEN frame carries the
+// coordinator's stream IDs to the workers, so the merged Chrome trace
+// renders each remote stream's client and server spans on aligned rows:
+// the distributed run stitched end-to-end.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"junicon/internal/remote"
+	"junicon/internal/telemetry"
 	"junicon/internal/wordcount"
 )
 
 func main() {
 	var (
-		workers = flag.String("workers", "", "comma-separated junicond addresses (empty: two in-process workers)")
-		lines   = flag.Int("lines", 2000, "corpus lines")
-		words   = flag.Int("words", 10, "words per line")
-		weight  = flag.String("weight", wordcount.Light.String(), "hash weight: lightweight | heavyweight")
-		chunk   = flag.Int("chunk", 250, "per-worker map-reduce chunk size in lines")
-		buffer  = flag.Int("buffer", 64, "remote pipe buffer (credit bound)")
-		timeout = flag.Duration("timeout", 2*time.Minute, "per-Next deadline on each remote pipe")
+		workers     = flag.String("workers", "", "comma-separated junicond addresses (empty: two in-process workers)")
+		lines       = flag.Int("lines", 2000, "corpus lines")
+		words       = flag.Int("words", 10, "words per line")
+		weight      = flag.String("weight", wordcount.Light.String(), "hash weight: lightweight | heavyweight")
+		chunk       = flag.Int("chunk", 250, "per-worker map-reduce chunk size in lines")
+		buffer      = flag.Int("buffer", 64, "remote pipe buffer (credit bound)")
+		timeout     = flag.Duration("timeout", 2*time.Minute, "per-Next deadline on each remote pipe")
+		traceFile   = flag.String("trace", "", "write telemetry trace events to this file (.json = Chrome trace format, else JSONL)")
+		workerDebug = flag.String("worker-debug", "", "comma-separated worker debug base URLs (http://host:port) whose /debug/trace is merged into -trace")
 	)
 	flag.Parse()
+
+	if *traceFile != "" {
+		telemetry.StartTrace(telemetry.DefaultRingSize)
+	}
 
 	w, err := wordcount.ParseWeight(*weight)
 	if err != nil {
@@ -94,6 +113,60 @@ func main() {
 		fatal(fmt.Errorf("distributed total %v does not match sequential %v", got, want))
 	}
 	fmt.Println("totals match")
+
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile, *workerDebug); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *traceFile)
+	}
+}
+
+// writeTrace merges the coordinator's buffered events with each worker's
+// /debug/trace (fetched over its debug listener) and writes the result.
+// Worker events already carry the coordinator's stream IDs — the OPEN
+// frame propagates them — so the merge stitches per-stream timelines
+// across the processes.
+func writeTrace(path, workerDebug string) error {
+	evs := telemetry.Tag("coordinator", telemetry.DrainTrace())
+	if workerDebug != "" {
+		client := &http.Client{Timeout: 10 * time.Second}
+		for i, base := range strings.Split(workerDebug, ",") {
+			base = strings.TrimSpace(base)
+			if base == "" {
+				continue
+			}
+			resp, err := client.Get(strings.TrimSuffix(base, "/") + "/debug/trace")
+			if err != nil {
+				return fmt.Errorf("fetch worker trace: %w", err)
+			}
+			wevs, err := telemetry.ReadJSONL(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return fmt.Errorf("parse worker trace from %s: %w", base, err)
+			}
+			// Distinct proc names keep each worker on its own pid even
+			// though every junicond self-reports as "junicond".
+			proc := fmt.Sprintf("worker-%d %s", i+1, base)
+			for j := range wevs {
+				wevs[j].Proc = proc
+			}
+			evs = append(evs, wevs...)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = telemetry.WriteChromeTrace(f, evs)
+	} else {
+		err = telemetry.WriteJSONL(f, evs)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fatal(err error) {

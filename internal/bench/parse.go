@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parsing for `go test -bench` output, feeding cmd/benchjson. The text
+// format is the stable interface the Go tool prints:
+//
+//	BenchmarkKernelPipeThroughput-8   6522712    184.4 ns/op    32 B/op    2 allocs/op
+//
+// Only benchmark result lines are parsed; headers, PASS/ok trailers and
+// sub-benchmark log output are skipped.
+
+// GoBenchResult is one parsed benchmark line. BytesPerOp/AllocsPerOp are -1
+// when the run did not use -benchmem. Extra holds any further unit pairs
+// (e.g. MB/s, custom b.ReportMetric units) keyed by unit.
+type GoBenchResult struct {
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// ParseGoBench reads `go test -bench` output and returns its benchmark
+// lines in order. Non-benchmark lines are ignored; a malformed line that
+// does start with "Benchmark" is an error, so truncated output is caught
+// rather than silently dropped.
+func ParseGoBench(r io.Reader) ([]GoBenchResult, error) {
+	var out []GoBenchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A bare "BenchmarkFoo" header (no fields after the name) is the
+		// -v preamble line, not a result.
+		if len(fields) < 3 {
+			continue
+		}
+		res, err := parseLine(fields)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %q: %w", line, err)
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseLine(fields []string) (GoBenchResult, error) {
+	res := GoBenchResult{BytesPerOp: -1, AllocsPerOp: -1, NsPerOp: -1}
+	res.Name = fields[0]
+	if i := strings.LastIndex(res.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Procs = p
+			res.Name = res.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return res, fmt.Errorf("bad iteration count %q", fields[1])
+	}
+	res.Iterations = iters
+	// The rest is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return res, fmt.Errorf("bad value %q", fields[i])
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = int64(v)
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+		default:
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			res.Extra[unit] = v
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: junicon
+cpu: AMD EPYC 7B13
+BenchmarkKernelPipeThroughput-8   	 6522712	       184.4 ns/op	      32 B/op	       2 allocs/op
+BenchmarkQueuePutTake-8           	22752486	        52.47 ns/op
+BenchmarkFig2_PipelineDecomposition-8	     100	  10588776 ns/op	  52.3 MB/s
+PASS
+ok  	junicon	3.813s
+`
+
+func TestParseResults(t *testing.T) {
+	rs, err := ParseGoBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rs))
+	}
+
+	r := rs[0]
+	if r.Name != "BenchmarkKernelPipeThroughput" || r.Procs != 8 {
+		t.Errorf("name/procs = %q/%d", r.Name, r.Procs)
+	}
+	if r.Iterations != 6522712 || r.NsPerOp != 184.4 {
+		t.Errorf("iters/ns = %d/%v", r.Iterations, r.NsPerOp)
+	}
+	if r.BytesPerOp != 32 || r.AllocsPerOp != 2 {
+		t.Errorf("B/allocs = %d/%d", r.BytesPerOp, r.AllocsPerOp)
+	}
+
+	if r := rs[1]; r.BytesPerOp != -1 || r.AllocsPerOp != -1 {
+		t.Errorf("no -benchmem run should report -1, got %d/%d", r.BytesPerOp, r.AllocsPerOp)
+	}
+	if r := rs[2]; r.Extra["MB/s"] != 52.3 {
+		t.Errorf("extra units = %v", r.Extra)
+	}
+}
+
+func TestParseResultsMalformed(t *testing.T) {
+	if _, err := ParseGoBench(strings.NewReader("BenchmarkBroken-8 notanumber 5 ns/op\n")); err == nil {
+		t.Fatal("malformed benchmark line should error")
+	}
+	// Headers and -v preamble lines are skipped, not errors.
+	rs, err := ParseGoBench(strings.NewReader("BenchmarkFoo\ngoos: linux\n"))
+	if err != nil || len(rs) != 0 {
+		t.Fatalf("got %v, %v; want empty, nil", rs, err)
+	}
+}

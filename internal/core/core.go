@@ -20,6 +20,7 @@
 package core
 
 import (
+	"junicon/internal/telemetry"
 	"junicon/internal/value"
 )
 
@@ -119,6 +120,9 @@ func Drain(g Gen, max int) []V {
 	var out []V
 	for {
 		v, ok := g.Next()
+		if telemetry.On() {
+			countNext(ok)
+		}
 		if !ok {
 			return out
 		}
@@ -132,6 +136,9 @@ func Drain(g Gen, max int) []V {
 // First returns g's first result, dereferenced.
 func First(g Gen) (V, bool) {
 	v, ok := g.Next()
+	if telemetry.On() {
+		countNext(ok)
+	}
 	if !ok {
 		return nil, false
 	}
@@ -142,6 +149,9 @@ func First(g Gen) (V, bool) {
 func Each(g Gen, f func(V) bool) {
 	for {
 		v, ok := g.Next()
+		if telemetry.On() {
+			countNext(ok)
+		}
 		if !ok {
 			return
 		}
@@ -155,7 +165,11 @@ func Each(g Gen, f func(V) bool) {
 func Count(g Gen) int {
 	n := 0
 	for {
-		if _, ok := g.Next(); !ok {
+		_, ok := g.Next()
+		if telemetry.On() {
+			countNext(ok)
+		}
+		if !ok {
 			return n
 		}
 		n++
@@ -203,6 +217,9 @@ func NewFirstClass(g Gen) *FirstClass { return &FirstClass{G: g} }
 // Step advances one iteration (@); the transmitted value is ignored.
 func (f *FirstClass) Step(V) (V, bool) {
 	v, ok := f.G.Next()
+	if telemetry.On() {
+		countNext(ok)
+	}
 	if ok {
 		f.results++
 	}
@@ -211,6 +228,9 @@ func (f *FirstClass) Step(V) (V, bool) {
 
 // Refresh rewinds the underlying generator (^) and returns the receiver.
 func (f *FirstClass) Refresh() Stepper {
+	if telemetry.On() {
+		cRestarts.Inc()
+	}
 	f.G.Restart()
 	f.results = 0
 	return f

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
+	"junicon/internal/telemetry"
 	"junicon/internal/value"
 )
 
@@ -12,7 +14,31 @@ import (
 // monitoring and debugging within a transformational framework is an area
 // to be further explored", §9). Because every construct is an iterator,
 // one wrapper suffices to observe any expression: Traced interposes on the
-// kernel protocol and reports resume/yield/fail/restart events.
+// kernel protocol and reports resume/yield/fail/restart events to two
+// sinks sharing one event model — an optional callback (the original
+// stderr-style hook) and the process-wide telemetry ring, where each
+// wrapped generator owns a stream ID and each Next becomes a span.
+
+// Kernel protocol counters. The drive loops (Drain, Each, Count, First)
+// and FirstClass.Step — the consumer- and producer-side chokepoints every
+// iteration funnels through — tick these when telemetry is enabled; the
+// disabled path is one atomic load and a branch per operation.
+var (
+	cResumes  = telemetry.NewCounter("kernel.resumes")
+	cYields   = telemetry.NewCounter("kernel.yields")
+	cFails    = telemetry.NewCounter("kernel.fails")
+	cRestarts = telemetry.NewCounter("kernel.restarts")
+)
+
+// countNext records one protocol resume and its outcome.
+func countNext(ok bool) {
+	cResumes.Inc()
+	if ok {
+		cYields.Inc()
+	} else {
+		cFails.Inc()
+	}
+}
 
 // Event classifies a trace event.
 type Event int
@@ -42,30 +68,79 @@ func (e Event) String() string {
 // TraceFunc receives trace events; v is non-nil only for EvYield.
 type TraceFunc func(label string, ev Event, v V)
 
-// Traced wraps g so every protocol operation reports to f.
+// Traced wraps g so every protocol operation reports to f and, when a
+// telemetry trace ring is installed, emits span events under the
+// generator's stream ID.
 func Traced(label string, g Gen, f TraceFunc) Gen {
 	return &tracedGen{label: label, g: g, f: f}
 }
 
+// Instrument wraps g for telemetry only: the generalization of Traced
+// into the event model, with no callback. Each Next becomes a yield/fail
+// span in the trace ring; with tracing off the wrapper costs one atomic
+// load per operation.
+func Instrument(label string, g Gen) Gen {
+	return &tracedGen{label: label, g: g}
+}
+
+// InstrumentStream is Instrument under a caller-chosen stream ID — used
+// to tie a generator's events to an enclosing stream (a pipe, a remote
+// stream) rather than allocating its own.
+func InstrumentStream(label string, stream uint64, g Gen) Gen {
+	return &tracedGen{label: label, stream: stream, g: g}
+}
+
 type tracedGen struct {
-	label string
-	g     Gen
-	f     TraceFunc
+	label  string
+	stream uint64
+	g      Gen
+	f      TraceFunc // optional callback sink; may be nil
+}
+
+// sid lazily allocates the stream ID the first time an event is actually
+// emitted, so wrapping while telemetry is off stays free.
+func (t *tracedGen) sid() uint64 {
+	if t.stream == 0 {
+		t.stream = telemetry.NextStream()
+	}
+	return t.stream
 }
 
 func (t *tracedGen) Next() (V, bool) {
-	t.f(t.label, EvResume, nil)
+	if t.f != nil {
+		t.f(t.label, EvResume, nil)
+	}
+	tracing := telemetry.TraceOn()
+	var start time.Time
+	if tracing {
+		start = time.Now()
+	}
 	v, ok := t.g.Next()
 	if ok {
-		t.f(t.label, EvYield, value.Deref(v))
+		if t.f != nil {
+			t.f(t.label, EvYield, value.Deref(v))
+		}
+		if tracing {
+			telemetry.EmitSpan(t.sid(), telemetry.KindYield, t.label, 0, start)
+		}
 	} else {
-		t.f(t.label, EvFail, nil)
+		if t.f != nil {
+			t.f(t.label, EvFail, nil)
+		}
+		if tracing {
+			telemetry.EmitSpan(t.sid(), telemetry.KindFail, t.label, 0, start)
+		}
 	}
 	return v, ok
 }
 
 func (t *tracedGen) Restart() {
-	t.f(t.label, EvRestart, nil)
+	if t.f != nil {
+		t.f(t.label, EvRestart, nil)
+	}
+	if telemetry.TraceOn() {
+		telemetry.Emit(t.sid(), telemetry.KindRestart, t.label, 0)
+	}
 	t.g.Restart()
 }
 

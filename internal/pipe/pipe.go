@@ -15,10 +15,23 @@ package pipe
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"junicon/internal/core"
 	"junicon/internal/queue"
+	"junicon/internal/telemetry"
 	"junicon/internal/value"
+)
+
+// Pipe telemetry: producer lifecycle counters plus, per started pipe, an
+// instrumented transport queue (blocked time, depth, occupancy — see
+// queue.Instrument). Instrumentation is decided once per producer start,
+// so pipes started while telemetry is off carry zero overhead.
+var (
+	cProducersStarted = telemetry.NewCounter("pipe.producers_started")
+	gProducersActive  = telemetry.NewGauge("pipe.producers_active")
+	cPipeValues       = telemetry.NewCounter("pipe.values")
+	cPipeErrors       = telemetry.NewCounter("pipe.producer_errors")
 )
 
 // DefaultBuffer is the output-queue bound used when none is given.
@@ -35,6 +48,7 @@ type Pipe struct {
 	started bool
 	results int
 	err     error
+	stream  uint64 // telemetry stream ID; 0 until an observed start
 }
 
 var (
@@ -73,8 +87,28 @@ func FromGen(g core.Gen, buffer int) *Pipe {
 func (p *Pipe) start() {
 	p.out = p.mkQueue()
 	p.started = true
-	src, out := p.src, p.out
+	// Observation is decided once per producer start: an unobserved pipe
+	// runs exactly the pre-telemetry code path.
+	observed := telemetry.Active()
+	if observed {
+		if p.stream == 0 {
+			p.stream = telemetry.NextStream()
+		}
+		p.out = queue.Instrument(p.out, p.stream, "pipe")
+		cProducersStarted.Inc()
+		gProducersActive.Add(1)
+	}
+	src, out, stream := p.src, p.out, p.stream
 	go func() {
+		var startTime time.Time
+		var produced int64
+		if observed {
+			startTime = time.Now()
+			defer func() {
+				gProducersActive.Add(-1)
+				telemetry.EmitSpan(stream, telemetry.KindProducer, "pipe", produced, startTime)
+			}()
+		}
 		// An Icon runtime error raised inside the piped expression must
 		// not crash the host: record it, fail the consumer side.
 		defer func() {
@@ -86,6 +120,9 @@ func (p *Pipe) start() {
 					p.err = fmt.Errorf("pipe: producer panic: %v", r)
 				}
 				p.mu.Unlock()
+				if observed {
+					cPipeErrors.Inc()
+				}
 				out.Close()
 			}
 		}()
@@ -99,6 +136,10 @@ func (p *Pipe) start() {
 			}
 			if out.Put(value.Deref(v)) != nil {
 				return // consumer stopped the pipe
+			}
+			if observed {
+				produced++
+				cPipeValues.Inc()
 			}
 		}
 		out.Close()
@@ -195,6 +236,14 @@ func (p *Pipe) Refresh() core.Stepper {
 		p.out.Close()
 	}
 	return &Pipe{src: p.src.Refresh(), mkQueue: p.mkQueue}
+}
+
+// Stream reports the pipe's telemetry stream ID — 0 unless the producer
+// started while telemetry was active.
+func (p *Pipe) Stream() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stream
 }
 
 // Size reports the number of results taken so far (*P).

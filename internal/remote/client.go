@@ -9,8 +9,19 @@ import (
 
 	"junicon/internal/core"
 	"junicon/internal/queue"
+	"junicon/internal/telemetry"
 	"junicon/internal/value"
 	"junicon/internal/wire"
+)
+
+// Client-side stream telemetry. The stream ID allocated at open time is
+// sent in the OPEN frame, so the server's producer events carry the same
+// ID as this client's consumer events — the hook that lets a distributed
+// trace be stitched across the process boundary.
+var (
+	cClientStreams = telemetry.NewCounter("remote.client.streams_opened")
+	cClientValues  = telemetry.NewCounter("remote.client.values")
+	cCreditsSent   = telemetry.NewCounter("remote.client.credits_sent")
 )
 
 // Defaults for Config zero values.
@@ -96,6 +107,7 @@ type RemotePipe struct {
 	started  bool
 	err      error
 	results  int
+	stream   uint64 // telemetry stream ID, propagated in OPEN; 0 = unobserved
 	pingStop chan struct{}
 	// done is closed by readLoop when the stream ends for any reason, so
 	// pingLoop exits promptly instead of pinging a dead stream.
@@ -152,23 +164,33 @@ func (p *RemotePipe) fail(err error) {
 
 // start dials and opens the stream. Caller holds p.mu.
 func (p *RemotePipe) start() error {
+	observed := telemetry.Active()
+	if observed && p.stream == 0 {
+		p.stream = telemetry.NextStream()
+	}
 	conn, err := net.DialTimeout("tcp", p.addr, p.cfg.dialTimeout())
 	if err != nil {
 		return fmt.Errorf("remote: dial %s: %w", p.addr, err)
 	}
 	open := p.spec
 	open.credit = uint64(p.cfg.buffer())
+	open.stream = p.stream
 	if err := writeFrame(conn, frameOpen, open.marshal()); err != nil {
 		conn.Close()
 		return fmt.Errorf("remote: open %s: %w", p.addr, err)
 	}
 	p.conn = conn
 	p.out = queue.NewArrayBlocking[value.V](p.cfg.buffer())
+	if observed {
+		p.out = queue.Instrument(p.out, p.stream, "remote")
+		cClientStreams.Inc()
+		telemetry.Emit(p.stream, telemetry.KindStreamOpen, "remote:"+p.addr, int64(open.credit))
+	}
 	p.started = true
 	p.err = nil
 	p.pingStop = make(chan struct{})
 	p.done = make(chan struct{})
-	go p.readLoop(conn, p.out, p.done)
+	go p.readLoop(conn, p.out, p.done, p.stream)
 	go p.pingLoop(p.pingStop, p.done)
 	return nil
 }
@@ -176,11 +198,16 @@ func (p *RemotePipe) start() error {
 // readLoop consumes frames into the local bounded queue until the stream
 // ends (EOS), errors (ERR / connection loss / malformed frame) or the
 // consumer stops the pipe.
-func (p *RemotePipe) readLoop(conn net.Conn, out queue.Queue[value.V], done chan struct{}) {
+func (p *RemotePipe) readLoop(conn net.Conn, out queue.Queue[value.V], done chan struct{}, stream uint64) {
+	var received int64
+	start := time.Now()
 	defer func() {
 		close(done)
 		conn.Close()
 		out.Close()
+		if stream != 0 {
+			telemetry.EmitSpan(stream, telemetry.KindStreamEnd, "remote:"+p.addr, received, start)
+		}
 	}()
 	// A peer silent for several heartbeat intervals is lost: PONGs answer
 	// our PINGs, so frames normally arrive at least once per interval.
@@ -198,6 +225,10 @@ func (p *RemotePipe) readLoop(conn net.Conn, out queue.Queue[value.V], done chan
 			if err != nil {
 				p.fail(fmt.Errorf("remote: malformed value frame: %w", err))
 				return
+			}
+			received++
+			if stream != 0 && telemetry.On() {
+				cClientValues.Inc()
 			}
 			if out.Put(v) != nil {
 				// Consumer stopped the pipe: tell the producer.
@@ -290,7 +321,11 @@ func (p *RemotePipe) Next() (value.V, bool) {
 	}
 	p.mu.Lock()
 	p.results++
+	stream := p.stream
 	p.mu.Unlock()
+	if stream != 0 && telemetry.On() {
+		cCreditsSent.Inc()
+	}
 	p.sendFrame(frameCredit, creditPayload(1)) // best effort; loss surfaces in readLoop
 	return v, true
 }
@@ -380,6 +415,14 @@ func (p *RemotePipe) Refresh() core.Stepper {
 		p.stopLocked()
 	}
 	return &RemotePipe{addr: p.addr, cfg: p.cfg, spec: p.spec}
+}
+
+// Stream reports the telemetry stream ID sent in the OPEN frame — 0
+// unless the stream opened while telemetry was active.
+func (p *RemotePipe) Stream() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stream
 }
 
 // Size reports the number of results taken so far (*P).

@@ -43,6 +43,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"junicon/internal/telemetry"
+)
+
+// Wire-level telemetry: every frame written or read in this process
+// (client and server sides both funnel through writeFrame/readFrame)
+// counts frames and bytes when telemetry is enabled — the disabled path
+// is one atomic load per frame, negligible next to the syscall.
+var (
+	cFramesTx = telemetry.NewCounter("remote.frames_tx")
+	cBytesTx  = telemetry.NewCounter("remote.bytes_tx")
+	cFramesRx = telemetry.NewCounter("remote.frames_rx")
+	cBytesRx  = telemetry.NewCounter("remote.bytes_rx")
 )
 
 // Frame types. Append-only, like the wire codec's tag space.
@@ -100,6 +113,10 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 			return err
 		}
 	}
+	if telemetry.On() {
+		cFramesTx.Inc()
+		cBytesTx.Add(int64(5 + len(payload)))
+	}
 	return nil
 }
 
@@ -118,13 +135,19 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}
+	if telemetry.On() {
+		cFramesRx.Inc()
+		cBytesRx.Add(int64(5 + n))
+	}
 	return hdr[0], payload, nil
 }
 
 // ---- OPEN payload ----
 
-// openVersion guards against skew between mixed-version peers.
-const openVersion = 1
+// openVersion guards against skew between mixed-version peers. Version 2
+// added the client's telemetry stream ID after the credit grant; version
+// 1 peers (no stream field) are still accepted and read as stream 0.
+const openVersion = 2
 
 // Open modes.
 const (
@@ -136,6 +159,7 @@ const (
 type openReq struct {
 	mode    byte
 	credit  uint64 // initial credit grant == client pipe buffer
+	stream  uint64 // client telemetry stream ID; 0 = unobserved client
 	name    string // openNamed
 	program string // openSource: declarations (may be empty)
 	expr    string // openSource: the generator expression
@@ -155,6 +179,7 @@ func appendString(b []byte, s string) []byte {
 func (o *openReq) marshal() []byte {
 	b := []byte{openVersion, o.mode}
 	b = appendUvarint(b, o.credit)
+	b = appendUvarint(b, o.stream)
 	switch o.mode {
 	case openNamed:
 		b = appendString(b, o.name)
@@ -207,8 +232,8 @@ func parseOpen(payload []byte) (*openReq, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != openVersion {
-		return nil, fmt.Errorf("remote: protocol version %d, want %d", ver, openVersion)
+	if ver != 1 && ver != openVersion {
+		return nil, fmt.Errorf("remote: protocol version %d, want <= %d", ver, openVersion)
 	}
 	o := &openReq{}
 	if o.mode, err = r.byte(); err != nil {
@@ -216,6 +241,11 @@ func parseOpen(payload []byte) (*openReq, error) {
 	}
 	if o.credit, err = r.uvarint(); err != nil {
 		return nil, err
+	}
+	if ver >= 2 {
+		if o.stream, err = r.uvarint(); err != nil {
+			return nil, err
+		}
 	}
 	switch o.mode {
 	case openNamed:

@@ -3,8 +3,10 @@ package remote
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -14,8 +16,24 @@ import (
 	"junicon/internal/core"
 	"junicon/internal/interp"
 	"junicon/internal/parser"
+	"junicon/internal/telemetry"
 	"junicon/internal/value"
 	"junicon/internal/wire"
+)
+
+// Server-side stream telemetry. Credit stalls are the headline metric:
+// a stall is the server's producer goroutine blocked because the client
+// has consumed its whole credit window — the remote form of §3B's
+// bounded queue throttling the producer, and the first thing to look at
+// when a distributed pipeline underperforms.
+var (
+	gServerConns   = telemetry.NewGauge("remote.server.active_conns")
+	gServerStreams = telemetry.NewGauge("remote.server.active_streams")
+	cServerStreams = telemetry.NewCounter("remote.server.streams_total")
+	cServerRefused = telemetry.NewCounter("remote.server.refused")
+	cServerValues  = telemetry.NewCounter("remote.server.values")
+	cCreditStalls  = telemetry.NewCounter("remote.server.credit_stalls")
+	cCreditStallNs = telemetry.NewCounter("remote.server.credit_stall_ns")
 )
 
 // Server defaults.
@@ -52,9 +70,10 @@ type Server struct {
 	// IdleTimeout bounds the gap between client frames; <= 0 selects
 	// DefaultIdleTimeout.
 	IdleTimeout time.Duration
-	// Logf, when set, receives one line per notable event (stream open,
-	// stream end, refusals).
-	Logf func(format string, args ...any)
+	// Log, when set, receives structured per-connection lifecycle events
+	// (stream open / done / refused) including the stream's telemetry ID,
+	// so log lines correlate with trace events and client-side logs.
+	Log *slog.Logger
 
 	mu       sync.Mutex
 	gens     map[string]Generator
@@ -107,10 +126,24 @@ func (s *Server) ActiveStreams() int { return int(s.streams.Load()) }
 // Served reports the total number of streams opened.
 func (s *Server) Served() int { return int(s.served.Load()) }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.Logf != nil {
-		s.Logf(format, args...)
+// log returns the configured logger, or a discard logger when none is
+// set (the pre-logging default: quiet).
+func (s *Server) log() *slog.Logger {
+	if s.Log != nil {
+		return s.Log
 	}
+	return discardLogger
+}
+
+var discardLogger = slog.New(slog.DiscardHandler)
+
+// streamID renders a telemetry stream ID the way traces serialize it
+// (hex), so log lines and trace events grep the same.
+func streamID(id uint64) string {
+	if id == 0 {
+		return ""
+	}
+	return strconv.FormatUint(id, 16)
 }
 
 func (s *Server) maxConns() int {
@@ -174,7 +207,13 @@ func (s *Server) Serve(l net.Listener) error {
 			// Refuse politely: drain the OPEN first so the client's write
 			// never hits a reset connection, then send ERR. The client
 			// surfaces the refusal via Err().
-			s.logf("refused %s: connection limit %d", conn.RemoteAddr(), s.maxConns())
+			s.log().Warn("connection refused",
+				"remote", conn.RemoteAddr().String(),
+				"reason", "connection limit",
+				"limit", s.maxConns())
+			if telemetry.On() {
+				cServerRefused.Inc()
+			}
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
@@ -186,10 +225,18 @@ func (s *Server) Serve(l net.Listener) error {
 			continue
 		}
 		s.conns.Add(1)
+		if telemetry.On() {
+			gServerConns.Set(s.conns.Load())
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer s.conns.Add(-1)
+			defer func() {
+				s.conns.Add(-1)
+				if telemetry.On() {
+					gServerConns.Set(s.conns.Load())
+				}
+			}()
 			defer conn.Close()
 			s.handleConn(conn)
 		}()
@@ -227,18 +274,21 @@ func newStream(initial uint64) *stream {
 }
 
 // acquire blocks until one credit is available or the stream is cancelled;
-// it reports whether a credit was taken.
-func (st *stream) acquire() bool {
+// it reports whether a credit was taken and whether it had to wait. A
+// wait is a credit stall: the client's buffer bound throttling this
+// producer across the wire.
+func (st *stream) acquire() (ok, waited bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	for st.credits == 0 && !st.cancelled {
+		waited = true
 		st.cond.Wait()
 	}
 	if st.cancelled {
-		return false
+		return false, waited
 	}
 	st.credits--
-	return true
+	return true, waited
 }
 
 func (st *stream) deposit(n uint64) {
@@ -273,23 +323,53 @@ func (s *Server) handleConn(conn net.Conn) {
 	gen, err := s.buildGenerator(open)
 	if err != nil {
 		writeFrame(conn, frameErr, []byte(err.Error()))
-		s.logf("refused %s: %v", conn.RemoteAddr(), err)
+		s.log().Warn("stream refused",
+			"remote", conn.RemoteAddr().String(),
+			"reason", err.Error())
+		if telemetry.On() {
+			cServerRefused.Inc()
+		}
 		return
 	}
 
+	// The generator this stream serves, for logs and trace labels.
+	what := open.name
+	if open.mode == openSource {
+		what = "source"
+	}
 	st := newStream(open.credit)
 	var wmu sync.Mutex // serializes VALUE/EOS/ERR (producer) with PONG (reader)
 	s.served.Add(1)
 	s.streams.Add(1)
-	s.logf("stream open from %s (credit %d)", conn.RemoteAddr(), open.credit)
+	opened := time.Now()
+	if telemetry.On() {
+		cServerStreams.Inc()
+		gServerStreams.Set(s.streams.Load())
+	}
+	// The stream ID arrived in the OPEN frame: server-side events carry
+	// the client's ID, which is what stitches the two processes' traces.
+	telemetry.Emit(open.stream, telemetry.KindStreamOpen, "serve:"+what, int64(open.credit))
+	s.log().Info("stream open",
+		"remote", conn.RemoteAddr().String(),
+		"generator", what,
+		"stream", streamID(open.stream),
+		"credit", open.credit)
 
 	// Producer goroutine: iterate the generator to failure, one VALUE per
 	// credit. Runtime errors and panics become ERR frames, mirroring
 	// pipe.Pipe's producer containment.
 	prodDone := make(chan struct{})
+	var sent atomic.Int64
+	var reason atomic.Pointer[string]
+	setReason := func(r string) { reason.CompareAndSwap(nil, &r) }
 	go func() {
-		defer s.streams.Add(-1)
-		defer close(prodDone)
+		defer func() {
+			s.streams.Add(-1)
+			if telemetry.On() {
+				gServerStreams.Set(s.streams.Load())
+			}
+			close(prodDone)
+		}()
 		sendErr := func(msg string) {
 			wmu.Lock()
 			writeFrame(conn, frameErr, []byte(msg))
@@ -308,30 +388,66 @@ func (s *Server) handleConn(conn net.Conn) {
 					}
 				}
 			}()
-			for st.acquire() {
+			for {
+				var stallStart time.Time
+				if telemetry.Active() {
+					stallStart = time.Now()
+				}
+				ok, waited := st.acquire()
+				if waited && telemetry.Active() {
+					// The client's credit window throttled us: the §3B
+					// bounded-queue backpressure, observed across the wire.
+					if telemetry.On() {
+						cCreditStalls.Inc()
+						cCreditStallNs.Add(time.Since(stallStart).Nanoseconds())
+					}
+					telemetry.EmitSpan(open.stream, telemetry.KindCreditStall, "serve:"+what, 0, stallStart)
+				}
+				if !ok {
+					setReason("cancelled")
+					return nil
+				}
+				tracing := telemetry.TraceOn()
+				var genStart time.Time
+				if tracing {
+					genStart = time.Now()
+				}
 				v, ok := gen.Next()
 				if !ok {
+					if tracing {
+						telemetry.EmitSpan(open.stream, telemetry.KindFail, "serve:"+what, 0, genStart)
+					}
 					wmu.Lock()
 					writeFrame(conn, frameEOS, nil)
 					wmu.Unlock()
-					return
+					setReason("eos")
+					return nil
+				}
+				if tracing {
+					telemetry.EmitSpan(open.stream, telemetry.KindValue, "serve:"+what, sent.Load(), genStart)
 				}
 				data, merr := wire.Marshal(value.Deref(v))
 				if merr != nil {
 					sendErr("encode: " + merr.Error())
-					return
+					setReason("encode error")
+					return nil
 				}
 				wmu.Lock()
 				werr := writeFrame(conn, frameValue, data)
 				wmu.Unlock()
 				if werr != nil {
-					return // connection gone; reader tears down
+					setReason("connection lost")
+					return nil // connection gone; reader tears down
+				}
+				sent.Add(1)
+				if telemetry.On() {
+					cServerValues.Inc()
 				}
 			}
-			return nil
 		}()
 		if err != nil {
 			sendErr(err.Error())
+			setReason("producer error: " + err.Error())
 		}
 	}()
 
@@ -342,12 +458,14 @@ reader:
 		conn.SetReadDeadline(time.Now().Add(idle))
 		typ, payload, err := readFrame(conn)
 		if err != nil {
+			setReason("connection lost")
 			break
 		}
 		switch typ {
 		case frameCredit:
 			n, err := parseCredit(payload)
 			if err != nil {
+				setReason("protocol violation")
 				break reader
 			}
 			st.deposit(n)
@@ -359,6 +477,7 @@ reader:
 			st.cancel()
 		default:
 			// Protocol violation: drop the stream.
+			setReason("protocol violation")
 			break reader
 		}
 	}
@@ -368,7 +487,18 @@ reader:
 	st.cancel()
 	conn.Close()
 	<-prodDone
-	s.logf("stream from %s done", conn.RemoteAddr())
+	why := "done"
+	if r := reason.Load(); r != nil {
+		why = *r
+	}
+	telemetry.EmitSpan(open.stream, telemetry.KindStreamEnd, "serve:"+what, sent.Load(), opened)
+	s.log().Info("stream done",
+		"remote", conn.RemoteAddr().String(),
+		"generator", what,
+		"stream", streamID(open.stream),
+		"values", sent.Load(),
+		"reason", why,
+		"dur", time.Since(opened))
 }
 
 // buildGenerator resolves an OPEN request to the generator it serves.

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Exporters for drained trace events. Two formats:
+//
+//   - JSONL: one event object per line, each tagged with the emitting
+//     process name. JSONL is the interchange format — /debug/trace
+//     serves it, and traces fetched from several processes concatenate
+//     by construction.
+//   - Chrome trace_event JSON: the viewer format (chrome://tracing,
+//     Perfetto). Each process becomes a pid, each stream a tid, so a
+//     merged distributed run reads as one timeline with producer,
+//     queue and consumer spans aligned by stream ID.
+
+// TaggedEvent is an Event attributed to a process, the unit of
+// cross-process trace merging. Stream is hex-encoded in JSON: stream
+// IDs use all 64 bits and would lose precision as JSON numbers.
+type TaggedEvent struct {
+	Proc   string `json:"proc"`
+	TS     int64  `json:"ts"`
+	Dur    int64  `json:"dur,omitempty"`
+	Stream string `json:"stream,omitempty"`
+	Kind   string `json:"kind"`
+	Name   string `json:"name,omitempty"`
+	Arg    int64  `json:"arg,omitempty"`
+}
+
+// Tag attributes a batch of local events to the named process.
+func Tag(proc string, evs []Event) []TaggedEvent {
+	out := make([]TaggedEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = TaggedEvent{
+			Proc: proc,
+			TS:   ev.TS,
+			Dur:  ev.Dur,
+			Kind: ev.Kind.String(),
+			Name: ev.Name,
+			Arg:  ev.Arg,
+		}
+		if ev.Stream != 0 {
+			out[i].Stream = strconv.FormatUint(ev.Stream, 16)
+		}
+	}
+	return out
+}
+
+// WriteJSONL writes events as JSON Lines.
+func WriteJSONL(w io.Writer, evs []TaggedEvent) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range evs {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses JSON Lines events, e.g. a /debug/trace response or
+// several concatenated. Blank lines are skipped; a malformed line is an
+// error.
+func ReadJSONL(r io.Reader) ([]TaggedEvent, error) {
+	var out []TaggedEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev TaggedEvent
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("telemetry: jsonl line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// chromeEvent is one trace_event record; see the Trace Event Format
+// spec. Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int64          `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes events in Chrome trace_event format (the
+// "JSON Array Format": a single {"traceEvents": [...]} object). Events
+// from different Proc values land on different pids with metadata name
+// records, and each stream gets its own tid — matching stream IDs on
+// both sides of a remote pipe therefore render as adjacent, aligned
+// rows, which is what stitches a distributed run end-to-end.
+func WriteChromeTrace(w io.Writer, evs []TaggedEvent) error {
+	// Deterministic pid assignment: sorted process names.
+	procs := map[string]int{}
+	var names []string
+	for _, ev := range evs {
+		if _, ok := procs[ev.Proc]; !ok {
+			procs[ev.Proc] = 0
+			names = append(names, ev.Proc)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		procs[n] = i + 1
+	}
+
+	out := make([]chromeEvent, 0, len(evs)+len(names))
+	for _, n := range names {
+		out = append(out, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			PID:  procs[n],
+			Args: map[string]any{"name": n},
+		})
+	}
+	for _, ev := range evs {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Kind,
+			TS:   float64(ev.TS) / 1e3,
+			PID:  procs[ev.Proc],
+			Args: map[string]any{"arg": ev.Arg},
+		}
+		if ev.Name == "" {
+			ce.Name = ev.Kind
+		}
+		if ev.Stream != "" {
+			ce.Args["stream"] = ev.Stream
+			if id, err := strconv.ParseUint(ev.Stream, 16, 64); err == nil {
+				// tid is the low stream bits: unique within a process run
+				// (the high bits are the per-process seed).
+				ce.TID = int64(id & 0xFFFFFFFF)
+			}
+		}
+		if ev.Dur > 0 {
+			ce.Ph = "X"
+			ce.Dur = float64(ev.Dur) / 1e3
+		} else {
+			ce.Ph = "i"
+			ce.Scope = "t"
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
+}

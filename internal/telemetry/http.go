@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// HTTP exposure: the handler junicond mounts under -debug-addr. All
+// endpoints are read-only and safe to hit while streams are live.
+//
+//	/debug/vars     expvar, including every registered metric under "junicon"
+//	/debug/metrics  just the metric snapshot, as one JSON object
+//	/debug/trace    drain the trace ring as JSONL (tagged with the process name)
+//	/debug/pprof/*  the standard Go profiler endpoints
+
+var publishOnce sync.Once
+
+// PublishExpvar publishes the metric registry under the expvar key
+// "junicon". Idempotent; Handler calls it, and embedders using plain
+// expvar can call it directly.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("junicon", expvar.Func(func() any { return Snapshot() }))
+	})
+}
+
+// Handler returns the debug mux. proc names this process in drained
+// trace events (e.g. "junicond:9707"), which is how merged distributed
+// traces keep their sides apart.
+func Handler(proc string) http.Handler {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(Snapshot())
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		WriteJSONL(w, Tag(proc, DrainTrace()))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the value to stay meaningful).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous atomic value (active connections, depth).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram accumulates non-negative observations into log₂ buckets:
+// bucket i counts values whose bit length is i, i.e. v in [2^(i-1), 2^i).
+// Log buckets keep the whole structure a fixed array of atomics — no
+// locks on the observe path — while spanning nanoseconds to minutes.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [65]atomic.Int64
+}
+
+// Observe records one value; negative values are clamped to 0.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// Bucket is one non-empty histogram bucket: N observations with value
+// <= Le (and greater than the previous bucket's Le).
+type Bucket struct {
+	Le int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Max     int64    `json:"max"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			le := int64(-1)
+			if i < 63 {
+				le = (int64(1) << i) - 1
+			}
+			s.Buckets = append(s.Buckets, Bucket{Le: le, N: n})
+		}
+	}
+	return s
+}
+
+// ---- registry ----
+
+// The registry is the process-wide name → metric map. Construction is
+// register-or-get so package-level `var c = telemetry.NewCounter(...)`
+// declarations across packages converge on one instance per name; the
+// hot path never touches the registry, only the returned metric.
+var registry = struct {
+	mu sync.Mutex
+	m  map[string]any
+}{m: make(map[string]any)}
+
+func registerOrGet[T any](name string, mk func() *T) *T {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if v, ok := registry.m[name]; ok {
+		if t, ok := v.(*T); ok {
+			return t
+		}
+		panic("telemetry: metric " + name + " registered with a different type")
+	}
+	t := mk()
+	registry.m[name] = t
+	return t
+}
+
+// NewCounter returns the counter registered under name, creating it on
+// first use. Panics if name is registered as a different metric type.
+func NewCounter(name string) *Counter {
+	return registerOrGet(name, func() *Counter { return &Counter{} })
+}
+
+// NewGauge returns the gauge registered under name.
+func NewGauge(name string) *Gauge { return registerOrGet(name, func() *Gauge { return &Gauge{} }) }
+
+// NewHistogram returns the histogram registered under name.
+func NewHistogram(name string) *Histogram {
+	return registerOrGet(name, func() *Histogram { return &Histogram{} })
+}
+
+// Snapshot returns a point-in-time copy of every registered metric:
+// counters and gauges as int64, histograms as HistogramSnapshot. The
+// result marshals cleanly to JSON with deterministically ordered keys.
+func Snapshot() map[string]any {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make(map[string]any, len(registry.m))
+	for name, m := range registry.m {
+		switch v := m.(type) {
+		case *Counter:
+			out[name] = v.Load()
+		case *Gauge:
+			out[name] = v.Load()
+		case *Histogram:
+			out[name] = v.Snapshot()
+		}
+	}
+	return out
+}
+
+// MetricNames returns the registered metric names, sorted.
+func MetricNames() []string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	names := make([]string, 0, len(registry.m))
+	for n := range registry.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ResetMetrics zeroes every registered metric. Intended for tests and
+// for delimiting measurement windows from the debug endpoint.
+func ResetMetrics() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, m := range registry.m {
+		switch v := m.(type) {
+		case *Counter:
+			v.v.Store(0)
+		case *Gauge:
+			v.v.Store(0)
+		case *Histogram:
+			v.count.Store(0)
+			v.sum.Store(0)
+			v.max.Store(0)
+			for i := range v.buckets {
+				v.buckets[i].Store(0)
+			}
+		}
+	}
+}

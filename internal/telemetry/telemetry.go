@@ -1,0 +1,82 @@
+// Package telemetry is the observability substrate for the concurrent
+// generator runtime — the repo's answer to the paper's closing future-work
+// item ("program monitoring and debugging within a transformational
+// framework", §9). Because every construct in the system is an iterator,
+// three narrow observation points cover the whole runtime: the kernel
+// protocol (resume/yield/fail/restart), the queue transport underneath
+// pipes (put/take blocked time, depth), and the remote framing (frames,
+// bytes, credits). This package provides the shared substrate those
+// layers report into:
+//
+//   - a metrics registry of atomic counters, gauges and log₂-bucketed
+//     histograms (Snapshot, expvar exposure);
+//   - a lock-free trace-event ring of span-like records carrying stream
+//     IDs that are propagated across the remote protocol, so a
+//     distributed run can be stitched into one timeline;
+//   - exporters for the buffered events: JSONL (one event per line,
+//     mergeable across processes) and Chrome trace_event format
+//     (chrome://tracing, Perfetto);
+//   - an HTTP debug handler (/debug/vars, /debug/metrics, /debug/trace,
+//     /debug/pprof) that junicond mounts.
+//
+// # Cost model
+//
+// Everything is off by default, and the disabled path is deliberately
+// branch-cheap: instrumented code guards with On() / TraceOn() /
+// Active(), each a single atomic load plus a predictable branch, so the
+// kernel hot loop pays effectively nothing until observation is asked
+// for. The package has no dependencies outside the standard library.
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// metricsOn gates metric recording. Trace recording is gated separately
+// by the installed ring (see trace.go); both gates are single atomic
+// loads on the hot path.
+var metricsOn atomic.Bool
+
+// SetMetrics enables or disables metric recording process-wide.
+func SetMetrics(on bool) { metricsOn.Store(on) }
+
+// On reports whether metric recording is enabled. Instrumented code
+// guards every metric update with it, keeping the disabled path to one
+// atomic load and a branch.
+func On() bool { return metricsOn.Load() }
+
+// Active reports whether any observation — metrics or tracing — is on.
+// Instrumentation that pays a setup cost (stream IDs, wrapped queues)
+// checks Active once at construction time.
+func Active() bool { return On() || TraceOn() }
+
+// ---- stream identifiers ----
+
+// Stream IDs tie the events of one logical generator stream together:
+// a pipe and its transport queue share one, and a remote pipe sends its
+// ID in the OPEN frame so the server's producer events carry the same ID
+// — that is what lets a distributed trace be stitched end-to-end. The
+// high 32 bits are a per-process seed so IDs from different processes
+// (coordinator, workers) do not collide in a merged trace.
+var (
+	streamSeed uint64
+	streamCtr  atomic.Uint64
+)
+
+func init() {
+	// The seed only needs to differ between cooperating processes; the
+	// start time's nanoseconds mixed with a multiplicative hash is plenty
+	// without reaching for crypto/rand on every process start.
+	ns := uint64(time.Now().UnixNano())
+	streamSeed = (ns * 0x9E3779B97F4A7C15) &^ 0xFFFFFFFF
+	if streamSeed == 0 {
+		streamSeed = 1 << 32
+	}
+}
+
+// NextStream allocates a process-unique stream identifier, never 0.
+// 0 is reserved to mean "no stream" throughout the event model.
+func NextStream() uint64 {
+	return streamSeed | (streamCtr.Add(1) & 0xFFFFFFFF)
+}
