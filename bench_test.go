@@ -20,6 +20,7 @@ import (
 	"junicon/internal/core"
 	"junicon/internal/pipe"
 	"junicon/internal/queue"
+	"junicon/internal/remote"
 	"junicon/internal/value"
 	"junicon/internal/wordcount"
 )
@@ -273,6 +274,92 @@ func BenchmarkKernelPipeThroughput(b *testing.B) {
 	b.StopTimer()
 	p.Stop()
 }
+
+// BenchmarkKernelPipeThroughputBatched is the batched counterpart of
+// BenchmarkKernelPipeThroughput: same source, same buffer, values moved in
+// runs of 64 (the acceptance target is ≥3× over the per-value transport).
+func BenchmarkKernelPipeThroughputBatched(b *testing.B) {
+	lines := int64(b.N)
+	p := junicon.BatchedPipeOf(junicon.Range(1, lines, 1), 256, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.Next(); !ok {
+			break
+		}
+	}
+	b.StopTimer()
+	p.Stop()
+}
+
+// ---- Ablation G: pipe batch size (local transport) ----
+
+func benchPipeBatch(b *testing.B, batch int) {
+	lines := int64(b.N)
+	p := junicon.BatchedPipeOf(junicon.Range(1, lines, 1), 1024, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.Next(); !ok {
+			break
+		}
+	}
+	b.StopTimer()
+	p.Stop()
+}
+
+func BenchmarkAblationPipeBatch_1(b *testing.B)   { benchPipeBatch(b, 1) }
+func BenchmarkAblationPipeBatch_8(b *testing.B)   { benchPipeBatch(b, 8) }
+func BenchmarkAblationPipeBatch_64(b *testing.B)  { benchPipeBatch(b, 64) }
+func BenchmarkAblationPipeBatch_512(b *testing.B) { benchPipeBatch(b, 512) }
+
+// ---- Ablation G: batch size over the remote transport (loopback TCP) ----
+
+var (
+	remoteBenchOnce sync.Once
+	remoteBenchAddr string
+)
+
+// remoteBenchServer starts one loopback server shared by the remote-batch
+// sweep, serving the same integer range the local sweep streams.
+func remoteBenchServer(b *testing.B) string {
+	b.Helper()
+	remoteBenchOnce.Do(func() {
+		s := remote.NewServer()
+		s.Register("range", func(args []value.V) (core.Gen, error) {
+			lo := int64(value.MustInt(args[0]))
+			hi := int64(value.MustInt(args[1]))
+			return core.IntRange(lo, hi), nil
+		})
+		addr, err := s.Start("127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		remoteBenchAddr = addr.String()
+	})
+	return remoteBenchAddr
+}
+
+// benchRemoteBatch streams b.N integers over loopback TCP with the given
+// VALUES-frame batch capability. Batch 1 negotiates the pre-batching
+// per-value protocol, so it doubles as the before/after baseline.
+func benchRemoteBatch(b *testing.B, batch int) {
+	addr := remoteBenchServer(b)
+	p := remote.Open(addr, "range",
+		[]value.V{value.NewInt(1), value.NewInt(int64(b.N))},
+		remote.Config{Buffer: 1024, Batch: batch})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.Next(); !ok {
+			b.Fatalf("remote pipe ended after %d of %d values: %v", i, b.N, p.Err())
+		}
+	}
+	b.StopTimer()
+	p.Stop()
+}
+
+func BenchmarkAblationRemoteBatch_1(b *testing.B)   { benchRemoteBatch(b, 1) }
+func BenchmarkAblationRemoteBatch_8(b *testing.B)   { benchRemoteBatch(b, 8) }
+func BenchmarkAblationRemoteBatch_64(b *testing.B)  { benchRemoteBatch(b, 64) }
+func BenchmarkAblationRemoteBatch_512(b *testing.B) { benchRemoteBatch(b, 512) }
 
 func BenchmarkQueuePutTake(b *testing.B) {
 	q := queue.NewArrayBlocking[int](64)

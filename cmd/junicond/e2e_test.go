@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"junicon/internal/remote"
+	"junicon/internal/value"
+)
+
+// End-to-end batching interop across real processes: one junicond serving
+// the batched protocol, one started with -no-batch, and one client process
+// (this test) streaming the same generator from both. The daemons are the
+// shipped binary, not in-process servers, so the flag plumbing, the OPEN
+// negotiation and the frame traffic all cross genuine process boundaries.
+
+var (
+	buildOnce sync.Once
+	daemonBin string
+	buildErr  error
+)
+
+// buildDaemon compiles junicond once per test run into a shared temp dir.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "junicond-e2e")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		daemonBin = filepath.Join(dir, "junicond")
+		out, err := exec.Command("go", "build", "-o", daemonBin, "junicon/cmd/junicond").CombinedOutput()
+		if err != nil {
+			buildErr = err
+			t.Logf("build output: %s", out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("build junicond: %v", buildErr)
+	}
+	return daemonBin
+}
+
+// startDaemon launches junicond on an ephemeral port and parses the bound
+// address from its "listening" log line.
+func startDaemon(t *testing.T, extraArgs ...string) string {
+	t.Helper()
+	bin := buildDaemon(t)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatalf("stderr pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start junicond: %v", err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	})
+	// The daemon logs `msg=listening addr=127.0.0.1:PORT ...` once bound.
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.Contains(line, "msg=listening") {
+				continue
+			}
+			for _, tok := range strings.Fields(line) {
+				if a, ok := strings.CutPrefix(tok, "addr="); ok {
+					addrc <- a
+					return
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("junicond did not report a listening address")
+		return ""
+	}
+}
+
+func drainRange(t *testing.T, addr string, cfg remote.Config, n int64) []int64 {
+	t.Helper()
+	p := remote.Open(addr, "range", []value.V{value.NewInt(1), value.NewInt(n)}, cfg)
+	defer p.Stop()
+	var got []int64
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("drain from %s stalled after %d values", addr, len(got))
+		}
+		v, ok := p.Next()
+		if !ok {
+			break
+		}
+		i, _ := value.ToInteger(value.Deref(v))
+		x, _ := i.Int64()
+		got = append(got, x)
+	}
+	if err := p.Err(); err != nil {
+		t.Fatalf("stream from %s errored: %v", addr, err)
+	}
+	return got
+}
+
+func TestE2ETwoDaemonsBatchingInterop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	batching := startDaemon(t, "-quiet=false")
+	legacy := startDaemon(t, "-no-batch")
+
+	const n = 500
+	cfg := remote.Config{Buffer: 64} // batching on by default
+	fromBatching := drainRange(t, batching, cfg, n)
+	fromLegacy := drainRange(t, legacy, cfg, n) // forces downgrade redial
+
+	if len(fromBatching) != n || len(fromLegacy) != n {
+		t.Fatalf("value counts differ: batching=%d legacy=%d want %d",
+			len(fromBatching), len(fromLegacy), n)
+	}
+	for i := 0; i < n; i++ {
+		if fromBatching[i] != int64(i+1) || fromLegacy[i] != int64(i+1) {
+			t.Fatalf("value %d: batching=%d legacy=%d want %d",
+				i, fromBatching[i], fromLegacy[i], i+1)
+		}
+	}
+
+	// A client that itself refuses batching speaks v2 to both daemons.
+	cfg.Batch = -1
+	if got := drainRange(t, batching, cfg, 100); len(got) != 100 {
+		t.Fatalf("v2 client against batching daemon: %d values, want 100", len(got))
+	}
+	if got := drainRange(t, legacy, cfg, 100); len(got) != 100 {
+		t.Fatalf("v2 client against legacy daemon: %d values, want 100", len(got))
+	}
+}

@@ -52,6 +52,7 @@ func main() {
 		addr        = flag.String("addr", "127.0.0.1:9707", "listen address")
 		debugAddr   = flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/trace on this address (enables metrics)")
 		allowSource = flag.Bool("allow-source", false, "serve vetted Junicon source streams")
+		noBatch     = flag.Bool("no-batch", false, "refuse batched (v3) streams and serve one VALUE frame per value")
 		maxConns    = flag.Int("max-conns", remote.DefaultMaxConns, "maximum concurrent connections")
 		idleTimeout = flag.Duration("idle-timeout", remote.DefaultIdleTimeout, "client silence tolerated before dropping a stream")
 		quiet       = flag.Bool("quiet", false, "suppress per-stream logging")
@@ -67,6 +68,11 @@ func main() {
 	srv.MaxConns = *maxConns
 	srv.IdleTimeout = *idleTimeout
 	srv.Log = logger
+	if *noBatch {
+		// Cap OPEN negotiation at the pre-batching protocol; v3 clients
+		// recognize the rejection and redial per-value.
+		srv.MaxProtocol = 2
+	}
 
 	srv.Register("range", func(args []value.V) (core.Gen, error) {
 		if len(args) != 2 {

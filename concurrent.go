@@ -53,6 +53,22 @@ func NewPipe(src Stepper, buffer int) *Pipe { return pipe.New(src, buffer) }
 // PipeOf spawns a pipe over a plain generator: |>e over <>e.
 func PipeOf(g Gen, buffer int) *Pipe { return pipe.FromGen(g, buffer) }
 
+// NewBatchedPipe creates a pipe that moves results through its queue in
+// runs of up to batch with a Nagle-style adaptive flush: full runs are
+// flushed in one queue operation, while a waiting consumer receives the
+// partial run immediately, so slow generators keep per-value latency.
+// batch <= 1 behaves exactly like NewPipe. Observable semantics (ordering,
+// failure propagation, Stop/Restart) are identical to NewPipe; the
+// producer may run ahead by up to buffer+batch values.
+func NewBatchedPipe(src Stepper, buffer, batch int) *Pipe {
+	return pipe.NewBatched(src, buffer, batch)
+}
+
+// BatchedPipeOf spawns a batched pipe over a plain generator.
+func BatchedPipeOf(g Gen, buffer, batch int) *Pipe {
+	return pipe.FromGenBatched(g, buffer, batch)
+}
+
 // Step activates a first-class iterator value (@c), optionally
 // transmitting a value into it.
 func Step(c Value, transmit Value) (Value, bool) { return core.Step(c, transmit) }
@@ -69,6 +85,11 @@ func Refresh(c Value) Value { return core.Refresh(c) }
 // runs in its own goroutine (§3B's fixed-code decomposition, Figure 2).
 func Pipeline(src Gen, buffer int, stages ...func(Gen) Gen) Gen {
 	return pipe.Chain(src, buffer, stages...)
+}
+
+// BatchedPipeline is Pipeline with batched transport between stages.
+func BatchedPipeline(src Gen, buffer, batch int, stages ...func(Gen) Gen) Gen {
+	return pipe.ChainBatched(src, buffer, batch, stages...)
 }
 
 // Future evaluates g in a separate goroutine and returns a handle to its

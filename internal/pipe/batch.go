@@ -1,0 +1,307 @@
+package pipe
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"junicon/internal/queue"
+	"junicon/internal/telemetry"
+	"junicon/internal/value"
+)
+
+// Batched transport mode. A batched pipe amortizes the per-value queue
+// handshake — the dominant cost of §3B's one-value-at-a-time protocol — by
+// moving values in runs of up to B, while keeping the Stepper surface and
+// the §3B semantics (bounded-buffer throttling, Stop releases a blocked
+// producer, failure propagation) exactly as in the unbatched pipe.
+//
+// The flush policy is Nagle-style adaptive, so latency never regresses for
+// slow generators:
+//
+//   - fill:   when the producer's run reaches B values it is flushed to the
+//     transport queue in one PutBatch (one lock, one wakeup, B values).
+//   - demand: a consumer observed waiting receives values as they are
+//     produced — each append signals the parked consumer, which steals the
+//     partial run directly, so a value never idles in the producer's hands
+//     while someone wants it.
+//   - EOS:    source exhaustion flushes the remainder before closing.
+//
+// The hot paths are deliberately lock-free. The producer publishes each
+// value with one plain slot store plus one atomic length store into a
+// shared spill array, then reads an atomic waiter count; it takes a lock
+// only to flush a full run or to wake a parked consumer. The consumer
+// serves values from a refill buffer under one uncontended mutex and
+// refills a whole run at a time (TryTakeBatch from the queue, or stealing
+// the producer's published run).
+//
+// Lost-wakeup freedom is a sequential-consistency argument. The producer
+// executes (P1) publish sLen, (P2) load waiters; a consumer parks only
+// after (C1) incrementing waiters — an atomic RMW — and then (C2)
+// re-checking the queue and the published spill under the park lock. In
+// the total order of these seq-cst operations, either C1 precedes P2 (the
+// producer sees the waiter and signals) or P1 precedes C2 (the consumer
+// sees the value and does not park). While a flush's PutBatch is in flight
+// the consumer parks inside the queue's own blocking TakeBatch instead —
+// a flush is guaranteed to make at least one element visible there, so
+// that wait cannot be missed either. A rendezvous transport has no buffer
+// to make elements visible in, which is why start() degrades batching to
+// the per-value path for zero-capacity queues.
+//
+// The producer may run ahead of the consumer by up to queue-capacity + B
+// values (bound + spill run): batching widens the §3B throttle window by
+// at most one batch, it never removes it. Stop discards the unflushed run
+// — the analogue of the unbatched producer's in-hand value — and a
+// producer blocked mid-flush is released by the queue close exactly as an
+// unbatched producer blocked in Put is.
+
+var hPipeFlush = telemetry.NewHistogram("pipe.flush_size")
+
+// maxRefillSpin caps the consumer's pre-park poll loop (see refill): a
+// consumer that merely out-raced the producer on a busy scheduler yields
+// and re-polls before paying the park/handoff protocol.
+const maxRefillSpin = 64
+
+// batcher holds the batched-mode state for one producer generation.
+type batcher struct {
+	out      queue.Queue[value.V] // the generation's transport queue
+	batch    int64
+	observed bool
+
+	// Producer-published run. spill is a fixed array of length batch;
+	// slots [steal, sLen) hold published, unconsumed values. Only the
+	// producer stores slots and sLen (prodLen is the producer's plain
+	// mirror of sLen, so the hot path re-reads nothing atomic); steal is
+	// advanced by consumers and reset by the producer, both under pmu.
+	spill   []value.V
+	sLen    atomic.Int64
+	prodLen int64
+	steal   int64
+
+	// Park/steal/flush coordination — slow paths only, never per value.
+	pmu      sync.Mutex
+	hasData  sync.Cond
+	waiters  atomic.Int64
+	inflight bool // a flush PutBatch is executing outside pmu
+	done     bool // producer exited and closed the queue
+	stopped  atomic.Bool
+
+	// Consumer side: one mutex guards serving and refilling, so the refill
+	// buffer can be reused without a publication protocol. Between refills
+	// a Next is one uncontended lock and a slice index. results is the
+	// pipe's taken-count, advanced once per refill rather than per value.
+	cmu     sync.Mutex
+	pending []value.V
+	pn, pi  int
+	results *atomic.Int64
+}
+
+func newBatcher(out queue.Queue[value.V], batch int, observed bool, results *atomic.Int64) *batcher {
+	b := &batcher{
+		out:      out,
+		batch:    int64(batch),
+		observed: observed,
+		spill:    make([]value.V, batch),
+		pending:  make([]value.V, batch),
+		results:  results,
+	}
+	b.hasData.L = &b.pmu
+	return b
+}
+
+// offer hands one produced value to the transport; reports false when the
+// pipe was stopped and the producer should unwind.
+func (b *batcher) offer(v value.V) bool {
+	if b.stopped.Load() {
+		return false
+	}
+	n := b.prodLen
+	b.spill[n] = v
+	b.prodLen = n + 1
+	b.sLen.Store(n + 1)       // P1: publish
+	if b.waiters.Load() > 0 { // P2: observe parked consumer
+		b.pmu.Lock()
+		b.hasData.Broadcast()
+		b.pmu.Unlock()
+	}
+	if n+1 == b.batch {
+		return b.flush()
+	}
+	return true
+}
+
+// flush moves the published, unstolen run into the queue with one PutBatch
+// and resets the spill. Runs on the producer only.
+func (b *batcher) flush() bool {
+	b.pmu.Lock()
+	s, n := b.steal, b.sLen.Load()
+	vs := b.spill[s:n]
+	if len(vs) == 0 {
+		// The whole run was stolen (or nothing was produced); recycle the
+		// spill so the next run starts at slot zero.
+		b.steal = 0
+		b.prodLen = 0
+		b.sLen.Store(0)
+		b.pmu.Unlock()
+		return !b.stopped.Load()
+	}
+	b.inflight = true
+	if b.waiters.Load() > 0 {
+		// Re-route parked consumers to the queue before a PutBatch that
+		// may itself block for space (batch > capacity): from here on only
+		// the queue's own condition is signaled as elements land.
+		b.hasData.Broadcast()
+	}
+	b.pmu.Unlock()
+	if b.observed {
+		hPipeFlush.Observe(int64(len(vs)))
+	}
+	_, err := b.out.PutBatch(vs)
+	b.pmu.Lock()
+	b.inflight = false
+	b.steal = 0
+	b.prodLen = 0
+	b.sLen.Store(0)
+	if b.waiters.Load() > 0 {
+		b.hasData.Broadcast()
+	}
+	b.pmu.Unlock()
+	return err == nil && !b.stopped.Load()
+}
+
+// finish flushes the remaining run, closes the queue and wakes every
+// consumer. Called once when the source is exhausted.
+func (b *batcher) finish() {
+	b.flush()
+	b.out.Close()
+	b.pmu.Lock()
+	b.done = true
+	b.hasData.Broadcast()
+	b.pmu.Unlock()
+}
+
+// stop discards the unflushed run and wakes every consumer; the caller has
+// closed (or is about to close) the transport queue.
+func (b *batcher) stop() {
+	b.stopped.Store(true)
+	b.pmu.Lock()
+	b.hasData.Broadcast()
+	b.pmu.Unlock()
+}
+
+// next yields the next value on the consumer side. Served slots are not
+// cleared individually — the next refill overwrites them, so at most one
+// batch of dead references outlives its consumption. The fast path is kept
+// small enough to inline into Pipe.Next.
+func (b *batcher) next() (value.V, bool) {
+	b.cmu.Lock()
+	if b.pi < b.pn {
+		v := b.pending[b.pi]
+		b.pi++
+		b.cmu.Unlock()
+		return v, true
+	}
+	return b.nextSlow()
+}
+
+// nextSlow refills and serves the run's first value. Caller holds cmu.
+func (b *batcher) nextSlow() (value.V, bool) {
+	n, ok := b.refill()
+	if !ok {
+		b.cmu.Unlock()
+		return nil, false
+	}
+	b.results.Add(int64(n))
+	v := b.pending[0]
+	b.pn, b.pi = n, 1
+	b.cmu.Unlock()
+	return v, true
+}
+
+// refill obtains the next run of values into b.pending and reports its
+// length. Caller holds cmu (serializing consumers and licensing reuse of
+// the pending buffer); refill manages pmu itself.
+func (b *batcher) refill() (int, bool) {
+	out := b.out
+	dst := b.pending[:b.batch]
+	// Opportunistic poll before engaging the park protocol: on a busy
+	// scheduler the producer is typically runnable with a full run, and
+	// one yield is cheaper than a futex round trip.
+	for i := 0; i < maxRefillSpin; i++ {
+		n, err := out.TryTakeBatch(dst)
+		if n > 0 {
+			return n, true
+		}
+		if err != nil { // closed and drained
+			return 0, false
+		}
+		if b.sLen.Load() > 0 {
+			break // a partial run is published; steal it under pmu
+		}
+		runtime.Gosched()
+	}
+	b.pmu.Lock()
+	registered := false
+	for {
+		n, err := out.TryTakeBatch(dst)
+		if n > 0 {
+			if registered {
+				b.waiters.Add(-1)
+			}
+			b.pmu.Unlock()
+			return n, true
+		}
+		if err != nil {
+			if registered {
+				b.waiters.Add(-1)
+			}
+			b.pmu.Unlock()
+			return 0, false
+		}
+		if b.inflight {
+			// A flush is delivering into the queue right now; park inside
+			// the queue's own blocking take, which that delivery must wake.
+			if registered {
+				b.waiters.Add(-1)
+			}
+			b.pmu.Unlock()
+			n, err := out.TakeBatch(dst)
+			if err != nil {
+				return 0, false
+			}
+			if n > 0 {
+				return n, true
+			}
+			b.pmu.Lock()
+			registered = false
+			continue
+		}
+		if s, e := b.steal, b.sLen.Load(); e > s {
+			// Demand-driven steal: the producer's published partial run
+			// goes straight to the consumer without touching the queue.
+			copied := copy(dst, b.spill[s:e])
+			b.steal = e
+			if registered {
+				b.waiters.Add(-1)
+			}
+			b.pmu.Unlock()
+			return copied, true
+		}
+		if b.done || b.stopped.Load() {
+			if registered {
+				b.waiters.Add(-1)
+			}
+			b.pmu.Unlock()
+			return 0, false
+		}
+		if !registered {
+			// C1: register, then loop to re-check everything before
+			// sleeping — the producer's publish/observe order (P1 then P2)
+			// guarantees one side sees the other.
+			b.waiters.Add(1)
+			registered = true
+			continue
+		}
+		b.hasData.Wait()
+	}
+}

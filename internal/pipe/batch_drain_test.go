@@ -1,0 +1,27 @@
+package pipe
+
+import (
+	"testing"
+
+	"junicon/internal/core"
+)
+
+func TestBatchDrainCounts(t *testing.T) {
+	for _, batch := range []int{2, 3, 8, 64, 512} {
+		for _, n := range []int64{1, 7, 8, 9, 100, 10000, 300000} {
+			p := FromGenBatched(core.IntRange(1, n), 1024, batch)
+			var got int64
+			for {
+				v, ok := p.Next()
+				if !ok {
+					break
+				}
+				_ = v
+				got++
+			}
+			if got != n {
+				t.Fatalf("batch=%d n=%d: drained %d", batch, n, got)
+			}
+		}
+	}
+}

@@ -10,11 +10,17 @@
 // The output queue is exposed (Out) "to permit further manipulation", and
 // bounding its buffer throttles the threaded co-expression. A pipe limited
 // to a single result is a future (see First).
+//
+// A pipe may run in batched mode (NewBatched): values move through the
+// queue in runs of up to B with a Nagle-style adaptive flush, amortizing
+// the per-value handshake without changing anything observable at the
+// Stepper surface — see batch.go for the protocol.
 package pipe
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"junicon/internal/core"
@@ -37,6 +43,14 @@ var (
 // DefaultBuffer is the output-queue bound used when none is given.
 const DefaultBuffer = 1024
 
+// generation is one producer incarnation: its transport queue and, in
+// batched mode, its batcher. Next loads it with a single atomic read once
+// the producer is running.
+type generation struct {
+	out queue.Queue[value.V]
+	b   *batcher // nil in per-value mode
+}
+
 // Pipe is a generator proxy for a co-expression running in a separate
 // goroutine. It implements value.Gen (so it composes with the kernel),
 // core.Stepper (so @, ! and ^ apply) and value.V (so it is first-class).
@@ -45,10 +59,14 @@ type Pipe struct {
 	src     core.Stepper
 	out     queue.Queue[value.V]
 	mkQueue func() queue.Queue[value.V]
+	batch   int  // > 1 enables batched transport
+	ownSrc  bool // src is a FirstClass this package built (FromGen et al.)
 	started bool
-	results int
 	err     error
 	stream  uint64 // telemetry stream ID; 0 until an observed start
+
+	cur     atomic.Pointer[generation]
+	results atomic.Int64
 }
 
 var (
@@ -72,21 +90,64 @@ func New(src core.Stepper, buffer int) *Pipe {
 	}
 }
 
+// NewBatched returns a pipe that moves values through its queue in runs of
+// up to batch, flushing adaptively (on fill, on EOS, and immediately when
+// the consumer is waiting). batch <= 1 is exactly New. The producer may run
+// ahead by up to buffer+batch values; Stop/Restart/Err/First semantics are
+// unchanged.
+func NewBatched(src core.Stepper, buffer, batch int) *Pipe {
+	p := New(src, buffer)
+	if batch > 1 {
+		p.batch = batch
+	}
+	return p
+}
+
 // NewWithQueue returns a pipe transporting results through queues produced
 // by mk — e.g. a Synchronous queue for rendezvous hand-off.
 func NewWithQueue(src core.Stepper, mk func() queue.Queue[value.V]) *Pipe {
 	return &Pipe{src: src, mkQueue: mk}
 }
 
+// NewBatchedWithQueue combines NewWithQueue with batched transport — used
+// by the differential stress harness to batch over schedule-perturbed
+// queues. Zero-capacity (rendezvous) queues degrade to per-value hand-off.
+func NewBatchedWithQueue(src core.Stepper, mk func() queue.Queue[value.V], batch int) *Pipe {
+	p := NewWithQueue(src, mk)
+	if batch > 1 {
+		p.batch = batch
+	}
+	return p
+}
+
 // FromGen lifts a plain generator into a pipe: |>e over <>e.
 func FromGen(g core.Gen, buffer int) *Pipe {
-	return New(core.NewFirstClass(g), buffer)
+	p := New(core.NewFirstClass(g), buffer)
+	p.ownSrc = true
+	return p
 }
+
+// FromGenBatched lifts a plain generator into a batched pipe.
+func FromGenBatched(g core.Gen, buffer, batch int) *Pipe {
+	p := NewBatched(core.NewFirstClass(g), buffer, batch)
+	p.ownSrc = true
+	return p
+}
+
+// rendezvouser is implemented by queues with no buffer at all; batching
+// cannot amortize a rendezvous, and the batched protocol requires flushed
+// elements to become visible in the queue, so such transports stay on the
+// per-value path.
+type rendezvouser interface{ Rendezvous() bool }
 
 // start spawns the producer goroutine. Caller holds p.mu.
 func (p *Pipe) start() {
 	p.out = p.mkQueue()
 	p.started = true
+	batch := p.batch
+	if r, ok := p.out.(rendezvouser); ok && r.Rendezvous() {
+		batch = 1
+	}
 	// Observation is decided once per producer start: an unobserved pipe
 	// runs exactly the pre-telemetry code path.
 	observed := telemetry.Active()
@@ -98,7 +159,18 @@ func (p *Pipe) start() {
 		cProducersStarted.Inc()
 		gProducersActive.Add(1)
 	}
+	var b *batcher
+	if batch > 1 {
+		b = newBatcher(p.out, batch, observed, &p.results)
+	}
+	p.cur.Store(&generation{out: p.out, b: b})
 	src, out, stream := p.src, p.out, p.stream
+	var gen core.Gen
+	if p.ownSrc && !observed {
+		if fc, ok := src.(*core.FirstClass); ok {
+			gen = fc.G
+		}
+	}
 	go func() {
 		var startTime time.Time
 		var produced int64
@@ -123,26 +195,68 @@ func (p *Pipe) start() {
 				if observed {
 					cPipeErrors.Inc()
 				}
-				out.Close()
+				// Values yielded before the error are already in the queue
+				// on the per-value path; the batched path must flush its
+				// published run first so error propagation delivers exactly
+				// the same prefix. finish never hangs here: a stopped pipe's
+				// closed queue aborts the flush with ErrClosed.
+				if b != nil {
+					b.finish()
+				} else {
+					out.Close()
+				}
 			}
 		}()
-		for {
-			v, ok := src.Step(value.NullV)
-			if !ok {
-				break
+		if gen != nil {
+			// Own-source, unobserved fast loop: iterate the generator
+			// directly, skipping the FirstClass Step indirection and the
+			// per-value telemetry checks. Semantically identical — the
+			// wrapping FirstClass is not reachable outside this pipe.
+			for {
+				v, ok := gen.Next()
+				if !ok {
+					break
+				}
+				if v == nil {
+					v = value.NullV
+				}
+				v = value.Deref(v)
+				if b != nil {
+					if !b.offer(v) {
+						return // consumer stopped the pipe
+					}
+				} else if out.Put(v) != nil {
+					return // consumer stopped the pipe
+				}
 			}
-			if v == nil {
-				v = value.NullV
-			}
-			if out.Put(value.Deref(v)) != nil {
-				return // consumer stopped the pipe
-			}
-			if observed {
-				produced++
-				cPipeValues.Inc()
+		} else {
+			for {
+				v, ok := src.Step(value.NullV)
+				if !ok {
+					break
+				}
+				if v == nil {
+					v = value.NullV
+				}
+				v = value.Deref(v)
+				if b != nil {
+					if !b.offer(v) {
+						return // consumer stopped the pipe
+					}
+				} else if out.Put(v) != nil {
+					return // consumer stopped the pipe
+				}
+				if observed {
+					produced++
+					cPipeValues.Inc()
+				}
 			}
 		}
-		out.Close()
+		if b != nil {
+			b.finish()
+		} else {
+			out.Close()
+		}
 	}()
 }
 
@@ -171,19 +285,24 @@ func (p *Pipe) StartEager() {
 // producer has iterated its co-expression to failure. The @ operation on a
 // pipe "is out.take()" (§3B).
 func (p *Pipe) Next() (value.V, bool) {
-	p.mu.Lock()
-	if !p.started {
-		p.start()
+	g := p.cur.Load()
+	if g == nil {
+		p.mu.Lock()
+		if !p.started {
+			p.start()
+		}
+		g = p.cur.Load()
+		p.mu.Unlock()
 	}
-	out := p.out
-	p.mu.Unlock()
-	v, err := out.Take()
+	if g.b != nil {
+		// The batcher advances p.results itself, once per refill.
+		return g.b.next()
+	}
+	v, err := g.out.Take()
 	if err != nil {
 		return nil, false
 	}
-	p.mu.Lock()
-	p.results++
-	p.mu.Unlock()
+	p.results.Add(1)
 	return v, true
 }
 
@@ -193,15 +312,18 @@ func (p *Pipe) Restart() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.started {
-		p.out.Close()
+		p.stopCurrentLocked()
+		p.cur.Store(nil) // next Next spawns the fresh producer
 		p.started = false
 		p.src = p.src.Refresh()
 	}
-	p.results = 0
+	p.results.Store(0)
 }
 
 // Stop terminates the producer without restarting; further Nexts fail until
-// Restart. Safe to call at any time.
+// Restart. Safe to call at any time — including while a batched producer is
+// blocked mid-flush: closing the queue releases its PutBatch, and the
+// discarded partial run mirrors the unbatched producer's in-hand value.
 func (p *Pipe) Stop() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -210,14 +332,27 @@ func (p *Pipe) Stop() {
 		p.out = p.mkQueue()
 		p.out.Close()
 		p.started = true
+		p.cur.Store(&generation{out: p.out})
 		return
 	}
+	p.stopCurrentLocked()
+}
+
+// stopCurrentLocked closes the current generation's transport and wakes
+// every batched-mode waiter; Next afterwards drains the closed queue and
+// fails. Caller holds p.mu.
+func (p *Pipe) stopCurrentLocked() {
 	p.out.Close()
+	if g := p.cur.Load(); g != nil && g.b != nil {
+		g.b.stop()
+	}
+	p.cur.Store(&generation{out: p.out})
 }
 
 // Out exposes the transport queue — the paper makes the BlockingQueue "a
 // public field to permit further manipulation". It is nil until the
-// producer starts.
+// producer starts. In batched mode values appear in it one flush at a time;
+// a run being handed directly to a waiting consumer bypasses it.
 func (p *Pipe) Out() queue.Queue[value.V] {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -233,9 +368,9 @@ func (p *Pipe) Refresh() core.Stepper {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.started {
-		p.out.Close()
+		p.stopCurrentLocked()
 	}
-	return &Pipe{src: p.src.Refresh(), mkQueue: p.mkQueue}
+	return &Pipe{src: p.src.Refresh(), mkQueue: p.mkQueue, batch: p.batch}
 }
 
 // Stream reports the pipe's telemetry stream ID — 0 unless the producer
@@ -246,11 +381,12 @@ func (p *Pipe) Stream() uint64 {
 	return p.stream
 }
 
-// Size reports the number of results taken so far (*P).
+// Size reports the number of results taken so far (*P). In batched mode
+// the count advances one run at a time as values reach the consumer side,
+// so mid-iteration it may lead the delivered count by up to one batch; at
+// quiescence (exhaustion, Stop) it is exact.
 func (p *Pipe) Size() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.results
+	return int(p.results.Load())
 }
 
 // Type returns "co-expression": a pipe is a proxy for one.
@@ -260,7 +396,10 @@ func (p *Pipe) Type() string { return "co-expression" }
 func (p *Pipe) Image() string { return "pipe" }
 
 // First runs the pipe as a future: it takes the first result and stops the
-// producer. ok is false when the piped expression failed without a result.
+// producer — also when the pipe was started eagerly (StartEager), so a
+// producer blocked on a full queue or mid-batch-flush is always released
+// after the single result is in hand. ok is false when the piped expression
+// failed without a result.
 func (p *Pipe) First() (value.V, bool) {
 	v, ok := p.Next()
 	p.Stop()
@@ -275,6 +414,15 @@ func Chain(src core.Gen, buffer int, stages ...func(core.Gen) core.Gen) core.Gen
 	g := src
 	for _, stage := range stages {
 		g = stage(core.Bang(FromGen(g, buffer)))
+	}
+	return g
+}
+
+// ChainBatched is Chain with batched transport between stages.
+func ChainBatched(src core.Gen, buffer, batch int, stages ...func(core.Gen) core.Gen) core.Gen {
+	g := src
+	for _, stage := range stages {
+		g = stage(core.Bang(FromGenBatched(g, buffer, batch)))
 	}
 	return g
 }

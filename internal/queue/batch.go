@@ -1,0 +1,284 @@
+package queue
+
+// Batch operations for every queue implementation. The buffered queues
+// (ArrayBlocking, LinkedBlocking) move a whole run of elements per lock
+// acquisition; the rendezvous-style queues (Synchronous, MVar) keep their
+// per-element handshake for delivery — batching cannot loosen a rendezvous
+// — but still drain multi-element on the take side when offers are parked
+// back to back.
+
+// enqueueRun bulk-copies vs into the ring in at most two segment copies.
+// Caller holds mu and guarantees len(vs) fits the free space.
+func (q *ArrayBlocking[T]) enqueueRun(vs []T) {
+	tail := (q.head + q.n) % len(q.buf)
+	c := copy(q.buf[tail:], vs)
+	copy(q.buf, vs[c:])
+	q.n += len(vs)
+}
+
+// dequeueRun bulk-copies up to len(dst) elements out of the ring (at most
+// two segment copies) and clears the vacated slots for GC. Caller holds mu.
+func (q *ArrayBlocking[T]) dequeueRun(dst []T) int {
+	n := min(len(dst), q.n)
+	if n == 0 {
+		return 0
+	}
+	c := copy(dst[:n], q.buf[q.head:])
+	copy(dst[c:n], q.buf)
+	if end := q.head + n; end <= len(q.buf) {
+		clear(q.buf[q.head:end])
+	} else {
+		clear(q.buf[q.head:])
+		clear(q.buf[:end-len(q.buf)])
+	}
+	q.head = (q.head + n) % len(q.buf)
+	q.n -= n
+	return n
+}
+
+// PutBatch enqueues vs in order, blocking for space as needed and waking
+// takers once per run rather than once per element. Elements move in bulk
+// segment copies, so the per-element cost is a memmove, not a lock.
+func (q *ArrayBlocking[T]) PutBatch(vs []T) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return 0, ErrClosed
+	}
+	n := 0
+	for n < len(vs) {
+		for q.n == len(q.buf) && !q.closed {
+			q.notFull.Wait()
+		}
+		if q.closed {
+			return n, ErrClosed
+		}
+		run := min(len(vs)-n, len(q.buf)-q.n)
+		q.enqueueRun(vs[n : n+run])
+		n += run
+		q.notEmpty.Broadcast()
+	}
+	return n, nil
+}
+
+// TakeBatch blocks until at least one element is available, then dequeues
+// up to len(dst) without further blocking.
+func (q *ArrayBlocking[T]) TakeBatch(dst []T) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.n == 0 {
+		return 0, ErrClosed
+	}
+	n := q.dequeueRun(dst)
+	q.notFull.Broadcast()
+	return n, nil
+}
+
+// TryTakeBatch dequeues up to len(dst) elements without blocking.
+func (q *ArrayBlocking[T]) TryTakeBatch(dst []T) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n == 0 {
+		if q.closed {
+			return 0, ErrClosed
+		}
+		return 0, nil
+	}
+	n := q.dequeueRun(dst)
+	if n > 0 {
+		q.notFull.Broadcast()
+	}
+	return n, nil
+}
+
+// PutBatch enqueues vs in order, blocking for space as needed (never blocks
+// when unbounded).
+func (q *LinkedBlocking[T]) PutBatch(vs []T) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return 0, ErrClosed
+	}
+	n := 0
+	for n < len(vs) {
+		for q.maxLen > 0 && q.n >= q.maxLen && !q.closed {
+			q.notFull.Wait()
+		}
+		if q.closed {
+			return n, ErrClosed
+		}
+		for n < len(vs) && (q.maxLen <= 0 || q.n < q.maxLen) {
+			q.enqueue(vs[n])
+			n++
+		}
+		q.notEmpty.Broadcast()
+	}
+	return n, nil
+}
+
+// TakeBatch blocks until at least one element is available, then dequeues
+// up to len(dst) without further blocking.
+func (q *LinkedBlocking[T]) TakeBatch(dst []T) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.n == 0 {
+		return 0, ErrClosed
+	}
+	n := 0
+	for n < len(dst) && q.n > 0 {
+		dst[n] = q.dequeue()
+		n++
+	}
+	q.notFull.Broadcast()
+	return n, nil
+}
+
+// TryTakeBatch dequeues up to len(dst) elements without blocking.
+func (q *LinkedBlocking[T]) TryTakeBatch(dst []T) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n == 0 {
+		if q.closed {
+			return 0, ErrClosed
+		}
+		return 0, nil
+	}
+	n := 0
+	for n < len(dst) && q.n > 0 {
+		dst[n] = q.dequeue()
+		n++
+	}
+	if n > 0 {
+		q.notFull.Broadcast()
+	}
+	return n, nil
+}
+
+// PutBatch performs one rendezvous per element: a synchronous queue has no
+// buffer to batch into, so delivery remains pairwise.
+func (q *Synchronous[T]) PutBatch(vs []T) (int, error) {
+	if len(vs) == 0 {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		if q.closed {
+			return 0, ErrClosed
+		}
+		return 0, nil
+	}
+	for i, v := range vs {
+		if err := q.Put(v); err != nil {
+			return i, err
+		}
+	}
+	return len(vs), nil
+}
+
+// TakeBatch blocks for one rendezvous, then opportunistically accepts any
+// further offers already parked, without blocking again.
+func (q *Synchronous[T]) TakeBatch(dst []T) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	v, err := q.Take()
+	if err != nil {
+		return 0, err
+	}
+	dst[0] = v
+	n := 1
+	for n < len(dst) {
+		v, ok, _ := q.TryTake()
+		if !ok {
+			break
+		}
+		dst[n] = v
+		n++
+	}
+	return n, nil
+}
+
+// TryTakeBatch accepts parked offers without blocking.
+func (q *Synchronous[T]) TryTakeBatch(dst []T) (int, error) {
+	n := 0
+	for n < len(dst) {
+		v, ok, err := q.TryTake()
+		if err != nil && n == 0 {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		dst[n] = v
+		n++
+	}
+	return n, nil
+}
+
+// PutBatch fills the slot once per element, waiting for each take.
+func (m *MVar[T]) PutBatch(vs []T) (int, error) {
+	if len(vs) == 0 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.closed {
+			return 0, ErrClosed
+		}
+		return 0, nil
+	}
+	for i, v := range vs {
+		if err := m.Put(v); err != nil {
+			return i, err
+		}
+	}
+	return len(vs), nil
+}
+
+// TakeBatch blocks for the slot, then (with capacity 1) usually returns a
+// single element; a racing refill may extend the run.
+func (m *MVar[T]) TakeBatch(dst []T) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	v, err := m.Take()
+	if err != nil {
+		return 0, err
+	}
+	dst[0] = v
+	n := 1
+	for n < len(dst) {
+		v, ok, _ := m.TryTake()
+		if !ok {
+			break
+		}
+		dst[n] = v
+		n++
+	}
+	return n, nil
+}
+
+// TryTakeBatch empties the slot without blocking.
+func (m *MVar[T]) TryTakeBatch(dst []T) (int, error) {
+	n := 0
+	for n < len(dst) {
+		v, ok, err := m.TryTake()
+		if err != nil && n == 0 {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		dst[n] = v
+		n++
+	}
+	return n, nil
+}

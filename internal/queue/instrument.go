@@ -21,6 +21,8 @@ var (
 	cTakeBlockedNs = telemetry.NewCounter("queue.take_blocked_ns")
 	hDepth         = telemetry.NewHistogram("queue.depth")
 	hOccupancy     = telemetry.NewHistogram("queue.occupancy_pct")
+	hPutBatch      = telemetry.NewHistogram("queue.put_batch_size")
+	hTakeBatch     = telemetry.NewHistogram("queue.take_batch_size")
 )
 
 // Instrument wraps q so Put/Take record blocked time, depth and
@@ -100,6 +102,72 @@ func (iq *instrumented[T]) TryTake() (T, bool, error) {
 	return v, ok, err
 }
 
+// observeBatch records an n-element batch transfer: element counters move
+// by n, the batch-size histogram captures the amortization actually won,
+// and tracing emits a single span for the whole run.
+func (iq *instrumented[T]) observeBatch(put bool, start time.Time, n int) {
+	on, tracing := telemetry.On(), telemetry.TraceOn()
+	if !on && !tracing {
+		return
+	}
+	blocked := time.Since(start).Nanoseconds()
+	depth := iq.q.Len()
+	if on {
+		if put {
+			cPuts.Add(int64(n))
+			cPutBlockedNs.Add(blocked)
+			hPutBatch.Observe(int64(n))
+		} else {
+			cTakes.Add(int64(n))
+			cTakeBlockedNs.Add(blocked)
+			hTakeBatch.Observe(int64(n))
+		}
+		hDepth.Observe(int64(depth))
+		if c := iq.q.Cap(); c > 0 {
+			hOccupancy.Observe(int64(depth * 100 / c))
+		}
+	}
+	if tracing {
+		kind := telemetry.KindTake
+		if put {
+			kind = telemetry.KindPut
+		}
+		telemetry.EmitSpan(iq.stream, kind, iq.name, int64(depth), start)
+	}
+}
+
+func (iq *instrumented[T]) PutBatch(vs []T) (int, error) {
+	start := time.Now()
+	n, err := iq.q.PutBatch(vs)
+	if n > 0 {
+		iq.observeBatch(true, start, n)
+	}
+	return n, err
+}
+
+func (iq *instrumented[T]) TakeBatch(dst []T) (int, error) {
+	start := time.Now()
+	n, err := iq.q.TakeBatch(dst)
+	if n > 0 {
+		iq.observeBatch(false, start, n)
+	}
+	return n, err
+}
+
+func (iq *instrumented[T]) TryTakeBatch(dst []T) (int, error) {
+	n, err := iq.q.TryTakeBatch(dst)
+	if n > 0 {
+		iq.observeBatch(false, time.Now(), n)
+	}
+	return n, err
+}
+
 func (iq *instrumented[T]) Len() int { return iq.q.Len() }
 func (iq *instrumented[T]) Cap() int { return iq.q.Cap() }
 func (iq *instrumented[T]) Close()   { iq.q.Close() }
+
+// Rendezvous forwards the wrapped queue's bufferless marker.
+func (iq *instrumented[T]) Rendezvous() bool {
+	r, ok := iq.q.(interface{ Rendezvous() bool })
+	return ok && r.Rendezvous()
+}

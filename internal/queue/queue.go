@@ -18,6 +18,13 @@ import "errors"
 var ErrClosed = errors.New("queue: closed")
 
 // Queue is the blocking-queue protocol shared by all implementations.
+//
+// The batch operations move several elements per synchronization point:
+// PutBatch and TakeBatch acquire the queue's internal lock once per call
+// rather than once per element, which is what lets a batched pipe amortize
+// the per-value queue handshake (the dominant cost of the §3B transport).
+// Batching never weakens the protocol: elements stay FIFO, the buffer
+// bound still throttles, and Close still drains before failing.
 type Queue[T any] interface {
 	// Put blocks until space is available, then enqueues v.
 	Put(v T) error
@@ -27,6 +34,20 @@ type Queue[T any] interface {
 	TryPut(v T) (ok bool, err error)
 	// TryTake dequeues without blocking; ok reports success.
 	TryTake() (v T, ok bool, err error)
+	// PutBatch enqueues the values of vs in order, blocking for space as
+	// needed. n reports how many were delivered; n < len(vs) only when the
+	// queue was closed mid-batch, in which case err is ErrClosed and the
+	// first n values remain takeable (partial-batch delivery at Close).
+	PutBatch(vs []T) (n int, err error)
+	// TakeBatch blocks until at least one element is available, then
+	// dequeues up to len(dst) elements into dst without further blocking.
+	// After Close it drains the remaining elements batch by batch and then
+	// fails with ErrClosed.
+	TakeBatch(dst []T) (n int, err error)
+	// TryTakeBatch dequeues up to len(dst) elements without blocking; n is
+	// 0 when the queue is momentarily empty. err is ErrClosed only once the
+	// queue is closed and drained.
+	TryTakeBatch(dst []T) (n int, err error)
 	// Len returns the number of buffered elements.
 	Len() int
 	// Cap returns the buffer capacity; <= 0 means unbounded (or zero for a

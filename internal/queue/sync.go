@@ -109,6 +109,11 @@ func (q *Synchronous[T]) TryTake() (T, bool, error) {
 // Len is always 0: a rendezvous queue buffers nothing.
 func (q *Synchronous[T]) Len() int { return 0 }
 
+// Rendezvous marks the queue as bufferless: every transfer is a pairwise
+// hand-off. Transports use this to know that batching has nothing to
+// amortize here.
+func (q *Synchronous[T]) Rendezvous() bool { return true }
+
 // Cap is 0.
 func (q *Synchronous[T]) Cap() int { return 0 }
 

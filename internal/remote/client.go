@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -34,6 +35,10 @@ const (
 	// DefaultHeartbeat is the PING interval keeping idle streams alive and
 	// detecting dead peers.
 	DefaultHeartbeat = 2 * time.Second
+	// DefaultBatch is the VALUES-frame batch capability advertised when
+	// Config.Batch is zero: the server may pack up to this many values
+	// into one frame.
+	DefaultBatch = 64
 )
 
 // ErrDeadline reports that a Next call waited longer than Config.Deadline;
@@ -63,6 +68,14 @@ type Config struct {
 	// Heartbeat is the PING interval; <= 0 selects DefaultHeartbeat. A
 	// peer silent for several intervals is treated as lost.
 	Heartbeat time.Duration
+	// Batch is the VALUES-frame capability advertised at OPEN: the server
+	// may deliver up to Batch values per frame, and the client coalesces
+	// its per-value credit grants into runs of the same size. 0 selects
+	// DefaultBatch; negative disables batching entirely (the pipe sends a
+	// pre-batching v2 OPEN and receives one VALUE frame per value).
+	// Credit accounting is per value either way, so the Buffer bound —
+	// §3B's throttle — is unchanged by batching.
+	Batch int
 }
 
 func (c Config) buffer() int {
@@ -84,6 +97,16 @@ func (c Config) heartbeat() time.Duration {
 		return DefaultHeartbeat
 	}
 	return c.Heartbeat
+}
+
+func (c Config) batch() int {
+	if c.Batch < 0 {
+		return 0
+	}
+	if c.Batch == 0 {
+		return DefaultBatch
+	}
+	return c.Batch
 }
 
 // RemotePipe is a generator proxy whose producer runs in another process:
@@ -109,6 +132,15 @@ type RemotePipe struct {
 	results  int
 	stream   uint64 // telemetry stream ID, propagated in OPEN; 0 = unobserved
 	pingStop chan struct{}
+	// Batch negotiation state. batch is the capability sent in the current
+	// stream's OPEN (0 when batching is off); debt counts values consumed
+	// but not yet credited back — coalesced into one CREDIT frame per run.
+	// noBatch records that this server rejected a v3 OPEN, so every later
+	// (re)open speaks v2; redial asks the next Next to reopen silently.
+	batch   int
+	debt    uint64
+	noBatch bool
+	redial  bool
 	// done is closed by readLoop when the stream ends for any reason, so
 	// pingLoop exits promptly instead of pinging a dead stream.
 	done chan struct{}
@@ -175,6 +207,15 @@ func (p *RemotePipe) start() error {
 	open := p.spec
 	open.credit = uint64(p.cfg.buffer())
 	open.stream = p.stream
+	if b := p.cfg.batch(); b > 1 && !p.noBatch {
+		open.batch = uint64(b)
+	} else {
+		// No batch capability to advertise: speak the pre-batching
+		// protocol, which every server accepts.
+		open.version = 2
+	}
+	p.batch = int(open.batch)
+	p.debt = 0
 	if err := writeFrame(conn, frameOpen, open.marshal()); err != nil {
 		conn.Close()
 		return fmt.Errorf("remote: open %s: %w", p.addr, err)
@@ -235,9 +276,28 @@ func (p *RemotePipe) readLoop(conn net.Conn, out queue.Queue[value.V], done chan
 				p.sendFrame(frameCancel, nil)
 				return
 			}
+		case frameValues:
+			vs, err := wire.UnmarshalBatch(payload, wire.DefaultLimits)
+			if err != nil {
+				p.fail(fmt.Errorf("remote: malformed batch frame: %w", err))
+				return
+			}
+			received += int64(len(vs))
+			if stream != 0 && telemetry.On() {
+				cClientValues.Add(int64(len(vs)))
+			}
+			if _, err := out.PutBatch(vs); err != nil {
+				p.sendFrame(frameCancel, nil)
+				return
+			}
 		case frameEOS:
 			return // clean end: generator failed
 		case frameErr:
+			if p.noteDowngrade(string(payload)) {
+				// A pre-batching server refused our v3 OPEN; the teardown in
+				// this defer closes out, and the next Next reopens at v2.
+				return
+			}
 			p.fail(&RemoteError{Msg: string(payload)})
 			return
 		case framePong, framePing:
@@ -267,6 +327,44 @@ func (p *RemotePipe) pingLoop(stop, done chan struct{}) {
 			}
 		}
 	}
+}
+
+// noteDowngrade recognizes a version rejection from a pre-batching server
+// and arranges a silent reopen at protocol v2 instead of surfacing the
+// rejection as a stream error. Only the versioned-OPEN rejection message
+// is treated this way, and only once per pipe.
+func (p *RemotePipe) noteDowngrade(msg string) bool {
+	if !strings.Contains(msg, "protocol version") || !strings.Contains(msg, "want <= ") {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.batch == 0 || p.noBatch {
+		return false // we already spoke v2; this is a real error
+	}
+	p.noBatch = true
+	p.redial = true
+	return true
+}
+
+// flushCredits grants the producer every credit accumulated since the last
+// grant in one CREDIT frame. With demand set a frame is sent even when no
+// credits are owed: CREDIT(0) is the pure demand ping a consumer about to
+// block sends so a batching server flushes its partial run (a pre-batching
+// server deposits zero, harmlessly).
+func (p *RemotePipe) flushCredits(demand bool) {
+	p.mu.Lock()
+	debt := p.debt
+	p.debt = 0
+	stream := p.stream
+	p.mu.Unlock()
+	if debt == 0 && !demand {
+		return
+	}
+	if stream != 0 && telemetry.On() {
+		cCreditsSent.Inc()
+	}
+	p.sendFrame(frameCredit, creditPayload(debt)) // best effort; loss surfaces in readLoop
 }
 
 // sendFrame serializes control-frame writes.
@@ -300,6 +398,7 @@ func (p *RemotePipe) Next() (value.V, bool) {
 		}
 	}
 	out, conn := p.out, p.conn
+	batched := p.batch > 0
 	p.mu.Unlock()
 
 	var timer *time.Timer
@@ -312,21 +411,48 @@ func (p *RemotePipe) Next() (value.V, bool) {
 			out.Close()
 		})
 	}
-	v, err := out.Take()
+	v, ok, err := out.TryTake()
+	if err == nil && !ok {
+		if batched {
+			// About to block on an empty queue: hand back whatever credits
+			// we owe and signal demand, so the server ships its partial run
+			// instead of waiting to fill a batch.
+			p.flushCredits(true)
+		}
+		v, err = out.Take()
+	}
 	if timer != nil {
 		timer.Stop()
 	}
 	if err != nil {
+		p.mu.Lock()
+		if p.redial {
+			// The server rejected our v3 OPEN; reopen at v2 transparently.
+			p.redial = false
+			p.started = false
+			p.err = nil
+			if p.pingStop != nil {
+				close(p.pingStop)
+				p.pingStop = nil
+			}
+			p.conn = nil
+			p.mu.Unlock()
+			return p.Next()
+		}
+		p.mu.Unlock()
 		return nil, false
 	}
 	p.mu.Lock()
 	p.results++
-	stream := p.stream
+	p.debt++
+	grant := !batched || p.debt >= uint64(p.batch)
 	p.mu.Unlock()
-	if stream != 0 && telemetry.On() {
-		cCreditsSent.Inc()
+	if grant {
+		// Unbatched streams credit every value (the original per-value
+		// ACK clock); batched streams coalesce a batch's worth into one
+		// frame, with the pre-block demand ping above covering the tail.
+		p.flushCredits(false)
 	}
-	p.sendFrame(frameCredit, creditPayload(1)) // best effort; loss surfaces in readLoop
 	return v, true
 }
 

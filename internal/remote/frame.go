@@ -68,6 +68,7 @@ const (
 	framePing   byte = 0x06 // either: liveness probe
 	framePong   byte = 0x07 // either: probe answer
 	frameCancel byte = 0x08 // client→server: stop the stream
+	frameValues byte = 0x09 // server→client: a batch of wire-encoded results
 )
 
 // MaxFrame bounds a single frame payload; larger length prefixes are
@@ -93,6 +94,8 @@ func frameName(t byte) string {
 		return "PONG"
 	case frameCancel:
 		return "CANCEL"
+	case frameValues:
+		return "VALUES"
 	}
 	return fmt.Sprintf("frame %#x", t)
 }
@@ -145,9 +148,13 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 // ---- OPEN payload ----
 
 // openVersion guards against skew between mixed-version peers. Version 2
-// added the client's telemetry stream ID after the credit grant; version
-// 1 peers (no stream field) are still accepted and read as stream 0.
-const openVersion = 2
+// added the client's telemetry stream ID after the credit grant; version 3
+// added the client's batch capability — the largest VALUES frame element
+// count it accepts, 0 meaning per-value VALUE frames only. Lower-version
+// peers (missing fields) are still accepted and read as zero values, and
+// a server capped below 3 (Server.MaxProtocol) rejects a v3 OPEN with a
+// versioned message the client recognizes and redials down from.
+const openVersion = 3
 
 // Open modes.
 const (
@@ -158,8 +165,10 @@ const (
 // openReq is the decoded OPEN payload.
 type openReq struct {
 	mode    byte
+	version byte   // wire version to marshal as; 0 means openVersion
 	credit  uint64 // initial credit grant == client pipe buffer
 	stream  uint64 // client telemetry stream ID; 0 = unobserved client
+	batch   uint64 // max VALUES batch the client accepts; 0 = no batching
 	name    string // openNamed
 	program string // openSource: declarations (may be empty)
 	expr    string // openSource: the generator expression
@@ -177,9 +186,16 @@ func appendString(b []byte, s string) []byte {
 }
 
 func (o *openReq) marshal() []byte {
-	b := []byte{openVersion, o.mode}
+	ver := o.version
+	if ver == 0 {
+		ver = openVersion
+	}
+	b := []byte{ver, o.mode}
 	b = appendUvarint(b, o.credit)
 	b = appendUvarint(b, o.stream)
+	if ver >= 3 {
+		b = appendUvarint(b, o.batch)
+	}
 	switch o.mode {
 	case openNamed:
 		b = appendString(b, o.name)
@@ -226,16 +242,16 @@ func (r *byteReader) string() (string, error) {
 	return s, nil
 }
 
-func parseOpen(payload []byte) (*openReq, error) {
+func parseOpen(payload []byte, maxVer byte) (*openReq, error) {
 	r := &byteReader{buf: payload}
 	ver, err := r.byte()
 	if err != nil {
 		return nil, err
 	}
-	if ver != 1 && ver != openVersion {
-		return nil, fmt.Errorf("remote: protocol version %d, want <= %d", ver, openVersion)
+	if ver < 1 || ver > maxVer {
+		return nil, fmt.Errorf("remote: protocol version %d, want <= %d", ver, maxVer)
 	}
-	o := &openReq{}
+	o := &openReq{version: ver}
 	if o.mode, err = r.byte(); err != nil {
 		return nil, err
 	}
@@ -244,6 +260,11 @@ func parseOpen(payload []byte) (*openReq, error) {
 	}
 	if ver >= 2 {
 		if o.stream, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	if ver >= 3 {
+		if o.batch, err = r.uvarint(); err != nil {
 			return nil, err
 		}
 	}

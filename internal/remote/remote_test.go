@@ -197,6 +197,10 @@ func TestCreditThrottlesRemoteProducer(t *testing.T) {
 	})
 	cfg := testConfig()
 	cfg.Buffer = 3
+	cfg.Batch = -1 // this test asserts the per-value ACK clock: one Next,
+	// one CREDIT(1), one more production. Batched streams coalesce grants
+	// (the bound still holds); their throttle is covered by the batching
+	// interop tests.
 	p := Open(addr, "count", nil, cfg)
 	defer p.Stop()
 	p.StartEager()

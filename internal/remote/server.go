@@ -34,6 +34,7 @@ var (
 	cServerValues  = telemetry.NewCounter("remote.server.values")
 	cCreditStalls  = telemetry.NewCounter("remote.server.credit_stalls")
 	cCreditStallNs = telemetry.NewCounter("remote.server.credit_stall_ns")
+	hServerFlush   = telemetry.NewHistogram("remote.server.flush_size")
 )
 
 // Server defaults.
@@ -46,6 +47,9 @@ const (
 	// heartbeats arrive every DefaultHeartbeat, so a healthy stream never
 	// approaches it.
 	DefaultIdleTimeout = 30 * time.Second
+	// MaxServerBatch caps the VALUES run the server accumulates regardless
+	// of what the client advertises, bounding per-stream buffered bytes.
+	MaxServerBatch = 1024
 )
 
 // A Generator constructs the generator a named OPEN serves. It is called
@@ -70,6 +74,12 @@ type Server struct {
 	// IdleTimeout bounds the gap between client frames; <= 0 selects
 	// DefaultIdleTimeout.
 	IdleTimeout time.Duration
+	// MaxProtocol caps the OPEN version this server accepts; 0 (or any
+	// out-of-range value) means the newest. Setting 2 emulates a
+	// pre-batching server: v3 OPENs are rejected with the versioned
+	// message newer clients recognize and redial down from — the knob the
+	// interop tests (and junicond -no-batch) use.
+	MaxProtocol int
 	// Log, when set, receives structured per-connection lifecycle events
 	// (stream open / done / refused) including the stream's telemetry ID,
 	// so log lines correlate with trace events and client-side logs.
@@ -151,6 +161,13 @@ func (s *Server) maxConns() int {
 		return DefaultMaxConns
 	}
 	return s.MaxConns
+}
+
+func (s *Server) maxProtocol() byte {
+	if s.MaxProtocol >= 1 && s.MaxProtocol <= openVersion {
+		return byte(s.MaxProtocol)
+	}
+	return openVersion
 }
 
 func (s *Server) idleTimeout() time.Duration {
@@ -291,6 +308,14 @@ func (st *stream) acquire() (ok, waited bool) {
 	return true, waited
 }
 
+// available reports the current credit balance without taking any — the
+// producer flushes its pending batch before a stall, not after.
+func (st *stream) available() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.credits
+}
+
 func (st *stream) deposit(n uint64) {
 	st.mu.Lock()
 	st.credits += n
@@ -315,7 +340,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		writeFrame(conn, frameErr, []byte("expected OPEN frame"))
 		return
 	}
-	open, err := parseOpen(payload)
+	open, err := parseOpen(payload, s.maxProtocol())
 	if err != nil {
 		writeFrame(conn, frameErr, []byte(err.Error()))
 		return
@@ -339,6 +364,48 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	st := newStream(open.credit)
 	var wmu sync.Mutex // serializes VALUE/EOS/ERR (producer) with PONG (reader)
+
+	// Batched delivery (OPEN v3): when the client advertises a batch
+	// capability > 1, marshaled values accumulate in pending and ship as
+	// one VALUES frame. Credit accounting stays per value — the producer
+	// still acquires one credit per value before generating it, so the
+	// §3B bounded-buffer backpressure is byte-for-byte the per-value
+	// protocol's. The flush policy is the batched pipe's, translated to
+	// the wire: fill (batch values buffered), demand (a CREDIT frame is
+	// the client draining its queue — the reader flushes on arrival, and
+	// a zero-credit CREDIT is a pure demand ping from a client about to
+	// block), stall (credits exhausted: everything the client allows is
+	// in hand, so ship it before waiting), and EOS/ERR (flush the run
+	// before the terminal frame). bmu is held across the frame write so
+	// racing flushes emit runs in production order; wmu nests inside bmu.
+	batch := int(open.batch)
+	if batch > MaxServerBatch {
+		batch = MaxServerBatch
+	}
+	if open.version < 3 || batch <= 1 {
+		batch = 0 // per-value mode
+	}
+	var bmu sync.Mutex
+	var pending [][]byte
+	flush := func() error {
+		if batch == 0 {
+			return nil
+		}
+		bmu.Lock()
+		defer bmu.Unlock()
+		if len(pending) == 0 {
+			return nil
+		}
+		payload := wire.EncodeBatch(pending)
+		if telemetry.On() {
+			hServerFlush.Observe(int64(len(pending)))
+		}
+		pending = pending[:0]
+		wmu.Lock()
+		err := writeFrame(conn, frameValues, payload)
+		wmu.Unlock()
+		return err
+	}
 	s.served.Add(1)
 	s.streams.Add(1)
 	opened := time.Now()
@@ -371,6 +438,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			close(prodDone)
 		}()
 		sendErr := func(msg string) {
+			flush() // values produced before the error must precede it
 			wmu.Lock()
 			writeFrame(conn, frameErr, []byte(msg))
 			wmu.Unlock()
@@ -392,6 +460,15 @@ func (s *Server) handleConn(conn net.Conn) {
 				var stallStart time.Time
 				if telemetry.Active() {
 					stallStart = time.Now()
+				}
+				if batch > 0 && st.available() == 0 {
+					// About to stall on credits: the client has authorized
+					// nothing more, so the buffered run is as full as it can
+					// get — ship it rather than sit on it.
+					if flush() != nil {
+						setReason("connection lost")
+						return nil
+					}
 				}
 				ok, waited := st.acquire()
 				if waited && telemetry.Active() {
@@ -417,6 +494,7 @@ func (s *Server) handleConn(conn net.Conn) {
 					if tracing {
 						telemetry.EmitSpan(open.stream, telemetry.KindFail, "serve:"+what, 0, genStart)
 					}
+					flush() // the final partial run precedes EOS
 					wmu.Lock()
 					writeFrame(conn, frameEOS, nil)
 					wmu.Unlock()
@@ -428,13 +506,27 @@ func (s *Server) handleConn(conn net.Conn) {
 				}
 				data, merr := wire.Marshal(value.Deref(v))
 				if merr != nil {
+					// Values are marshaled at produce time, so an unencodable
+					// value behaves exactly as in per-value mode: everything
+					// before it is delivered (sendErr flushes), then ERR.
 					sendErr("encode: " + merr.Error())
 					setReason("encode error")
 					return nil
 				}
-				wmu.Lock()
-				werr := writeFrame(conn, frameValue, data)
-				wmu.Unlock()
+				var werr error
+				if batch > 0 {
+					bmu.Lock()
+					pending = append(pending, data)
+					full := len(pending) >= batch
+					bmu.Unlock()
+					if full {
+						werr = flush()
+					}
+				} else {
+					wmu.Lock()
+					werr = writeFrame(conn, frameValue, data)
+					wmu.Unlock()
+				}
 				if werr != nil {
 					setReason("connection lost")
 					return nil // connection gone; reader tears down
@@ -469,6 +561,10 @@ reader:
 				break reader
 			}
 			st.deposit(n)
+			// A CREDIT frame is the demand signal: the client drained its
+			// queue far enough to grant more, so any buffered run should
+			// travel now. A write failure surfaces on the next read.
+			flush()
 		case framePing:
 			wmu.Lock()
 			writeFrame(conn, framePong, nil)

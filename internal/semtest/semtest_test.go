@@ -1,0 +1,289 @@
+package semtest
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"junicon/internal/core"
+	"junicon/internal/pipe"
+	"junicon/internal/queue"
+	"junicon/internal/remote"
+	"junicon/internal/value"
+)
+
+// corpus returns the differential cases: hand-written kernel expressions,
+// the repository's testdata/ programs driven through their generator
+// procedures, and error-propagation cases whose sequences end in failure.
+func corpus(t *testing.T) []Case {
+	t.Helper()
+	cases := []Case{
+		{Name: "range", Expr: "1 to 10"},
+		{Name: "empty", Expr: "1 > 2"},
+		{Name: "single", Expr: "42"},
+		{Name: "alternation", Expr: "(1 to 3) | (7 to 9) | 100"},
+		{Name: "product", Expr: "(1 to 5) & (1 to 3)"},
+		{Name: "arith-over-gens", Expr: "(1 to 4) * (1 to 4)"},
+		{Name: "nested-lists", Expr: "[1 to 3, [4 | 5]]"},
+		{Name: "comparison-filter", Expr: "(1 to 20) % 3 > 1"},
+		{Name: "strings", Expr: "(\"a\" | \"bc\") || (\"x\" | \"yz\")"},
+		{Name: "big-stream", Expr: "1 to 3000"},
+	}
+	// Programs from testdata/, driven through their suspend-ing
+	// procedures. coordinate.jn and pipeline.jn need host-bound natives
+	// (this::compile, the lines global), so they stay on the interpreter
+	// examples path; everything self-contained runs here.
+	load := func(name string) string {
+		src, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+		if err != nil {
+			t.Fatalf("corpus: %v", err)
+		}
+		return string(src)
+	}
+	concurrent := load("concurrent.jn")
+	cases = append(cases,
+		Case{Name: "concurrent/evens", Program: concurrent, Expr: "evens(20)"},
+		Case{Name: "concurrent/piped", Program: concurrent, Expr: "piped(7)"},
+		Case{Name: "concurrent/refreshed", Program: concurrent, Expr: "refreshed(6)"},
+		Case{Name: "concurrent/restartPipe", Program: concurrent, Expr: "restartPipe(5)"},
+		Case{Name: "queens", Program: load("queens.jn"), Expr: "queens(5)"},
+		Case{Name: "primes", Program: load("quickstart.jn"), Expr: "primesBelow(60)"},
+		Case{Name: "scanner/tokens", Program: load("scanner.jn"), Expr: "tokens(\"  12 abc x9  7 \")"},
+		Case{Name: "scanner/pairs", Program: load("scanner.jn"), Expr: "pairs(\"a=1;b=22;c=333;\")"},
+	)
+	// Failure propagation: sequences that raise a runtime error after
+	// zero or several values. The dynamic type error hides behind a
+	// procedure call so the static analyzer cannot reject the source
+	// stream before it runs.
+	const failing = `def double(x) { return x * 2; }`
+	cases = append(cases,
+		Case{Name: "fail/immediately", Program: failing, Expr: "double(\"abc\")"},
+		Case{Name: "fail/mid-stream", Program: failing, Expr: "(1 to 5) | double(\"abc\")"},
+	)
+	return cases
+}
+
+// loopback starts a source-serving loopback server shared by a test.
+func loopback(t *testing.T) string {
+	t.Helper()
+	s := remote.NewServer()
+	s.AllowSource = true
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("loopback server: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return addr.String()
+}
+
+func reference(t *testing.T, c Case) Result {
+	t.Helper()
+	ref, err := Sequential(c)
+	if err != nil {
+		t.Fatalf("%s: sequential reference: %v", c.Name, err)
+	}
+	return ref
+}
+
+// TestDifferentialCorpusGrid is the headline check: every corpus case,
+// through every buffer × batch cell of the local grid and through the
+// remote transport, must reproduce the sequential trace exactly.
+func TestDifferentialCorpusGrid(t *testing.T) {
+	addr := loopback(t)
+	for _, c := range corpus(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			ref := reference(t, c)
+			for _, cell := range Grid() {
+				got, err := Batched(c, cell.Buffer, cell.Batch)
+				if err != nil {
+					t.Fatalf("batched %+v: %v", cell, err)
+				}
+				if !got.Equal(ref) {
+					t.Fatalf("batched %+v diverged:\nref = %s\ngot = %s", cell, ref, got)
+				}
+			}
+			for _, cfg := range []remote.Config{
+				{Buffer: 1, Batch: 2},
+				{Buffer: 8, Batch: -1}, // per-value VALUE frames
+				{Buffer: 64},           // DefaultBatch
+			} {
+				got, err := Remote(c, addr, cfg)
+				if err != nil {
+					t.Fatalf("remote %+v: %v", cfg, err)
+				}
+				if !got.Equal(ref) {
+					t.Fatalf("remote %+v diverged:\nref = %s\ngot = %s", cfg, ref, got)
+				}
+			}
+		})
+	}
+}
+
+// exprGen builds random well-formed expressions over FINITE generators —
+// the transform package's generative grammar, pointed at the transports
+// instead of the normalizer.
+type exprGen struct{ rng *rand.Rand }
+
+func (g *exprGen) expr(depth int) string {
+	if depth <= 0 {
+		return g.leaf()
+	}
+	switch g.rng.Intn(10) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.expr(depth-1), g.expr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s * %s)", g.expr(depth-1), g.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s | %s)", g.expr(depth-1), g.expr(depth-1))
+	case 3:
+		return fmt.Sprintf("(%s & %s)", g.expr(depth-1), g.expr(depth-1))
+	case 4:
+		return fmt.Sprintf("(%s > %s)", g.expr(depth-1), g.expr(depth-1))
+	case 5:
+		return fmt.Sprintf("gen(%s, %s)", g.leaf(), g.leaf())
+	case 6:
+		return fmt.Sprintf("double(%s)", g.expr(depth-1))
+	case 7:
+		return fmt.Sprintf("(%s to %s)", g.leaf(), g.leaf())
+	case 8:
+		return fmt.Sprintf("[%s, %s]", g.expr(depth-1), g.leaf())
+	default:
+		return fmt.Sprintf("-(%s)", g.expr(depth-1))
+	}
+}
+
+func (g *exprGen) leaf() string { return fmt.Sprintf("%d", 1+g.rng.Intn(4)) }
+
+// TestDifferentialRandomExpressions drives property-based random
+// expressions through a sub-grid chosen to hit the interesting flush
+// regimes, plus the remote transport.
+func TestDifferentialRandomExpressions(t *testing.T) {
+	const prelude = `
+def gen(a, b) { suspend a to b; }
+def double(x) { return x * 2; }
+`
+	iterations := 120
+	if testing.Short() {
+		iterations = 25
+	}
+	addr := loopback(t)
+	eg := &exprGen{rng: rand.New(rand.NewSource(42))}
+	cells := []GridCell{{1, 2}, {2, 8}, {64, 64}}
+	for i := 0; i < iterations; i++ {
+		c := Case{Name: fmt.Sprintf("rand-%d", i), Program: prelude, Expr: eg.expr(3)}
+		ref := reference(t, c)
+		for _, cell := range cells {
+			got, err := Batched(c, cell.Buffer, cell.Batch)
+			if err != nil {
+				t.Fatalf("%s (%s) batched %+v: %v", c.Name, c.Expr, cell, err)
+			}
+			if !got.Equal(ref) {
+				t.Fatalf("%s: %s\nbatched %+v diverged:\nref = %s\ngot = %s",
+					c.Name, c.Expr, cell, ref, got)
+			}
+		}
+		got, err := Remote(c, addr, remote.Config{Buffer: 8, Batch: 4})
+		if err != nil {
+			t.Fatalf("%s (%s) remote: %v", c.Name, c.Expr, err)
+		}
+		if !got.Equal(ref) {
+			t.Fatalf("%s: %s\nremote diverged:\nref = %s\ngot = %s", c.Name, c.Expr, ref, got)
+		}
+	}
+}
+
+// TestDifferentialScheduleStress replays the corpus through tiny transport
+// queues wrapped in seeded pause schedules: capacity 1 and 2 force every
+// flush to block for space, the schedule's pauses at the batch boundaries
+// stagger producer and consumer into steal-during-flush and EOS-mid-batch
+// interleavings, and the trace must still be byte-identical.
+func TestDifferentialScheduleStress(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, c := range corpus(t) {
+		c := c
+		if c.Name == "big-stream" {
+			c.Max = 500 // pauses make the full 3000 needlessly slow
+		}
+		t.Run(c.Name, func(t *testing.T) {
+			ref := reference(t, c)
+			if c.Max > 0 && len(ref.Images) > c.Max {
+				ref.Images = ref.Images[:c.Max]
+			}
+			for _, seed := range seeds {
+				for _, capacity := range []int{1, 2} {
+					for _, batch := range []int{3, 8} {
+						seed, capacity, batch := seed, capacity, batch
+						mk := func() queue.Queue[value.V] {
+							return NewSchedQueue(queue.NewArrayBlocking[value.V](capacity), seed)
+						}
+						got, err := BatchedWithQueue(c, mk, batch)
+						if err != nil {
+							t.Fatalf("seed=%d cap=%d batch=%d: %v", seed, capacity, batch, err)
+						}
+						if !got.Equal(ref) {
+							t.Fatalf("seed=%d cap=%d batch=%d diverged:\nref = %s\ngot = %s",
+								seed, capacity, batch, ref, got)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStopMidFlushUnderSchedule forces Stop to land while the producer is
+// parked inside a paused PutBatch: the pipe must release the producer (no
+// goroutine leak), Next must fail within the bounded leftover, and no
+// error may be invented.
+func TestStopMidFlushUnderSchedule(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for seed := int64(0); seed < 8; seed++ {
+		mk := func() queue.Queue[value.V] {
+			return NewSchedQueue(queue.NewArrayBlocking[value.V](1), seed)
+		}
+		c := Case{Name: "stop-mid-flush", Expr: "1 to 100000"}
+		in, err := newInterp(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := in.EvalGen(c.Expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := pipe.NewBatchedWithQueue(core.NewFirstClass(g), mk, 8)
+		for i := 0; i < 5; i++ {
+			if _, ok := p.Next(); !ok {
+				t.Fatalf("seed %d: pipe failed after %d values: %v", seed, i, p.Err())
+			}
+		}
+		p.Stop()
+		// Values already committed to the closed queue may drain; the pipe
+		// must fail within that bounded leftover and report no error.
+		for i := 0; i <= 16; i++ {
+			if _, ok := p.Next(); !ok {
+				break
+			}
+			if i == 16 {
+				t.Fatalf("seed %d: stopped pipe still producing", seed)
+			}
+		}
+		if err := p.Err(); err != nil {
+			t.Fatalf("seed %d: Stop invented error %v", seed, err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines before=%d now=%d: producer leaked", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"junicon/internal/value"
+)
+
+// Batch framing: the remote protocol's VALUES frame carries a run of
+// wire-encoded values in one payload, amortizing the per-frame header and
+// syscall the same way a batched pipe amortizes the per-value queue
+// handshake. The layout is a uvarint element count followed by each
+// element as a uvarint length prefix and its Marshal bytes. Decoding
+// enforces the same Limits discipline as single-value decoding: the count
+// is bounded by MaxElems and each element by MaxBytes, both checked
+// against the remaining payload before any allocation, so a forged count
+// or length cannot force unbounded work.
+
+// EncodeBatch frames already-marshaled values into one batch payload.
+func EncodeBatch(items [][]byte) []byte {
+	size := binary.MaxVarintLen64
+	for _, it := range items {
+		size += binary.MaxVarintLen64 + len(it)
+	}
+	b := make([]byte, 0, size)
+	b = binary.AppendUvarint(b, uint64(len(items)))
+	for _, it := range items {
+		b = binary.AppendUvarint(b, uint64(len(it)))
+		b = append(b, it...)
+	}
+	return b
+}
+
+// DecodeBatch splits a batch payload into its still-encoded elements. The
+// returned slices alias data; they are not copied. The whole payload must
+// be consumed.
+func DecodeBatch(data []byte, lim Limits) ([][]byte, error) {
+	pos := 0
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("wire: bad batch count")
+	}
+	pos += n
+	if count > uint64(lim.MaxElems) {
+		return nil, ErrTooLarge
+	}
+	if count > uint64(len(data)-pos) {
+		// Each element costs at least one length byte; a count beyond the
+		// remaining payload is forged.
+		return nil, fmt.Errorf("wire: batch count %d exceeds payload", count)
+	}
+	items := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		sz, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("wire: bad length for batch element %d", i)
+		}
+		pos += n
+		if sz > uint64(lim.MaxBytes) {
+			return nil, ErrTooLarge
+		}
+		if sz > uint64(len(data)-pos) {
+			return nil, fmt.Errorf("wire: truncated batch element %d", i)
+		}
+		items = append(items, data[pos:pos+int(sz)])
+		pos += int(sz)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after batch", len(data)-pos)
+	}
+	return items, nil
+}
+
+// MarshalBatch encodes vs into one batch payload under DefaultLimits.
+func MarshalBatch(vs []value.V) ([]byte, error) {
+	items := make([][]byte, len(vs))
+	for i, v := range vs {
+		data, err := Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = data
+	}
+	return EncodeBatch(items), nil
+}
+
+// UnmarshalBatch decodes a batch payload into values under lim.
+func UnmarshalBatch(data []byte, lim Limits) ([]value.V, error) {
+	items, err := DecodeBatch(data, lim)
+	if err != nil {
+		return nil, err
+	}
+	vs := make([]value.V, len(items))
+	for i, it := range items {
+		v, err := UnmarshalLimits(it, lim)
+		if err != nil {
+			return nil, fmt.Errorf("wire: batch element %d: %w", i, err)
+		}
+		vs[i] = v
+	}
+	return vs, nil
+}

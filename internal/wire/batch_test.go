@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"junicon/internal/value"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	cases := [][]value.V{
+		{},
+		{value.NewInt(1)},
+		{value.NewInt(1), value.String("two"), value.NullV, value.Real(4.5)},
+	}
+	long := make([]value.V, 512)
+	for i := range long {
+		long[i] = value.NewInt(int64(i))
+	}
+	cases = append(cases, long)
+	for _, vs := range cases {
+		data, err := MarshalBatch(vs)
+		if err != nil {
+			t.Fatalf("MarshalBatch(%d values): %v", len(vs), err)
+		}
+		got, err := UnmarshalBatch(data, DefaultLimits)
+		if err != nil {
+			t.Fatalf("UnmarshalBatch(%d values): %v", len(vs), err)
+		}
+		if len(got) != len(vs) {
+			t.Fatalf("batch of %d decoded as %d", len(vs), len(got))
+		}
+		for i := range vs {
+			if !deepEqual(vs[i], got[i]) {
+				t.Fatalf("element %d: %s => %s", i, value.Image(vs[i]), value.Image(got[i]))
+			}
+		}
+	}
+}
+
+func TestDecodeBatchRejectsForgeries(t *testing.T) {
+	one, _ := Marshal(value.NewInt(7))
+	good := EncodeBatch([][]byte{one, one})
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty payload", nil},
+		{"truncated count", []byte{0x80}},
+		{"count beyond payload", []byte{0x05, 0x01}},
+		{"count beyond MaxElems", binary.AppendUvarint(nil, 1<<30)},
+		{"truncated element", good[:len(good)-1]},
+		{"element length beyond payload", append(binary.AppendUvarint(nil, 1), 0x7f, 0x01)},
+		{"element length beyond MaxBytes",
+			append(binary.AppendUvarint(nil, 1), binary.AppendUvarint(nil, 1<<62)...)},
+		{"trailing bytes", append(append([]byte{}, good...), 0x00)},
+	}
+	lim := Limits{MaxBytes: 1 << 16, MaxElems: 1 << 10, MaxDepth: 16}
+	for _, c := range cases {
+		if _, err := DecodeBatch(c.data, lim); err == nil {
+			t.Errorf("%s: decoded without error", c.name)
+		}
+	}
+	// A zero-count batch is legal (an empty flush would encode this way):
+	// it decodes to no elements, not an error.
+	vs, err := UnmarshalBatch(binary.AppendUvarint(nil, 0), lim)
+	if err != nil || len(vs) != 0 {
+		t.Errorf("zero-count batch: %v, %d elements", err, len(vs))
+	}
+}
+
+// FuzzDecodeBatch pins that no batch payload makes the decoder panic or
+// allocate unboundedly — the VALUES frame faces the same hostile peers as
+// single-value frames — and that every successfully decoded batch survives
+// a re-encode round trip element for element.
+func FuzzDecodeBatch(f *testing.F) {
+	mk := func(vs ...value.V) []byte {
+		data, err := MarshalBatch(vs)
+		if err != nil {
+			f.Fatalf("seed marshal: %v", err)
+		}
+		return data
+	}
+	f.Add(mk())
+	f.Add(mk(value.NewInt(1)))
+	f.Add(mk(value.NewInt(1), value.String("two"), value.NullV))
+	f.Add(mk(value.NewList(value.NewInt(1)), value.NewSet(value.NewInt(2))))
+	// Forged shapes: truncated batch, zero count with trailing bytes, a
+	// count far beyond the payload, an oversized element length mid-batch.
+	good := mk(value.NewInt(1), value.NewInt(2), value.NewInt(3))
+	f.Add(good[:len(good)-2])
+	f.Add([]byte{0x00, 0xff})
+	f.Add(binary.AppendUvarint(nil, 1<<40))
+	bad := binary.AppendUvarint(nil, 2)
+	one, _ := Marshal(value.NewInt(9))
+	bad = binary.AppendUvarint(bad, uint64(len(one)))
+	bad = append(bad, one...)
+	bad = binary.AppendUvarint(bad, 1<<50)
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lim := Limits{MaxBytes: 1 << 16, MaxElems: 1 << 12, MaxDepth: 32}
+		vs, err := UnmarshalBatch(data, lim)
+		if err != nil {
+			return
+		}
+		re, err := MarshalBatch(vs)
+		if err != nil {
+			t.Fatalf("re-marshal of decoded batch failed: %v", err)
+		}
+		vs2, err := UnmarshalBatch(re, lim)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if len(vs2) != len(vs) {
+			t.Fatalf("round trip changed count: %d vs %d", len(vs), len(vs2))
+		}
+		for i := range vs {
+			if !deepEqual(vs[i], vs2[i]) {
+				t.Fatalf("element %d not stable: %s vs %s",
+					i, value.Image(vs[i]), value.Image(vs2[i]))
+			}
+		}
+	})
+}

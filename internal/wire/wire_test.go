@@ -51,11 +51,19 @@ func deepEqual(a, b value.V) bool {
 		if !ok || x.Len() != y.Len() {
 			return false
 		}
+		// Members() breaks cross-type numeric ties (1 vs 1.0) in map
+		// order, so match members structurally rather than pairwise.
 		xm, ym := x.Members(), y.Members()
+		used := make([]bool, len(ym))
+	outer:
 		for i := range xm {
-			if !deepEqual(xm[i], ym[i]) {
-				return false
+			for j := range ym {
+				if !used[j] && deepEqual(xm[i], ym[j]) {
+					used[j] = true
+					continue outer
+				}
 			}
+			return false
 		}
 		return true
 	case *value.Record:
