@@ -211,6 +211,23 @@ func BenchmarkAblationChunk_50(b *testing.B)   { benchChunk(b, 50) }
 func BenchmarkAblationChunk_200(b *testing.B)  { benchChunk(b, 200) }
 func BenchmarkAblationChunk_1000(b *testing.B) { benchChunk(b, 1000) }
 
+// ---- Ablation H: workers × window (pooled data-parallel scheduler) ----
+
+func benchWindow(b *testing.B, workers, window int) {
+	lines, _ := corpora()
+	cfg := wordcount.EmbeddedConfig{ChunkSize: 10, Workers: workers, Window: window}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wordcount.JuniconMapReduce(lines, wordcount.Light, cfg)
+	}
+}
+
+func BenchmarkAblationWindow_W2_Win1(b *testing.B)  { benchWindow(b, 2, 1) }
+func BenchmarkAblationWindow_W2_Win4(b *testing.B)  { benchWindow(b, 2, 4) }
+func BenchmarkAblationWindow_W2_Win16(b *testing.B) { benchWindow(b, 2, 16) }
+func BenchmarkAblationWindow_W4_Win1(b *testing.B)  { benchWindow(b, 4, 1) }
+func BenchmarkAblationWindow_W4_Win8(b *testing.B)  { benchWindow(b, 4, 8) }
+
 // ---- Ablation D: interpreted vs translated embedding ----
 
 func BenchmarkAblationInterp_Sequential(b *testing.B) {
@@ -248,7 +265,7 @@ func BenchmarkKernelSuspendResume(b *testing.B) {
 	// "zero cost for suspends" claim, here coroutine-based).
 	g := core.NewGen(func(yield func(core.V) bool) {
 		for {
-			if !yield(value.NewInt(1)) {
+			if !yield(value.IntV(1)) {
 				return
 			}
 		}

@@ -9,7 +9,7 @@
 // Usage:
 //
 //	fig6 [-lines N] [-words N] [-warmup N] [-iters N] [-quick]
-//	     [-sweep weight|buffer|chunk]
+//	     [-workers N] [-window N] [-sweep weight|buffer|chunk|window]
 //
 // The -sweep flags run the ablations indexed in DESIGN.md instead of the
 // main figure.
@@ -28,12 +28,14 @@ import (
 
 func main() {
 	var (
-		lines  = flag.Int("lines", 400, "corpus lines")
-		words  = flag.Int("words", 10, "words per line")
-		warmup = flag.Int("warmup", 20, "warmup iterations (paper: 20)")
-		iters  = flag.Int("iters", 20, "measured iterations (paper: 20)")
-		quick  = flag.Bool("quick", false, "tiny run for smoke-testing (overrides warmup/iters)")
-		sweep  = flag.String("sweep", "", "run an ablation: weight | buffer | chunk")
+		lines   = flag.Int("lines", 400, "corpus lines")
+		words   = flag.Int("words", 10, "words per line")
+		warmup  = flag.Int("warmup", 20, "warmup iterations (paper: 20)")
+		iters   = flag.Int("iters", 20, "measured iterations (paper: 20)")
+		quick   = flag.Bool("quick", false, "tiny run for smoke-testing (overrides warmup/iters)")
+		sweep   = flag.String("sweep", "", "run an ablation: weight | buffer | chunk | window")
+		workers = flag.Int("workers", 0, "task pool size for the data-parallel variants (0: shared pool, GOMAXPROCS)")
+		window  = flag.Int("window", 0, "in-flight chunk-task window (0: 2x workers)")
 	)
 	flag.Parse()
 
@@ -48,7 +50,7 @@ func main() {
 	switch *sweep {
 	case "":
 		corpus := wordcount.GenerateLines(*lines, *words, 1)
-		runFigure6(corpus, wordcount.Light, cfg)
+		runFigure6(corpus, wordcount.Light, cfg, *workers, *window)
 		fmt.Println()
 		heavyCorpus := corpus
 		if !*quick && *lines > 100 {
@@ -57,13 +59,15 @@ func main() {
 			// time budgets the same way).
 			heavyCorpus = wordcount.GenerateLines(*lines/8, *words, 1)
 		}
-		runFigure6(heavyCorpus, wordcount.Heavy, cfg)
+		runFigure6(heavyCorpus, wordcount.Heavy, cfg, *workers, *window)
 	case "weight":
 		sweepWeight(cfg, *lines, *words)
 	case "buffer":
 		sweepBuffer(cfg, *lines, *words)
 	case "chunk":
 		sweepChunk(cfg, *lines, *words)
+	case "window":
+		sweepWindow(cfg, *lines, *words)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
 		os.Exit(2)
@@ -71,9 +75,9 @@ func main() {
 }
 
 // runFigure6 produces one half (one weight class) of Figure 6.
-func runFigure6(lines []string, w wordcount.Weight, cfg bench.Config) {
-	ncfg := wordcount.NativeConfig{}
-	ecfg := wordcount.EmbeddedConfig{ChunkSize: max(len(lines)/8, 1)}
+func runFigure6(lines []string, w wordcount.Weight, cfg bench.Config, workers, window int) {
+	ncfg := wordcount.NativeConfig{Workers: workers}
+	ecfg := wordcount.EmbeddedConfig{ChunkSize: max(len(lines)/8, 1), Workers: workers, Window: window}
 	results := []bench.Result{
 		bench.Run("Junicon/Sequential", cfg, func() { wordcount.JuniconSequential(lines, w, ecfg) }),
 		bench.Run("Junicon/Pipeline", cfg, func() { wordcount.JuniconPipeline(lines, w, ecfg) }),
@@ -139,6 +143,27 @@ func sweepChunk(cfg bench.Config, nlines, words int) {
 			wordcount.JuniconMapReduce(lines, wordcount.Light, ecfg)
 		})
 		fmt.Printf("%-10d %14.6fs %8d\n", chunk, r.Mean, (nlines+chunk-1)/chunk)
+	}
+}
+
+// sweepWindow: the windowed data-parallel scheduler's knobs — pool size ×
+// in-flight chunk-task window (MapReduce variant). Ablation H.
+func sweepWindow(cfg bench.Config, nlines, words int) {
+	lines := wordcount.GenerateLines(nlines, words, 1)
+	fmt.Println("Ablation H: map-reduce time vs workers x window (pooled scheduler)")
+	fmt.Printf("%-10s %-10s %14s\n", "workers", "window", "mean")
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		for _, window := range []int{1, 2, 4, 8, 16} {
+			ecfg := wordcount.EmbeddedConfig{
+				ChunkSize: max(nlines/32, 1),
+				Workers:   workers,
+				Window:    window,
+			}
+			r := bench.Run(fmt.Sprintf("w%d-win%d", workers, window), cfg, func() {
+				wordcount.JuniconMapReduce(lines, wordcount.Light, ecfg)
+			})
+			fmt.Printf("%-10d %-10d %14.6fs\n", workers, window, r.Mean)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"junicon/internal/core"
 	"junicon/internal/mapreduce"
 	"junicon/internal/pipe"
+	"junicon/internal/pool"
 	"junicon/internal/queue"
 	"junicon/internal/value"
 )
@@ -115,6 +116,29 @@ func (d DataParallel) WithBuffer(n int) DataParallel {
 	return d
 }
 
+// WithWorkers runs the per-chunk tasks on a dedicated pool of n workers
+// created per drive cycle, instead of the shared process-wide pool.
+func (d DataParallel) WithWorkers(n int) DataParallel {
+	d.cfg.Workers = n
+	return d
+}
+
+// WithWindow bounds the number of in-flight chunk tasks (default 2× the
+// pool's worker count): chunks are pulled from the source and spawned as
+// earlier tasks are drained, so memory stays O(window·chunkSize) even for
+// unbounded sources.
+func (d DataParallel) WithWindow(n int) DataParallel {
+	d.cfg.Window = n
+	return d
+}
+
+// OnPool runs the per-chunk tasks on an existing pool. The pool is never
+// shut down by the scheduler.
+func (d DataParallel) OnPool(p *Pool) DataParallel {
+	d.cfg.Pool = p
+	return d
+}
+
 // MapReduce maps callable f over the results of generator function s,
 // reducing each chunk with callable r from init in its own pipe; the
 // returned generator produces per-chunk reduced results in chunk order.
@@ -130,6 +154,15 @@ func (d DataParallel) MapFlat(f, s Value) Gen { return d.cfg.MapFlat(f, s) }
 // Chunk partitions the results of stepping e into lists of at most size
 // elements — Figure 4's chunk generator.
 func Chunk(e Stepper, size int) Gen { return mapreduce.Chunk(e, size) }
+
+// Pool is a fixed-size worker pool. Pipes placed on a pool with
+// Pipe.OnPool reuse its worker goroutines instead of spawning one per
+// producer, and DataParallel schedules its chunk tasks on one (§5D's
+// thread-pool management).
+type Pool = pool.Pool
+
+// NewPool returns a pool of n workers; n <= 0 selects GOMAXPROCS.
+func NewPool(n int) *Pool { return pool.New(n) }
 
 // BlockingQueue is a bounded FIFO blocking queue of values — the transport
 // underneath pipes, exposed for direct coordination (§3B exposes the

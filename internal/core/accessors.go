@@ -94,7 +94,7 @@ func LimitGen(e, n Gen) Gen {
 func SizeOp(e Gen) Gen {
 	return Op1(func(v V) V {
 		if s, ok := value.Deref(v).(value.Sized); ok {
-			return value.NewInt(int64(s.Size()))
+			return value.IntV(int64(s.Size()))
 		}
 		return value.Size(v)
 	}, e)
@@ -109,7 +109,7 @@ func RandomElement(v V) (V, bool) {
 		if !ok || n < 1 {
 			return nil, false
 		}
-		return value.NewInt(1 + rand.Int63n(n)), true
+		return value.IntV(1 + rand.Int63n(n)), true
 	case value.String:
 		if len(x) == 0 {
 			return nil, false

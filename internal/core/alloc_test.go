@@ -1,0 +1,19 @@
+package core
+
+import "testing"
+
+// TestDriveLoopAllocFree guards the kernel yield hot path: driving a
+// generator of interned-range integers through Next allocates nothing per
+// value.
+func TestDriveLoopAllocFree(t *testing.T) {
+	g := IntRange(1, 1024)
+	if n := testing.AllocsPerRun(5, func() {
+		for {
+			if _, ok := g.Next(); !ok {
+				break
+			}
+		}
+	}); n != 0 {
+		t.Fatalf("drive loop: %v allocs per 1024-value cycle, want 0", n)
+	}
+}

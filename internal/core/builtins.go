@@ -256,7 +256,7 @@ func Builtins(w io.Writer) map[string]value.V {
 		}
 		for i := lo; i+len(pat) <= hi; i++ {
 			if s[i:i+len(pat)] == pat {
-				if !yield(value.NewInt(int64(i + 1))) {
+				if !yield(value.IntV(int64(i + 1))) {
 					return
 				}
 			}
@@ -267,7 +267,7 @@ func Builtins(w io.Writer) map[string]value.V {
 		s, lo, hi := subjectRange(args, 1)
 		for i := lo; i < hi; i++ {
 			if c.Contains(rune(s[i])) {
-				if !yield(value.NewInt(int64(i + 1))) {
+				if !yield(value.IntV(int64(i + 1))) {
 					return
 				}
 			}
@@ -283,13 +283,13 @@ func Builtins(w io.Writer) map[string]value.V {
 		if i == lo {
 			return nil
 		}
-		return value.NewInt(int64(i + 1))
+		return value.IntV(int64(i + 1))
 	}))
 	add(ValProc("any", 4, func(args []value.V) value.V {
 		c := value.MustCset(args[0])
 		s, lo, hi := subjectRange(args, 1)
 		if lo < hi && c.Contains(rune(s[lo])) {
-			return value.NewInt(int64(lo + 2))
+			return value.IntV(int64(lo + 2))
 		}
 		return nil
 	}))
@@ -315,7 +315,7 @@ func Builtins(w io.Writer) map[string]value.V {
 		for i := lo; i < hi; i++ {
 			ch := rune(s[i])
 			if depth == 0 && (anyChar || c1.Contains(ch)) {
-				if !yield(value.NewInt(int64(i + 1))) {
+				if !yield(value.IntV(int64(i + 1))) {
 					return
 				}
 			}
@@ -334,7 +334,7 @@ func Builtins(w io.Writer) map[string]value.V {
 		pat := string(value.MustString(args[0]))
 		s, lo, hi := subjectRange(args, 1)
 		if lo+len(pat) <= hi && s[lo:lo+len(pat)] == pat {
-			return value.NewInt(int64(lo + len(pat) + 1))
+			return value.IntV(int64(lo + len(pat) + 1))
 		}
 		return nil
 	}))
@@ -400,7 +400,7 @@ func Builtins(w io.Writer) map[string]value.V {
 		if len(s) != 1 {
 			value.Raise(value.ErrString, "ord: one-character string expected", s)
 		}
-		return value.NewInt(int64(s[0]))
+		return value.IntV(int64(s[0]))
 	}))
 	add(ValProc("char", 1, func(a []value.V) value.V {
 		i := value.MustInt(a[0])

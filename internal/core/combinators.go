@@ -291,7 +291,7 @@ func (g *intRangeGen) Next() (V, bool) {
 		return nil, false
 	}
 	g.cur = c
-	return value.NewInt(c), true
+	return value.IntV(c), true
 }
 
 func (g *intRangeGen) Restart() { g.cur = g.lo - g.by }

@@ -89,6 +89,11 @@ func Values(vs ...V) Gen {
 	return &sliceGen{vals: c}
 }
 
+// ValuesOf returns a generator over vs without copying; the caller must not
+// mutate vs afterwards. It is the allocation-lean form of Values for hot
+// paths that build the slice themselves.
+func ValuesOf(vs []V) Gen { return &sliceGen{vals: vs} }
+
 // deferGen lazily builds its delegate on first use; Restart discards it.
 // Used for recursive generator definitions.
 type deferGen struct {

@@ -181,6 +181,82 @@ func InvokeVal(f V, args ...V) Gen {
 	panic("unreachable")
 }
 
+// applyNativeGen invokes a native on each cycle, reading its argument at
+// invocation time. It is the fused form of the normalized pattern
+//
+//	Defer(func() Gen { return InvokeVal(n, arg()) })
+//
+// for a *value.Native callee: semantically identical (raise on error, fail
+// on native failure, singleton result, auto-restart per cycle) but with a
+// reusable argument buffer and no per-cycle generator allocation — the
+// pattern dominates translated per-value invocation chains.
+type applyNativeGen struct {
+	fn   *value.Native
+	arg  func() V
+	args [1]V
+	done bool
+}
+
+func (g *applyNativeGen) Next() (V, bool) {
+	if g.done {
+		g.done = false // auto-restart after failure
+		return nil, false
+	}
+	g.args[0] = value.Deref(g.arg())
+	v, err := g.fn.Fn(g.args[:]...)
+	if err != nil {
+		value.Raise(value.ErrProcedure, "native "+g.fn.Name+": "+err.Error(), nil)
+	}
+	if v == nil {
+		return nil, false // native failure: empty cycle, restart on next Next
+	}
+	g.done = true
+	return v, true
+}
+
+func (g *applyNativeGen) Restart() { g.done = false }
+
+// ApplyNative composes a unary native invocation whose argument is read
+// (typically from a cell) each cycle.
+func ApplyNative(fn *value.Native, arg func() V) Gen {
+	return &applyNativeGen{fn: fn, arg: arg}
+}
+
+// apply1Gen is ApplyVal's general case: invoke f on each cycle, delegating
+// to the invocation's generator until it fails. The argument buffer is
+// reused across cycles, so the callee must not retain the args slice
+// (procedures copy their arguments; natives deref immediately).
+type apply1Gen struct {
+	f    V
+	arg  func() V
+	args [1]V
+	g    Gen
+}
+
+func (a *apply1Gen) Next() (V, bool) {
+	if a.g == nil {
+		a.args[0] = value.Deref(a.arg())
+		a.g = InvokeVal(a.f, a.args[:]...)
+	}
+	v, ok := a.g.Next()
+	if !ok {
+		a.g = nil // auto-restart: next cycle re-reads the argument
+	}
+	return v, ok
+}
+
+func (a *apply1Gen) Restart() { a.g = nil }
+
+// ApplyVal composes a unary invocation of a fixed callee whose argument is
+// read (typically from a cell) each cycle — the allocation-lean equivalent
+// of Defer(func() Gen { return InvokeVal(f, arg()) }).
+func ApplyVal(f V, arg func() V) Gen {
+	if n, ok := value.Deref(f).(*value.Native); ok {
+		return &applyNativeGen{fn: n, arg: arg}
+	}
+	return &apply1Gen{f: f, arg: arg}
+}
+
 // Invoke composes invocation over generator operands: the function position
 // itself may be a generator, as in (f | g)(x) (§2A).
 func Invoke(f Gen, args ...Gen) Gen {

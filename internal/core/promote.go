@@ -31,6 +31,35 @@ func (g *listBang) Next() (V, bool) {
 
 func (g *listBang) Restart() { g.i = 0 }
 
+// listElems generates the elements of a list by value, without reifying an
+// updatable reference per element. It is the allocation-lean promotion for
+// kernel-internal drives (map-reduce chunk iteration) where the consumer
+// dereferences immediately and never assigns through the reference.
+type listElems struct {
+	l *value.List
+	i int
+}
+
+func (g *listElems) Next() (V, bool) {
+	if g.i >= g.l.Len() {
+		g.i = 0
+		return nil, false
+	}
+	g.i++
+	v, _ := g.l.At(g.i)
+	if v == nil {
+		v = value.NullV
+	}
+	return v, true
+}
+
+func (g *listElems) Restart() { g.i = 0 }
+
+// Elements returns a read-only element generator over l; unlike PromoteVal
+// it yields values, not variables, so `every !L := e` semantics do NOT hold
+// through it.
+func Elements(l *value.List) Gen { return &listElems{l: l} }
+
 // stringBang generates the one-character substrings of a string.
 type stringBang struct {
 	s string

@@ -243,7 +243,7 @@ func ScanBuiltins(h *ScanHolder) map[string]value.V {
 		if !ok || p != st.Pos {
 			return nil
 		}
-		return value.NewInt(int64(st.Pos))
+		return value.IntV(int64(st.Pos))
 	})
 
 	// Subject-defaulting analysis generators: when the subject argument is
@@ -274,7 +274,7 @@ func ScanBuiltins(h *ScanHolder) map[string]value.V {
 		// match without moving &pos.
 		pat := string(value.MustString(arg))
 		if st.Pos-1+len(pat) <= len(st.Subject) && st.Subject[st.Pos-1:st.Pos-1+len(pat)] == pat {
-			yield(value.NewInt(int64(st.Pos + len(pat))))
+			yield(value.IntV(int64(st.Pos + len(pat))))
 		}
 	})
 	b["findAt"] = subjectDefault("findAt", func(st *ScanState, arg value.V, yield func(value.V) bool) {
@@ -284,7 +284,7 @@ func ScanBuiltins(h *ScanHolder) map[string]value.V {
 		}
 		for i := st.Pos - 1; i+len(pat) <= len(st.Subject); i++ {
 			if st.Subject[i:i+len(pat)] == pat {
-				if !yield(value.NewInt(int64(i + 1))) {
+				if !yield(value.IntV(int64(i + 1))) {
 					return
 				}
 			}
@@ -294,7 +294,7 @@ func ScanBuiltins(h *ScanHolder) map[string]value.V {
 		c := value.MustCset(arg)
 		for i := st.Pos - 1; i < len(st.Subject); i++ {
 			if c.Contains(rune(st.Subject[i])) {
-				if !yield(value.NewInt(int64(i + 1))) {
+				if !yield(value.IntV(int64(i + 1))) {
 					return
 				}
 			}
@@ -307,13 +307,13 @@ func ScanBuiltins(h *ScanHolder) map[string]value.V {
 			i++
 		}
 		if i >= st.Pos {
-			yield(value.NewInt(int64(i + 1)))
+			yield(value.IntV(int64(i + 1)))
 		}
 	})
 	b["anyAt"] = subjectDefault("anyAt", func(st *ScanState, arg value.V, yield func(value.V) bool) {
 		c := value.MustCset(arg)
 		if st.Pos-1 < len(st.Subject) && c.Contains(rune(st.Subject[st.Pos-1])) {
-			yield(value.NewInt(int64(st.Pos + 1)))
+			yield(value.IntV(int64(st.Pos + 1)))
 		}
 	})
 	return b

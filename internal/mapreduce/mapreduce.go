@@ -1,7 +1,7 @@
 // Package mapreduce builds the higher-order map-reduce abstraction of
 // Figure 4 from nothing but the calculus of concurrent generators: chunking
 // a source co-expression, spawning a pipe per chunk, and promoting the task
-// list back into a generator of per-chunk results.
+// results back into a generator.
 //
 // The Junicon original (Figure 4):
 //
@@ -19,14 +19,53 @@
 //	  };
 //	  suspend ! (! tasks);
 //	}
+//
+// # Scheduling
+//
+// The figure's literal drive — materialize every chunk, spawn a goroutine
+// pipe per chunk, then drain the task list — needs O(source) memory and
+// O(chunks) goroutines before the first result appears. This package keeps
+// the figure's per-chunk task pipes but drives them through a windowed
+// streaming schedule (§5D's "thread pool management"): chunks are pulled
+// from the source lazily, at most Window task pipes are in flight at a
+// time, each producer runs on a reused worker of a pool.Pool, and results
+// are delivered by draining tasks in spawn (chunk) order. First results
+// stream while the source is still being read; memory is O(window·chunk);
+// goroutines are O(workers).
+//
+// In-order draining is also what makes the shared pool deadlock-free: the
+// eldest undrained task is always either running or queued behind tasks
+// that can complete, so a producer blocked on a full output queue is
+// always eventually consumed.
 package mapreduce
 
 import (
+	"sync"
+
 	"junicon/internal/coexpr"
 	"junicon/internal/core"
 	"junicon/internal/pipe"
+	"junicon/internal/pool"
 	"junicon/internal/value"
 )
+
+// sharedPool is the process-wide default worker pool for chunk tasks,
+// created on first use and never shut down: data-parallel drives reuse its
+// goroutines instead of spawning per chunk or per cycle.
+var (
+	sharedOnce sync.Once
+	shared     *pool.Pool
+)
+
+func sharedPool() *pool.Pool {
+	sharedOnce.Do(func() { shared = pool.New(0) })
+	return shared
+}
+
+// chunkBufs recycles chunk backing slices: a chunk list dies as soon as its
+// task pipe has drained it, so the backing array is returned to the pool
+// when the task leaves the window.
+var chunkBufs sync.Pool
 
 // Chunk partitions the results of stepping co-expression e into lists of at
 // most size elements — the chunk generator function of Figure 4.
@@ -34,30 +73,90 @@ func Chunk(e core.Stepper, size int) core.Gen {
 	if size < 1 {
 		size = 1
 	}
-	return core.NewGen(func(yield func(value.V) bool) {
-		chunk := value.NewList()
-		for {
-			v, ok := e.Step(value.NullV) // put(chunk, @e)
-			if !ok {
-				break
-			}
-			chunk.Put(value.Deref(v))
-			if chunk.Len() >= size {
-				if !yield(chunk) {
-					return
-				}
-				chunk = value.NewList()
-			}
+	return &chunkGen{e: e, size: size}
+}
+
+// chunkGen is the struct form of Figure 4's chunk(e): no coroutine, and the
+// backing slices come preallocated from the recycler.
+type chunkGen struct {
+	e    core.Stepper
+	size int
+	buf  []value.V
+	done bool
+}
+
+func (g *chunkGen) take() []value.V {
+	if b, ok := chunkBufs.Get().([]value.V); ok && cap(b) >= g.size {
+		return b[:0]
+	}
+	return make([]value.V, 0, g.size)
+}
+
+func (g *chunkGen) Next() (value.V, bool) {
+	if g.done {
+		g.done = false // the partial tail was delivered; now report failure
+		return nil, false
+	}
+	if g.buf == nil {
+		g.buf = g.take()
+	}
+	for {
+		v, ok := g.e.Step(value.NullV) // put(chunk, @e)
+		if !ok {
+			break
 		}
-		if chunk.Len() > 0 {
-			yield(chunk)
+		g.buf = append(g.buf, value.Deref(v))
+		if len(g.buf) >= g.size {
+			out := value.NewListOf(g.buf)
+			g.buf = g.take()
+			return out, true
 		}
-	})
+	}
+	out := g.buf
+	g.buf = nil
+	if len(out) > 0 {
+		g.done = true
+		return value.NewListOf(out), true
+	}
+	// Exhausted on a chunk boundary: fail now, auto-restarted next call.
+	if cap(out) > 0 {
+		chunkBufs.Put(out[:0])
+	}
+	return nil, false
+}
+
+func (g *chunkGen) Restart() {
+	g.buf = nil
+	g.done = false
 }
 
 // ChunkGen is Chunk over a plain generator: chunk(<>s).
 func ChunkGen(src core.Gen, size int) core.Gen {
 	return Chunk(core.NewFirstClass(src), size)
+}
+
+// recycleChunk returns a drained chunk's backing slice to the recycler. The
+// elements have been delivered by value (chunkElems), so nothing retains
+// the array.
+func recycleChunk(c value.V) {
+	if l, ok := c.(*value.List); ok {
+		if buf := l.Elems(); cap(buf) > 0 {
+			for i := range buf {
+				buf[i] = nil
+			}
+			chunkBufs.Put(buf[:0]) //nolint:staticcheck // slice header churn is fine here
+		}
+	}
+}
+
+// chunkElems promotes a chunk for kernel-internal iteration: elements by
+// value, with no reified variable per element (the consumer dereferences
+// immediately and never assigns through the reference).
+func chunkElems(v value.V) core.Gen {
+	if l, ok := value.Deref(v).(*value.List); ok {
+		return core.Elements(l)
+	}
+	return core.PromoteVal(v)
 }
 
 // SpawnMap spawns a data-parallel mapping of callable f over the elements
@@ -69,17 +168,24 @@ func ChunkGen(src core.Gen, size int) core.Gen {
 // The chunk is captured in the pipe's shadowed co-expression environment,
 // so concurrent tasks cannot interfere.
 func SpawnMap(f value.V, chunk value.V, buffer int) core.Gen {
+	return core.Bang(spawnMapPipe(f, chunk, buffer, nil))
+}
+
+func spawnMapPipe(f value.V, chunk value.V, buffer int, pl *pool.Pool) *pipe.Pipe {
 	c := coexpr.New([]value.V{f, chunk}, func(env []*value.Var) core.Gen {
 		// x_0 in !chunk_s & f_s(x_0): map f over the shadowed chunk.
 		x0 := value.NewCell(value.NullV)
 		return core.Product(
-			core.In(x0, core.PromoteVal(env[1].Get())),
-			core.Defer(func() core.Gen { return core.InvokeVal(env[0].Get(), x0.Get()) }),
+			core.In(x0, chunkElems(env[1].Get())),
+			core.ApplyVal(env[0].Get(), x0.Get),
 		)
 	})
 	p := pipe.New(c, buffer)
+	if pl != nil {
+		p.OnPool(pl)
+	}
 	p.StartEager()
-	return core.Bang(p)
+	return p
 }
 
 // Config carries the knobs of the DataParallel class from Figure 3/4.
@@ -89,43 +195,70 @@ type Config struct {
 	// Buffer bounds each task pipe's output queue; <= 0 selects the pipe
 	// default.
 	Buffer int
+	// Workers sets the worker-pool size for chunk tasks. 0 uses the shared
+	// process-wide pool (sized GOMAXPROCS); > 0 gives each drive cycle its
+	// own pool of that size, shut down when the cycle exhausts.
+	Workers int
+	// Window bounds the number of in-flight chunk tasks; <= 0 selects
+	// 2 × the worker count.
+	Window int
+	// Pool, when non-nil, supplies the worker pool directly (overriding
+	// Workers). The pool is never shut down by this package.
+	Pool *pool.Pool
 }
 
 // New mirrors `new DataParallel(1000)`.
 func New(chunkSize int) Config { return Config{ChunkSize: chunkSize} }
 
+// schedule resolves the pool and window for one drive cycle. owned reports
+// whether the cycle must shut the pool down at exhaustion.
+func (cfg Config) schedule() (pl *pool.Pool, window int, owned bool) {
+	switch {
+	case cfg.Pool != nil:
+		pl = cfg.Pool
+	case cfg.Workers > 0:
+		pl, owned = pool.New(cfg.Workers), true
+	default:
+		pl = sharedPool()
+	}
+	window = cfg.Window
+	if window <= 0 {
+		window = 2 * pl.Size()
+	}
+	if window < 1 {
+		window = 1
+	}
+	return pl, window, owned
+}
+
 // MapReduce maps callable f over the results of source generator s,
 // reducing each chunk with callable r from initial value init in its own
 // pipe, and returns the generator of per-chunk reduced results in chunk
-// order — Figure 4's mapReduce. All task pipes run concurrently; the
-// returned generator is `!(!tasks)`.
+// order — Figure 4's mapReduce under the windowed schedule described in the
+// package comment.
 func (cfg Config) MapReduce(f, s, r value.V, init value.V) core.Gen {
 	return core.Defer(func() core.Gen {
-		tasks := value.NewList()
-		// every (c = chunk(<>s)) do { t = |> {…}; put(tasks, t) }
-		source := core.InvokeVal(s)
-		core.Each(ChunkGen(source, cfg.ChunkSize), func(c value.V) bool {
-			t := cfg.spawnReduce(f, r, init, c)
-			tasks.Put(t)
-			return true
+		return cfg.newWindow(s, func(pl *pool.Pool, c value.V) *pipe.Pipe {
+			return cfg.spawnReduce(pl, f, r, init, c)
 		})
-		// suspend !(!tasks): promote each task, then promote its results.
-		return core.Promote(core.PromoteVal(tasks))
 	})
 }
 
 // spawnReduce is the pipe body |> { var x = i; every (x = r(x, f(!c))); x }.
-func (cfg Config) spawnReduce(f, r, init value.V, chunk value.V) *pipe.Pipe {
+func (cfg Config) spawnReduce(pl *pool.Pool, f, r, init value.V, chunk value.V) *pipe.Pipe {
 	c := coexpr.New([]value.V{f, r, init, chunk}, func(env []*value.Var) core.Gen {
 		return core.NewGen(func(yield func(value.V) bool) {
 			x := env[2].Get()
 			elem := value.NewCell(value.NullV)
 			mapped := core.Product(
-				core.In(elem, core.PromoteVal(env[3].Get())),
-				core.Defer(func() core.Gen { return core.InvokeVal(env[0].Get(), elem.Get()) }),
+				core.In(elem, chunkElems(env[3].Get())),
+				core.ApplyVal(env[0].Get(), elem.Get),
 			)
+			rf := env[1].Get()
+			var rargs [2]value.V
 			core.Each(mapped, func(m value.V) bool {
-				red, ok := core.First(core.InvokeVal(env[1].Get(), x, m))
+				rargs[0], rargs[1] = x, m
+				red, ok := core.First(core.InvokeVal(rf, rargs[:]...))
 				if !ok {
 					return false
 				}
@@ -136,6 +269,9 @@ func (cfg Config) spawnReduce(f, r, init value.V, chunk value.V) *pipe.Pipe {
 		})
 	})
 	p := pipe.New(c, cfg.Buffer)
+	if pl != nil {
+		p.OnPool(pl)
+	}
 	p.StartEager()
 	return p
 }
@@ -147,12 +283,114 @@ func (cfg Config) spawnReduce(f, r, init value.V, chunk value.V) *pipe.Pipe {
 // flattening the chunks, thus splitting out the reduction".
 func (cfg Config) MapFlat(f, s value.V) core.Gen {
 	return core.Defer(func() core.Gen {
-		tasks := value.NewList()
-		source := core.InvokeVal(s)
-		core.Each(ChunkGen(source, cfg.ChunkSize), func(c value.V) bool {
-			tasks.Put(core.NewFirstClass(SpawnMap(f, c, cfg.Buffer)))
-			return true
+		return cfg.newWindow(s, func(pl *pool.Pool, c value.V) *pipe.Pipe {
+			return spawnMapPipe(f, c, cfg.Buffer, pl)
 		})
-		return core.Promote(core.PromoteVal(tasks))
 	})
+}
+
+// windowTask is one in-flight chunk task: its pipe and the chunk list whose
+// backing slice is recycled once the task leaves the window.
+type windowTask struct {
+	p     *pipe.Pipe
+	chunk value.V
+}
+
+// windowGen drives the windowed schedule. MapReduce/MapFlat build one per
+// cycle through their Defer wrapper; like every kernel generator it
+// auto-restarts, running a fresh cycle (with a fresh owned pool, if the
+// config asks for one) after reporting exhaustion.
+type windowGen struct {
+	cfg      Config
+	spawn    func(pl *pool.Pool, chunk value.V) *pipe.Pipe
+	chunks   core.Gen
+	pl       *pool.Pool // nil between cycles when owned
+	owned    bool
+	window   int
+	inflight []windowTask
+	srcDone  bool
+}
+
+// newWindow builds the cycle generator: chunks of s, spawned through spawn,
+// drained in order under the window bound.
+func (cfg Config) newWindow(s value.V, spawn func(pl *pool.Pool, chunk value.V) *pipe.Pipe) core.Gen {
+	return &windowGen{
+		cfg:    cfg,
+		spawn:  spawn,
+		chunks: ChunkGen(core.InvokeVal(s), cfg.ChunkSize),
+	}
+}
+
+// fill tops the window up: pull chunks from the source and spawn their
+// tasks until the window is full or the source is exhausted.
+func (g *windowGen) fill() {
+	if g.pl == nil {
+		g.pl, g.window, g.owned = g.cfg.schedule()
+	}
+	for !g.srcDone && len(g.inflight) < g.window {
+		c, ok := g.chunks.Next()
+		if !ok {
+			g.srcDone = true
+			return
+		}
+		c = value.Deref(c)
+		g.inflight = append(g.inflight, windowTask{p: g.spawn(g.pl, c), chunk: c})
+	}
+}
+
+func (g *windowGen) Next() (value.V, bool) {
+	for {
+		g.fill()
+		if len(g.inflight) == 0 {
+			g.endCycle()
+			return nil, false
+		}
+		v, ok := g.inflight[0].p.Next()
+		if ok {
+			return v, true
+		}
+		// Eldest task exhausted (a producer error truncates its chunk's
+		// results, exactly as draining the Figure 4 task list did): retire
+		// it, recycle its chunk, move to the next task in chunk order.
+		g.retire()
+	}
+}
+
+// retire drops the eldest task from the window and recycles its chunk. The
+// task's producer has already exited — it closes its transport only after
+// its final access to the chunk — so the backing slice is free.
+func (g *windowGen) retire() {
+	t := g.inflight[0]
+	n := copy(g.inflight, g.inflight[1:])
+	g.inflight[n] = windowTask{}
+	g.inflight = g.inflight[:n]
+	recycleChunk(t.chunk)
+}
+
+// endCycle reports exhaustion and rewinds for a possible next cycle. All of
+// the owned pool's tasks have completed (every spawned pipe was drained to
+// failure), so Shutdown does not block.
+func (g *windowGen) endCycle() {
+	if g.owned && g.pl != nil {
+		g.pl.Shutdown()
+	}
+	g.pl = nil
+	g.chunks.Restart()
+	g.srcDone = false
+}
+
+// Restart aborts the cycle: in-flight producers are stopped (releasing
+// their pool workers) before the cycle state is reset. Stopped tasks'
+// chunks are NOT recycled — a stopped producer may still be reading its
+// chunk while it winds down.
+func (g *windowGen) Restart() {
+	for _, t := range g.inflight {
+		t.p.Stop()
+	}
+	g.inflight = nil
+	g.chunks.Restart()
+	g.srcDone = false
+	// An owned pool is kept: its stopped producers drain on their own, and
+	// the next cycle reuses the workers. It is shut down when a cycle runs
+	// to exhaustion.
 }

@@ -1,0 +1,211 @@
+package mapreduce
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"junicon/internal/core"
+	"junicon/internal/pool"
+	"junicon/internal/value"
+)
+
+// chanGen yields values from a channel: it blocks while the channel is
+// empty and is exhausted when the channel closes — a source whose tail
+// cannot be read until the test releases it.
+type chanGen struct{ ch chan value.V }
+
+func (g *chanGen) Next() (value.V, bool) { v, ok := <-g.ch; return v, ok }
+func (g *chanGen) Restart()              {}
+
+var identity = core.ValProc("id", 1, func(a []value.V) value.V { return a[0] })
+
+// TestMapFlatStreamsBeforeSourceExhausted is the regression test for the
+// drain-the-source-first bug: with a window of 2 single-element chunks,
+// the first mapped result must arrive while the rest of the source is
+// still blocked in the producer. The pre-window scheduler pulled every
+// chunk before spawning anything, which deadlocks here.
+func TestMapFlatStreamsBeforeSourceExhausted(t *testing.T) {
+	ch := make(chan value.V, 2)
+	ch <- value.IntV(1)
+	ch <- value.IntV(2)
+	src := value.NewProc("src", 0, func(...value.V) core.Gen { return &chanGen{ch: ch} })
+	cfg := Config{ChunkSize: 1, Buffer: 2, Workers: 2, Window: 2}
+	g := cfg.MapFlat(identity, src)
+
+	got := make(chan int64, 1)
+	go func() {
+		v, ok := g.Next()
+		if !ok {
+			got <- -1
+			return
+		}
+		got <- intVal(v)
+	}()
+	select {
+	case v := <-got:
+		if v != 1 {
+			t.Fatalf("first result = %d, want 1", v)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no result arrived while the source tail was still blocked")
+	}
+
+	ch <- value.IntV(3)
+	close(ch)
+	rest := core.Drain(g, 0)
+	want := []int64{2, 3}
+	if len(rest) != len(want) {
+		t.Fatalf("rest = %v", rest)
+	}
+	for i := range want {
+		if intVal(rest[i]) != want[i] {
+			t.Fatalf("rest[%d] = %d, want %d", i, intVal(rest[i]), want[i])
+		}
+	}
+}
+
+// TestMapReduceStreamsBeforeSourceExhausted is the same regression for the
+// reducing form: the first per-chunk reduced result must stream out while
+// the source is still blocked.
+func TestMapReduceStreamsBeforeSourceExhausted(t *testing.T) {
+	ch := make(chan value.V, 2)
+	ch <- value.IntV(5)
+	ch <- value.IntV(7)
+	src := value.NewProc("src", 0, func(...value.V) core.Gen { return &chanGen{ch: ch} })
+	cfg := Config{ChunkSize: 1, Buffer: 2, Workers: 2, Window: 2}
+	g := cfg.MapReduce(identity, src, sum2, value.IntV(0))
+
+	got := make(chan int64, 1)
+	go func() {
+		v, ok := g.Next()
+		if !ok {
+			got <- -1
+			return
+		}
+		got <- intVal(v)
+	}()
+	select {
+	case v := <-got:
+		if v != 5 {
+			t.Fatalf("first chunk result = %d, want 5", v)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no chunk result arrived while the source tail was still blocked")
+	}
+
+	close(ch)
+	rest := core.Drain(g, 0)
+	if len(rest) != 1 || intVal(rest[0]) != 7 {
+		t.Fatalf("rest = %v, want [7]", rest)
+	}
+}
+
+// TestWindowBoundsGoroutines drives a 10000-chunk source and samples the
+// goroutine count throughout: the windowed scheduler must keep peak
+// goroutines bounded by workers + window (plus harness slack), where the
+// unwindowed scheduler spawned one goroutine per chunk up front.
+func TestWindowBoundsGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	const workers, window = 4, 8
+	cfg := Config{ChunkSize: 1, Workers: workers, Window: window}
+	g := cfg.MapReduce(identity, sourceProc(10000), sum2, value.IntV(0))
+
+	peak, n := 0, 0
+	total := int64(0)
+	core.Each(g, func(v value.V) bool {
+		total += intVal(v)
+		if n%50 == 0 {
+			if cur := runtime.NumGoroutine(); cur > peak {
+				peak = cur
+			}
+		}
+		n++
+		return true
+	})
+	if n != 10000 || total != 50005000 {
+		t.Fatalf("drained %d chunks, total %d", n, total)
+	}
+	limit := base + workers + window + 8
+	if peak > limit {
+		t.Fatalf("peak goroutines %d > %d (base %d + workers %d + window %d + slack)",
+			peak, limit, base, workers, window)
+	}
+}
+
+// TestWindowGridEquivalence sweeps workers × window over both forms: every
+// cell must produce the same ordered sequence (window and pool sizing are
+// performance knobs, not semantics).
+func TestWindowGridEquivalence(t *testing.T) {
+	wantFlat := make([]int64, 20)
+	for i := range wantFlat {
+		wantFlat[i] = int64((i + 1) * (i + 1))
+	}
+	// ChunkSize 3 over 1..20: chunks [1..3], [4..6], ..., [19,20].
+	var wantRed []int64
+	for lo := int64(1); lo <= 20; lo += 3 {
+		s := int64(0)
+		for v := lo; v <= 20 && v < lo+3; v++ {
+			s += v * v
+		}
+		wantRed = append(wantRed, s)
+	}
+	for _, workers := range []int{0, 1, 3} {
+		for _, window := range []int{0, 1, 2, 16} {
+			cfg := Config{ChunkSize: 3, Workers: workers, Window: window}
+			flat := core.Drain(cfg.MapFlat(square, sourceProc(20)), 0)
+			if len(flat) != len(wantFlat) {
+				t.Fatalf("w=%d win=%d: flat = %v", workers, window, flat)
+			}
+			for i := range wantFlat {
+				if intVal(flat[i]) != wantFlat[i] {
+					t.Fatalf("w=%d win=%d: flat[%d] = %d, want %d",
+						workers, window, i, intVal(flat[i]), wantFlat[i])
+				}
+			}
+			red := core.Drain(cfg.MapReduce(square, sourceProc(20), sum2, value.IntV(0)), 0)
+			if len(red) != len(wantRed) {
+				t.Fatalf("w=%d win=%d: reduced = %v", workers, window, red)
+			}
+			for i := range wantRed {
+				if intVal(red[i]) != wantRed[i] {
+					t.Fatalf("w=%d win=%d: reduced[%d] = %d, want %d",
+						workers, window, i, intVal(red[i]), wantRed[i])
+				}
+			}
+		}
+	}
+}
+
+// TestChunkGenAutoRestarts drives the same chunk generator through two
+// full cycles, on and off an exact chunk boundary: the second cycle must
+// reproduce the first (regression: the boundary case used to report one
+// spurious empty cycle between drives).
+func TestChunkGenAutoRestarts(t *testing.T) {
+	for _, n := range []int64{8, 10} { // 8 = exact boundary at size 4
+		g := ChunkGen(core.IntRange(1, n), 4)
+		want := int((n + 3) / 4)
+		for cycle := 0; cycle < 2; cycle++ {
+			if got := core.Drain(g, 0); len(got) != want {
+				t.Fatalf("n=%d cycle %d: %d chunks, want %d", n, cycle, len(got), want)
+			}
+		}
+	}
+}
+
+// TestConfigPoolNotShutDown supplies an external pool: the scheduler must
+// leave it running across cycles so the caller can keep using it.
+func TestConfigPoolNotShutDown(t *testing.T) {
+	pl := pool.New(2)
+	defer pl.Shutdown()
+	cfg := Config{ChunkSize: 4, Pool: pl}
+	g := cfg.MapReduce(square, sourceProc(12), sum2, value.IntV(0))
+	for round := 0; round < 2; round++ {
+		if got := core.Drain(g, 0); len(got) != 3 {
+			t.Fatalf("round %d: %v", round, got)
+		}
+	}
+	if err := pl.Go(func() {}); err != nil {
+		t.Fatalf("caller's pool was shut down: %v", err)
+	}
+}

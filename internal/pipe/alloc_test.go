@@ -1,0 +1,42 @@
+package pipe
+
+import (
+	"testing"
+
+	"junicon/internal/core"
+)
+
+// TestBatchedRefillAllocLean guards the batched transport's per-value
+// allocation budget: draining interned-range integers through the batched
+// refill path must stay near zero allocations per value (the refill
+// buffer, batch runs, and consumer-side staging are all reused).
+func TestBatchedRefillAllocLean(t *testing.T) {
+	const n = 1024
+	allocs := testing.AllocsPerRun(5, func() {
+		p := FromGenBatched(core.IntRange(1, n), 64, 64)
+		for {
+			if _, ok := p.Next(); !ok {
+				break
+			}
+		}
+	})
+	if perValue := allocs / n; perValue > 0.2 {
+		t.Fatalf("batched refill: %.3f allocs/value (%v total), want <= 0.2", perValue, allocs)
+	}
+}
+
+// TestPlainPipeAllocLean is the same guard for the unbatched queue path.
+func TestPlainPipeAllocLean(t *testing.T) {
+	const n = 1024
+	allocs := testing.AllocsPerRun(5, func() {
+		p := FromGen(core.IntRange(1, n), 64)
+		for {
+			if _, ok := p.Next(); !ok {
+				break
+			}
+		}
+	})
+	if perValue := allocs / n; perValue > 0.2 {
+		t.Fatalf("plain pipe: %.3f allocs/value (%v total), want <= 0.2", perValue, allocs)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"junicon/internal/core"
+	"junicon/internal/pool"
 	"junicon/internal/queue"
 	"junicon/internal/telemetry"
 	"junicon/internal/value"
@@ -59,8 +60,9 @@ type Pipe struct {
 	src     core.Stepper
 	out     queue.Queue[value.V]
 	mkQueue func() queue.Queue[value.V]
-	batch   int  // > 1 enables batched transport
-	ownSrc  bool // src is a FirstClass this package built (FromGen et al.)
+	batch   int        // > 1 enables batched transport
+	pool    *pool.Pool // non-nil: producer runs on a pool worker, not its own goroutine
+	ownSrc  bool       // src is a FirstClass this package built (FromGen et al.)
 	started bool
 	err     error
 	stream  uint64 // telemetry stream ID; 0 until an observed start
@@ -134,6 +136,31 @@ func FromGenBatched(g core.Gen, buffer, batch int) *Pipe {
 	return p
 }
 
+// OnPool arranges for the producer to run on a worker of pl instead of a
+// goroutine of its own — the paper's §5D thread-pool management applied to
+// generator proxies: many short-lived pipes reuse a fixed set of workers.
+// Semantics at the Stepper surface (Stop/Restart/StartEager/First, error
+// propagation, the trace contract) are unchanged; Refresh propagates the
+// pool to the refreshed proxy.
+//
+// Two caveats follow from running on shared workers. A producer blocked on
+// a full output queue holds its worker, so consumers must drain pooled
+// pipes in an order that keeps at least one running producer consumable —
+// FIFO spawn order, as the windowed map-reduce drives it, is always safe.
+// And if the pool is shut down before the producer starts, the pipe fails
+// (empty sequence) with Err() = pool.ErrShutdown.
+//
+// OnPool must be called before the producer starts; it returns p.
+func (p *Pipe) OnPool(pl *pool.Pool) *Pipe {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		panic("pipe: OnPool after producer start")
+	}
+	p.pool = pl
+	return p
+}
+
 // rendezvouser is implemented by queues with no buffer at all; batching
 // cannot amortize a rendezvous, and the batched protocol requires flushed
 // elements to become visible in the queue, so such transports stay on the
@@ -171,7 +198,7 @@ func (p *Pipe) start() {
 			gen = fc.G
 		}
 	}
-	go func() {
+	run := func() {
 		var startTime time.Time
 		var produced int64
 		if observed {
@@ -257,7 +284,25 @@ func (p *Pipe) start() {
 		} else {
 			out.Close()
 		}
-	}()
+	}
+	if p.pool != nil {
+		if err := p.pool.Go(run); err != nil {
+			// The pool is shut down; the producer can never run. Record the
+			// cause and close the transport so the consumer fails promptly.
+			p.err = err
+			if observed {
+				gProducersActive.Add(-1)
+				cPipeErrors.Inc()
+			}
+			if b != nil {
+				b.finish()
+			} else {
+				out.Close()
+			}
+		}
+		return
+	}
+	go run()
 }
 
 // Err reports the runtime error that terminated the producer, if any. A
@@ -370,7 +415,7 @@ func (p *Pipe) Refresh() core.Stepper {
 	if p.started {
 		p.stopCurrentLocked()
 	}
-	return &Pipe{src: p.src.Refresh(), mkQueue: p.mkQueue, batch: p.batch}
+	return &Pipe{src: p.src.Refresh(), mkQueue: p.mkQueue, batch: p.batch, pool: p.pool}
 }
 
 // Stream reports the pipe's telemetry stream ID — 0 unless the producer

@@ -1,0 +1,135 @@
+package pipe
+
+import (
+	"testing"
+
+	"junicon/internal/core"
+	"junicon/internal/pool"
+	"junicon/internal/value"
+)
+
+// TestOnPoolDrain checks the basic pooled mode: producers run on reused
+// pool workers and the consumed sequence is unchanged.
+func TestOnPoolDrain(t *testing.T) {
+	pl := pool.New(2)
+	defer pl.Shutdown()
+	for round := 0; round < 3; round++ {
+		p := FromGen(core.IntRange(1, 50), 4).OnPool(pl)
+		got := core.Drain(core.Bang(p), 0)
+		if len(got) != 50 {
+			t.Fatalf("round %d: drained %d values", round, len(got))
+		}
+		for i, v := range got {
+			if n := toInt(t, v); n != int64(i+1) {
+				t.Fatalf("round %d: got[%d] = %d", round, i, n)
+			}
+		}
+	}
+}
+
+// TestOnPoolBatchedDrain checks pooled mode composed with batched
+// transport.
+func TestOnPoolBatchedDrain(t *testing.T) {
+	pl := pool.New(2)
+	defer pl.Shutdown()
+	p := FromGenBatched(core.IntRange(1, 200), 8, 16).OnPool(pl)
+	got := core.Drain(core.Bang(p), 0)
+	if len(got) != 200 {
+		t.Fatalf("drained %d values", len(got))
+	}
+}
+
+// TestOnPoolStopReleasesWorker stops a pooled pipe mid-stream and then
+// runs a second pipe on the same single-worker pool: if Stop failed to
+// release the worker, the second pipe would never produce.
+func TestOnPoolStopReleasesWorker(t *testing.T) {
+	pl := pool.New(1)
+	defer pl.Shutdown()
+	p := FromGen(core.IntRange(1, 1<<40), 2).OnPool(pl)
+	for i := 0; i < 3; i++ {
+		if _, ok := p.Next(); !ok {
+			t.Fatal("pipe failed early")
+		}
+	}
+	p.Stop()
+
+	q := FromGen(core.IntRange(1, 10), 2).OnPool(pl)
+	got := core.Drain(core.Bang(q), 0)
+	if len(got) != 10 {
+		t.Fatalf("second pipe drained %d values; worker not released", len(got))
+	}
+}
+
+// TestOnPoolRestart restarts a stopped pooled pipe; the fresh producer
+// runs on the same pool.
+func TestOnPoolRestart(t *testing.T) {
+	pl := pool.New(1)
+	defer pl.Shutdown()
+	p := FromGen(core.IntRange(1, 5), 2).OnPool(pl)
+	if v, ok := p.Next(); !ok || toInt(t, v) != 1 {
+		t.Fatalf("first = %v %v", v, ok)
+	}
+	p.Stop()
+	p.Restart()
+	got := core.Drain(core.Bang(p), 0)
+	if len(got) != 5 || toInt(t, got[0]) != 1 {
+		t.Fatalf("restarted drain = %v", got)
+	}
+}
+
+// TestOnPoolRefreshKeepsPool checks ^p: the refreshed pipe inherits the
+// pool placement (drain it over a 1-worker pool that would block forever
+// if the refresh spawned nothing).
+func TestOnPoolRefreshKeepsPool(t *testing.T) {
+	pl := pool.New(1)
+	defer pl.Shutdown()
+	p := FromGen(core.IntRange(1, 4), 2).OnPool(pl)
+	core.Drain(core.Bang(p), 0)
+	r := p.Refresh().(*Pipe)
+	if r.pool != pl {
+		t.Fatal("refresh dropped the pool placement")
+	}
+	got := core.Drain(core.Bang(r), 0)
+	if len(got) != 4 {
+		t.Fatalf("refreshed drain = %v", got)
+	}
+}
+
+// TestOnPoolAfterShutdown drives a pipe placed on an already-shut-down
+// pool: the sequence is empty and Err reports pool.ErrShutdown.
+func TestOnPoolAfterShutdown(t *testing.T) {
+	pl := pool.New(1)
+	pl.Shutdown()
+	p := FromGen(core.IntRange(1, 10), 2).OnPool(pl)
+	if v, ok := p.Next(); ok {
+		t.Fatalf("produced %v from a dead pool", v)
+	}
+	if p.Err() != pool.ErrShutdown {
+		t.Fatalf("Err = %v, want pool.ErrShutdown", p.Err())
+	}
+}
+
+// TestOnPoolPanicsAfterStart documents the placement contract: the pool
+// must be chosen before the producer exists.
+func TestOnPoolPanicsAfterStart(t *testing.T) {
+	pl := pool.New(1)
+	defer pl.Shutdown()
+	p := FromGen(core.IntRange(1, 3), 2)
+	p.StartEager()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OnPool after start did not panic")
+		}
+	}()
+	p.OnPool(pl)
+}
+
+func toInt(t *testing.T, v value.V) int64 {
+	t.Helper()
+	i, ok := value.ToInteger(value.Deref(v))
+	if !ok {
+		t.Fatalf("not an integer: %v", v)
+	}
+	n, _ := i.Int64()
+	return n
+}

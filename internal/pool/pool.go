@@ -10,8 +10,21 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"junicon/internal/queue"
+	"junicon/internal/telemetry"
+)
+
+// Pool telemetry: queue depth and busy-worker gauges plus a task wait-time
+// histogram (submit → start of execution). Metrics aggregate across all
+// pools in the process; observation is decided per task at submit time, so
+// an unobserved pool pays one atomic load per submission.
+var (
+	cPoolTasks = telemetry.NewCounter("pool.tasks")
+	gPoolDepth = telemetry.NewGauge("pool.queue_depth")
+	gPoolBusy  = telemetry.NewGauge("pool.workers_busy")
+	hPoolWait  = telemetry.NewHistogram("pool.task_wait_ns")
 )
 
 // ErrShutdown is reported by Submit after Shutdown.
@@ -21,6 +34,7 @@ var ErrShutdown = errors.New("pool: shut down")
 type Pool struct {
 	tasks *queue.LinkedBlocking[func()]
 	wg    sync.WaitGroup
+	size  int
 
 	mu   sync.Mutex
 	down bool
@@ -31,12 +45,39 @@ func New(n int) *Pool {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{tasks: queue.NewLinkedBlocking[func()](0)}
+	p := &Pool{tasks: queue.NewLinkedBlocking[func()](0), size: n}
 	p.wg.Add(n)
 	for i := 0; i < n; i++ {
 		go p.worker()
 	}
 	return p
+}
+
+// Size reports the number of worker goroutines.
+func (p *Pool) Size() int { return p.size }
+
+// enqueue puts a task on the work queue, wrapping it with metric updates
+// when telemetry is on at submission time.
+func (p *Pool) enqueue(task func()) error {
+	if telemetry.On() {
+		cPoolTasks.Inc()
+		gPoolDepth.Add(1)
+		inner := task
+		start := time.Now()
+		task = func() {
+			gPoolDepth.Add(-1)
+			hPoolWait.Observe(time.Since(start).Nanoseconds())
+			gPoolBusy.Add(1)
+			defer gPoolBusy.Add(-1)
+			inner()
+		}
+		if err := p.tasks.Put(task); err != nil {
+			gPoolDepth.Add(-1) // never enqueued
+			return replaceClosed(err)
+		}
+		return nil
+	}
+	return replaceClosed(p.tasks.Put(task))
 }
 
 func (p *Pool) worker() {
@@ -74,7 +115,7 @@ func Submit[T any](p *Pool, f func() (T, error)) *queue.Future[T] {
 		fut.Fail(ErrShutdown)
 		return fut
 	}
-	if err := p.tasks.Put(task); err != nil {
+	if err := p.enqueue(task); err != nil {
 		fut.Fail(ErrShutdown)
 	}
 	return fut
@@ -88,7 +129,7 @@ func (p *Pool) Go(f func()) error {
 	if down {
 		return ErrShutdown
 	}
-	return replaceClosed(p.tasks.Put(f))
+	return p.enqueue(f)
 }
 
 func replaceClosed(err error) error {

@@ -22,6 +22,7 @@ import (
 	"junicon/internal/core"
 	"junicon/internal/interp"
 	"junicon/internal/pipe"
+	"junicon/internal/pool"
 	"junicon/internal/queue"
 	"junicon/internal/remote"
 	"junicon/internal/value"
@@ -165,6 +166,21 @@ func Batched(c Case, buffer, batch int) (Result, error) {
 		return Result{}, fmt.Errorf("eval %s: %w", c.Name, err)
 	}
 	return drainPipe(pipe.FromGenBatched(g, buffer, batch), c.max()), nil
+}
+
+// Pooled evaluates the case through a batched pipe whose producer runs on
+// a reused worker from pl instead of a goroutine of its own — the pooled
+// execution mode must be trace-identical to the per-goroutine mode.
+func Pooled(c Case, pl *pool.Pool, buffer, batch int) (Result, error) {
+	in, err := newInterp(c)
+	if err != nil {
+		return Result{}, err
+	}
+	g, err := in.EvalGen(c.Expr)
+	if err != nil {
+		return Result{}, fmt.Errorf("eval %s: %w", c.Name, err)
+	}
+	return drainPipe(pipe.FromGenBatched(g, buffer, batch).OnPool(pl), c.max()), nil
 }
 
 // BatchedWithQueue evaluates the case through a batched pipe over a

@@ -11,6 +11,7 @@ import (
 
 	"junicon/internal/core"
 	"junicon/internal/pipe"
+	"junicon/internal/pool"
 	"junicon/internal/queue"
 	"junicon/internal/remote"
 	"junicon/internal/value"
@@ -118,6 +119,34 @@ func TestDifferentialCorpusGrid(t *testing.T) {
 				}
 				if !got.Equal(ref) {
 					t.Fatalf("remote %+v diverged:\nref = %s\ngot = %s", cfg, ref, got)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialPooledGrid runs the corpus through pipes whose producers
+// execute on reused pool workers: every buffer × batch cell of the grid,
+// over pools of 1 worker (all producers fully serialized) and 4. Pooled
+// execution is a scheduling change only; each trace must match the
+// sequential reference exactly, including the failure-propagation cases
+// (a producer error must release its worker back to the pool).
+func TestDifferentialPooledGrid(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			pl := pool.New(workers)
+			defer pl.Shutdown()
+			for _, c := range corpus(t) {
+				ref := reference(t, c)
+				for _, cell := range Grid() {
+					got, err := Pooled(c, pl, cell.Buffer, cell.Batch)
+					if err != nil {
+						t.Fatalf("%s pooled %+v: %v", c.Name, cell, err)
+					}
+					if !got.Equal(ref) {
+						t.Fatalf("%s pooled %+v diverged:\nref = %s\ngot = %s", c.Name, cell, ref, got)
+					}
 				}
 			}
 		})

@@ -181,6 +181,10 @@ type ParallelConfig struct {
 	Workers int
 	// ChunkSize is the partition size; <= 0 selects 1024.
 	ChunkSize int
+	// Window bounds the number of in-flight chunk tasks; <= 0 selects 2×
+	// Workers. The source is consumed incrementally as tasks retire, so
+	// memory stays O(Window·ChunkSize) rather than O(source).
+	Window int
 }
 
 func (c ParallelConfig) chunk() int {
@@ -190,54 +194,113 @@ func (c ParallelConfig) chunk() int {
 	return c.ChunkSize
 }
 
-// ParallelMapReduce is the parallel-stream map-reduce: partition the source
-// into chunks, map f over each chunk and reduce the chunk with (init, r) on
-// a worker pool, then combine per-chunk results in order with the same r.
-// It is the native counterpart of Figure 4's mapReduce.
-func ParallelMapReduce[T, U, A any](src *Stream[T], cfg ParallelConfig, f func(T) U, init A, r func(A, U) A, combine func(A, A) A) A {
-	chunks := src.Chunks(cfg.chunk())
-	p := pool.New(cfg.Workers)
-	defer p.Shutdown()
-	futs := make([]*queue.Future[A], len(chunks))
-	for i, ch := range chunks {
-		futs[i] = pool.Submit(p, func() (A, error) {
-			acc := init
-			for _, v := range ch {
-				acc = r(acc, f(v))
-			}
-			return acc, nil
-		})
+func (c ParallelConfig) window(workers int) int {
+	if c.Window > 0 {
+		return c.Window
 	}
-	total := init
-	for _, fut := range futs {
-		partial, err := fut.Get()
+	return 2 * workers
+}
+
+// chunkWindow drives the windowed chunk schedule shared by the parallel
+// terminals: pull chunks from src into recycled backing slices, keep at
+// most window tasks in flight, and hand each retired task's result (in
+// chunk order) to consume. Chunk slices are recycled once their task's
+// future has resolved — the worker no longer touches the chunk after that.
+func chunkWindow[T, R any](src *Stream[T], size, window int, spawn func(chunk []T) *queue.Future[R], consume func(R) bool) {
+	type task struct {
+		fut   *queue.Future[R]
+		chunk []T
+	}
+	var inflight []task
+	var free [][]T
+	srcDone := false
+	for {
+		for !srcDone && len(inflight) < window {
+			var buf []T
+			if n := len(free); n > 0 {
+				buf, free = free[n-1], free[:n-1]
+			} else {
+				buf = make([]T, 0, size)
+			}
+			for len(buf) < size {
+				v, ok := src.next()
+				if !ok {
+					srcDone = true
+					break
+				}
+				buf = append(buf, v)
+			}
+			if len(buf) == 0 {
+				break
+			}
+			inflight = append(inflight, task{fut: spawn(buf), chunk: buf})
+		}
+		if len(inflight) == 0 {
+			return
+		}
+		t := inflight[0]
+		n := copy(inflight, inflight[1:])
+		inflight[n] = task{}
+		inflight = inflight[:n]
+		r, err := t.fut.Get()
 		if err != nil {
 			panic(err) // tasks here cannot fail except by program bug
 		}
-		total = combine(total, partial)
+		clear(t.chunk)
+		free = append(free, t.chunk[:0])
+		if !consume(r) {
+			return
+		}
 	}
+}
+
+// ParallelMapReduce is the parallel-stream map-reduce: partition the source
+// into chunks, map f over each chunk and reduce the chunk with (init, r) on
+// a worker pool, then combine per-chunk results in order with the same r.
+// It is the native counterpart of Figure 4's mapReduce. Chunks are pulled
+// from the source as earlier tasks complete (a sliding window of
+// cfg.Window tasks), and chunk backing slices are recycled across the run.
+func ParallelMapReduce[T, U, A any](src *Stream[T], cfg ParallelConfig, f func(T) U, init A, r func(A, U) A, combine func(A, A) A) A {
+	p := pool.New(cfg.Workers)
+	defer p.Shutdown()
+	total := init
+	chunkWindow(src, cfg.chunk(), cfg.window(p.Size()),
+		func(ch []T) *queue.Future[A] {
+			return pool.Submit(p, func() (A, error) {
+				acc := init
+				for _, v := range ch {
+					acc = r(acc, f(v))
+				}
+				return acc, nil
+			})
+		},
+		func(partial A) bool {
+			total = combine(total, partial)
+			return true
+		})
 	return total
 }
 
 // ParallelMap is the data-parallel variant that "splits out the reduction":
 // chunks are mapped in parallel but the combined results are returned as a
 // single ordered stream for serial downstream reduction (§VII's
-// data-parallel word-count).
+// data-parallel word-count). Like ParallelMapReduce it runs a sliding
+// window of chunk tasks, so results stream while the source is still being
+// read and an abandoned stream never consumes more than one window.
 func ParallelMap[T, U any](src *Stream[T], cfg ParallelConfig, f func(T) U) *Stream[U] {
-	chunks := src.Chunks(cfg.chunk())
+	size := cfg.chunk()
 	p := pool.New(cfg.Workers)
-	futs := make([]*queue.Future[[]U], len(chunks))
-	for i, ch := range chunks {
-		futs[i] = pool.Submit(p, func() ([]U, error) {
-			out := make([]U, len(ch))
-			for j, v := range ch {
-				out[j] = f(v)
-			}
-			return out, nil
-		})
+	window := cfg.window(p.Size())
+
+	type task struct {
+		fut   *queue.Future[[]U]
+		chunk []T
 	}
-	i, j := 0, 0
+	var inflight []task
+	var free [][]T
+	srcDone, shut := false, false
 	var cur []U
+	j := 0
 	return &Stream[U]{next: func() (U, bool) {
 		for {
 			if j < len(cur) {
@@ -245,13 +308,50 @@ func ParallelMap[T, U any](src *Stream[T], cfg ParallelConfig, f func(T) U) *Str
 				j++
 				return v, true
 			}
-			if i >= len(futs) {
-				p.Shutdown()
+			for !srcDone && len(inflight) < window {
+				var buf []T
+				if n := len(free); n > 0 {
+					buf, free = free[n-1], free[:n-1]
+				} else {
+					buf = make([]T, 0, size)
+				}
+				for len(buf) < size {
+					v, ok := src.next()
+					if !ok {
+						srcDone = true
+						break
+					}
+					buf = append(buf, v)
+				}
+				if len(buf) == 0 {
+					break
+				}
+				ch := buf
+				fut := pool.Submit(p, func() ([]U, error) {
+					out := make([]U, len(ch))
+					for k, v := range ch {
+						out[k] = f(v)
+					}
+					return out, nil
+				})
+				inflight = append(inflight, task{fut: fut, chunk: ch})
+			}
+			if len(inflight) == 0 {
+				if !shut {
+					shut = true
+					p.Shutdown()
+				}
 				var zero U
 				return zero, false
 			}
-			cur, _ = futs[i].Get()
-			i, j = i+1, 0
+			t := inflight[0]
+			n := copy(inflight, inflight[1:])
+			inflight[n] = task{}
+			inflight = inflight[:n]
+			cur, _ = t.fut.Get()
+			clear(t.chunk)
+			free = append(free, t.chunk[:0])
+			j = 0
 		}
 	}}
 }

@@ -1,0 +1,55 @@
+package value
+
+import "testing"
+
+var allocSink V
+
+// TestSmallIntAllocFree guards the interning fast path: producing and
+// adding integers in the interned range (−256..1024) must not allocate —
+// the boxed values come from the intern table.
+func TestSmallIntAllocFree(t *testing.T) {
+	if n := testing.AllocsPerRun(200, func() {
+		allocSink = IntV(512)
+	}); n != 0 {
+		t.Fatalf("IntV(512): %v allocs/op, want 0", n)
+	}
+	a, b := IntV(100), IntV(200)
+	if n := testing.AllocsPerRun(200, func() {
+		allocSink = Add(a, b)
+	}); n != 0 {
+		t.Fatalf("Add of interned ints: %v allocs/op, want 0", n)
+	}
+	neg := IntV(-5)
+	if n := testing.AllocsPerRun(200, func() {
+		allocSink = Neg(neg)
+	}); n != 0 {
+		t.Fatalf("Neg of interned int: %v allocs/op, want 0", n)
+	}
+}
+
+// TestInternedIntsAreCanonical checks IntV returns identical boxed values
+// across calls inside the range, and still-correct values outside it.
+func TestInternedIntsAreCanonical(t *testing.T) {
+	for _, i := range []int64{-256, -1, 0, 1, 255, 1024} {
+		v1, v2 := IntV(i), IntV(i)
+		if v1 != v2 {
+			t.Fatalf("IntV(%d) not canonical", i)
+		}
+		n, ok := ToInteger(v1)
+		if !ok {
+			t.Fatalf("IntV(%d) not an integer", i)
+		}
+		if got, _ := n.Int64(); got != i {
+			t.Fatalf("IntV(%d) = %d", i, got)
+		}
+	}
+	for _, i := range []int64{-257, 1025, 1 << 40} {
+		n, ok := ToInteger(IntV(i))
+		if !ok {
+			t.Fatalf("IntV(%d) not an integer", i)
+		}
+		if got, _ := n.Int64(); got != i {
+			t.Fatalf("IntV(%d) = %d", i, got)
+		}
+	}
+}

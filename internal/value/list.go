@@ -15,6 +15,10 @@ func NewList(elems ...V) *List {
 	return l
 }
 
+// NewListOf returns a list that adopts elems as its backing storage without
+// copying. The caller must not use elems afterwards.
+func NewListOf(elems []V) *List { return &List{elems: elems} }
+
 // NewListSize returns a list of n copies of init (list(n, x) built-in).
 func NewListSize(n int, init V) *List {
 	if n < 0 {

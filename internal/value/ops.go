@@ -30,10 +30,10 @@ func Add(a, b V) V {
 		func(x, y Integer) V {
 			if x.big == nil && y.big == nil {
 				if s, ok := addInt64(x.small, y.small); ok {
-					return NewInt(s)
+					return IntV(s)
 				}
 			}
-			return NewBig(new(big.Int).Add(x.Big(), y.Big()))
+			return BigV(new(big.Int).Add(x.Big(), y.Big()))
 		},
 		func(x, y float64) V { return Real(x + y) })
 }
@@ -44,10 +44,10 @@ func Sub(a, b V) V {
 		func(x, y Integer) V {
 			if x.big == nil && y.big == nil {
 				if s, ok := subInt64(x.small, y.small); ok {
-					return NewInt(s)
+					return IntV(s)
 				}
 			}
-			return NewBig(new(big.Int).Sub(x.Big(), y.Big()))
+			return BigV(new(big.Int).Sub(x.Big(), y.Big()))
 		},
 		func(x, y float64) V { return Real(x - y) })
 }
@@ -58,10 +58,10 @@ func Mul(a, b V) V {
 		func(x, y Integer) V {
 			if x.big == nil && y.big == nil {
 				if p, ok := mulInt64(x.small, y.small); ok {
-					return NewInt(p)
+					return IntV(p)
 				}
 			}
-			return NewBig(new(big.Int).Mul(x.Big(), y.Big()))
+			return BigV(new(big.Int).Mul(x.Big(), y.Big()))
 		},
 		func(x, y float64) V { return Real(x * y) })
 }
@@ -75,10 +75,10 @@ func Div(a, b V) V {
 			}
 			if x.big == nil && y.big == nil {
 				if !(x.small == math.MinInt64 && y.small == -1) {
-					return NewInt(x.small / y.small)
+					return IntV(x.small / y.small)
 				}
 			}
-			return NewBig(new(big.Int).Quo(x.Big(), y.Big()))
+			return BigV(new(big.Int).Quo(x.Big(), y.Big()))
 		},
 		func(x, y float64) V { return Real(x / y) })
 }
@@ -92,10 +92,10 @@ func Mod(a, b V) V {
 			}
 			if x.big == nil && y.big == nil {
 				if !(x.small == math.MinInt64 && y.small == -1) {
-					return NewInt(x.small % y.small)
+					return IntV(x.small % y.small)
 				}
 			}
-			return NewBig(new(big.Int).Rem(x.Big(), y.Big()))
+			return BigV(new(big.Int).Rem(x.Big(), y.Big()))
 		},
 		func(x, y float64) V { return Real(math.Mod(x, y)) })
 }
@@ -108,7 +108,7 @@ func Pow(a, b V) V {
 	yi, yok := y.(Integer)
 	if xok && yok && yi.Sign() >= 0 {
 		if e, fits := yi.Int64(); fits && e <= 1<<20 {
-			return NewBig(new(big.Int).Exp(xi.Big(), big.NewInt(e), nil))
+			return BigV(new(big.Int).Exp(xi.Big(), big.NewInt(e), nil))
 		}
 		Raise(ErrInteger, "exponent too large", y)
 	}
@@ -122,9 +122,9 @@ func Neg(a V) V {
 	switch x := MustNumber(a).(type) {
 	case Integer:
 		if x.big == nil && x.small != math.MinInt64 {
-			return NewInt(-x.small)
+			return IntV(-x.small)
 		}
-		return NewBig(new(big.Int).Neg(x.Big()))
+		return BigV(new(big.Int).Neg(x.Big()))
 	case Real:
 		return Real(-x)
 	}
@@ -302,22 +302,22 @@ func ListConcat(a, b V) V {
 func Size(v V) V {
 	switch x := Deref(v).(type) {
 	case String:
-		return NewInt(int64(len(x)))
+		return IntV(int64(len(x)))
 	case *Cset:
-		return NewInt(int64(x.Len()))
+		return IntV(int64(x.Len()))
 	case *List:
-		return NewInt(int64(x.Len()))
+		return IntV(int64(x.Len()))
 	case *Table:
-		return NewInt(int64(x.Len()))
+		return IntV(int64(x.Len()))
 	case *Set:
-		return NewInt(int64(x.Len()))
+		return IntV(int64(x.Len()))
 	case *Record:
-		return NewInt(int64(len(r2(x))))
+		return IntV(int64(len(r2(x))))
 	case Sized:
-		return NewInt(int64(x.Size()))
+		return IntV(int64(x.Size()))
 	default:
 		if s, ok := ToString(x); ok {
-			return NewInt(int64(len(s)))
+			return IntV(int64(len(s)))
 		}
 		Raise(ErrString, "size: invalid type", x)
 	}

@@ -58,9 +58,15 @@ func (n *Native) Image() string { return fmt.Sprintf("function %s", n.Name) }
 // reference with get and set closures. Lifting a variable "turns it into a
 // property with get and set methods" (§5A) so it can be passed as an
 // updatable reference and participate in reversible assignment.
+//
+// Free-standing cells (NewCell) store their value directly instead of
+// through a closure pair: temporaries are minted per line and per chunk on
+// the data-parallel hot paths, and the direct form is one allocation where
+// the closure pair is three.
 type Var struct {
 	GetFn func() V
 	SetFn func(V)
+	cell  V // direct storage when GetFn == nil
 }
 
 // NewVar returns a reified variable over the given closures.
@@ -68,16 +74,16 @@ func NewVar(get func() V, set func(V)) *Var { return &Var{GetFn: get, SetFn: set
 
 // NewCell returns a free-standing variable holding v (a method local or
 // temporary, the paper's IconTmp).
-func NewCell(v V) *Var {
-	cell := v
-	return &Var{
-		GetFn: func() V { return cell },
-		SetFn: func(x V) { cell = x },
-	}
-}
+func NewCell(v V) *Var { return &Var{cell: v} }
 
 // Get dereferences the variable.
 func (v *Var) Get() V {
+	if v.GetFn == nil {
+		if v.cell == nil {
+			return NullV
+		}
+		return v.cell
+	}
 	x := v.GetFn()
 	if x == nil {
 		return NullV
@@ -86,7 +92,13 @@ func (v *Var) Get() V {
 }
 
 // Set assigns through the variable.
-func (v *Var) Set(x V) { v.SetFn(x) }
+func (v *Var) Set(x V) {
+	if v.GetFn == nil {
+		v.cell = x
+		return
+	}
+	v.SetFn(x)
+}
 
 func (v *Var) Type() string  { return "variable" }
 func (v *Var) Image() string { return "variable(" + Image(v.Get()) + ")" }

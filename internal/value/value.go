@@ -65,6 +65,54 @@ type Integer struct {
 // NewInt returns the integer value i.
 func NewInt(i int64) Integer { return Integer{small: i} }
 
+// Small integers are interned pre-boxed: converting an Integer to the V
+// interface normally heap-allocates the 16-byte struct, which is the single
+// allocation on kernel hot yield paths (range generators, arithmetic fast
+// paths, sizes). The table spans the values such paths overwhelmingly
+// produce.
+const (
+	internLo = -256
+	internHi = 1024
+)
+
+var internedInts [internHi - internLo + 1]V
+
+func init() {
+	for i := range internedInts {
+		internedInts[i] = Integer{small: int64(internLo + i)}
+	}
+}
+
+// IntV returns the integer value i boxed as a V, interned for small i so
+// that hot yields do not allocate. Integers carry no identity in Icon
+// (=== compares by value), so sharing the boxed representation is
+// unobservable.
+func IntV(i int64) V {
+	if i >= internLo && i <= internHi {
+		return internedInts[i-internLo]
+	}
+	return Integer{small: i}
+}
+
+// BoxInt boxes an Integer as a V, returning the interned box when the value
+// is small. Use on paths that already hold an Integer (e.g. coercions).
+func BoxInt(n Integer) V {
+	if n.big == nil && n.small >= internLo && n.small <= internHi {
+		return internedInts[n.small-internLo]
+	}
+	return n
+}
+
+// BigV returns b boxed as a V, demoting to the unboxed (and possibly
+// interned) small form when b fits in an int64. The caller must not mutate
+// b afterwards.
+func BigV(b *big.Int) V {
+	if b.IsInt64() {
+		return IntV(b.Int64())
+	}
+	return Integer{big: b}
+}
+
 // NewBig returns an integer value for b, demoting to the unboxed form when b
 // fits in an int64. The caller must not mutate b afterwards.
 func NewBig(b *big.Int) Integer {

@@ -27,6 +27,21 @@ type EmbeddedConfig struct {
 	// ChunkSize is the map-reduce partition size in lines (default 1000,
 	// the paper's DataParallel(1000)).
 	ChunkSize int
+	// Workers selects a dedicated task pool of that many workers for the
+	// map-reduce and data-parallel variants (default: the shared
+	// process-wide pool sized to GOMAXPROCS).
+	Workers int
+	// Window bounds in-flight chunk tasks (default 2× the pool's workers).
+	Window int
+}
+
+func (c EmbeddedConfig) dp() mapreduce.Config {
+	return mapreduce.Config{
+		ChunkSize: c.chunk(),
+		Buffer:    c.Buffer,
+		Workers:   c.Workers,
+		Window:    c.Window,
+	}
 }
 
 func (c EmbeddedConfig) chunk() int {
@@ -61,20 +76,22 @@ func hashNumberProc(w Weight) *value.Native {
 		if !ok {
 			return nil, fmt.Errorf("hashNumber: integer expected")
 		}
+		if v, fits := i.Int64(); fits {
+			return value.Real(HashSmall(w, v)), nil
+		}
 		return value.Real(HashNumber(w, i.Big())), nil
 	})
 }
 
-// readLinesProc is Figure 3's readLines: suspend !lines.
+// readLinesProc is Figure 3's readLines: suspend !lines. The lines are
+// boxed once at construction so each invocation yields without allocating.
 func readLinesProc(lines []string) *value.Proc {
+	boxed := make([]value.V, len(lines))
+	for i, l := range lines {
+		boxed[i] = value.String(l)
+	}
 	return value.NewProc("readLines", 0, func(...value.V) core.Gen {
-		return core.NewGen(func(yield func(value.V) bool) {
-			for _, l := range lines {
-				if !yield(value.String(l)) {
-					return
-				}
-			}
-		})
+		return core.ValuesOf(boxed)
 	})
 }
 
@@ -86,13 +103,11 @@ func splitWordsProc() *value.Proc {
 			value.Raise(value.ErrString, "splitWords: string expected", value.Deref(args[0]))
 		}
 		words := SplitWords(string(s))
-		return core.NewGen(func(yield func(value.V) bool) {
-			for _, w := range words {
-				if !yield(value.String(w)) {
-					return
-				}
-			}
-		})
+		boxed := make([]value.V, len(words))
+		for i, w := range words {
+			boxed[i] = value.String(w)
+		}
+		return core.ValuesOf(boxed)
 	})
 }
 
@@ -108,8 +123,8 @@ func hashWordsProc(w Weight) *value.Proc {
 		num := value.NewCell(value.NullV)
 		return core.Product(
 			core.In(word, split.Call(line)),
-			core.In(num, core.Defer(func() core.Gen { return core.InvokeVal(toNum, word.Get()) })),
-			core.Defer(func() core.Gen { return core.InvokeVal(hash, num.Get()) }),
+			core.In(num, core.ApplyNative(toNum, word.Get)),
+			core.ApplyNative(hash, num.Get),
 		)
 	})
 }
@@ -139,7 +154,7 @@ func hashPipelineGen(lines []string, w Weight, piped bool, buffer int) core.Gen 
 	stage1 := core.Product(
 		core.In(line, readLines.Call()),
 		core.In(word, core.Defer(func() core.Gen { return split.Call(line.Get()) })),
-		core.Defer(func() core.Gen { return core.InvokeVal(toNum, word.Get()) }),
+		core.ApplyNative(toNum, word.Get),
 	)
 	numbers := stage1
 	if piped {
@@ -150,7 +165,7 @@ func hashPipelineGen(lines []string, w Weight, piped bool, buffer int) core.Gen 
 	num := value.NewCell(value.NullV)
 	return core.Product(
 		core.In(num, numbers),
-		core.Defer(func() core.Gen { return core.InvokeVal(hash, num.Get()) }),
+		core.ApplyNative(hash, num.Get),
 	)
 }
 
@@ -184,8 +199,7 @@ func JuniconPipeline(lines []string, w Weight, cfg EmbeddedConfig) float64 {
 // and reduce with sumHash; the per-chunk partials are summed by the host
 // loop.
 func JuniconMapReduce(lines []string, w Weight, cfg EmbeddedConfig) float64 {
-	dp := mapreduce.Config{ChunkSize: cfg.chunk(), Buffer: cfg.Buffer}
-	g := dp.MapReduce(hashWordsProc(w), readLinesProc(lines), sumHashProc, value.Real(0))
+	g := cfg.dp().MapReduce(hashWordsProc(w), readLinesProc(lines), sumHashProc, value.Real(0))
 	return sumGen(g)
 }
 
@@ -193,7 +207,6 @@ func JuniconMapReduce(lines []string, w Weight, cfg EmbeddedConfig) float64 {
 // are mapped in concurrent pipes but the reduction is split out and
 // performed serially over the flattened result sequence.
 func JuniconDataParallel(lines []string, w Weight, cfg EmbeddedConfig) float64 {
-	dp := mapreduce.Config{ChunkSize: cfg.chunk(), Buffer: cfg.Buffer}
-	g := dp.MapFlat(hashWordsProc(w), readLinesProc(lines))
+	g := cfg.dp().MapFlat(hashWordsProc(w), readLinesProc(lines))
 	return sumGen(g)
 }

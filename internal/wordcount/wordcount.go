@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/big"
 	"math/rand"
+	"strconv"
 	"strings"
 )
 
@@ -75,9 +76,20 @@ func SplitWords(line string) []string { return strings.Fields(line) }
 // interpretation (Figure 3's new BigInteger(word, 36)). ok is false for
 // words with characters outside base 36 — native failure.
 func WordToNumber(w Weight, word string) (*big.Int, bool) {
-	n, ok := new(big.Int).SetString(strings.ToLower(word), 36)
-	if !ok {
-		return nil, false
+	// Words that fit in an int64 (≤ 12 base-36 digits) take the machine
+	// parse; big.Int scanning allocates several intermediates per word and
+	// dominated the map-reduce allocation profile. Out-of-range or
+	// malformed words fall through to the arbitrary-precision parse, which
+	// remains the semantic definition.
+	var n *big.Int
+	if v, err := strconv.ParseInt(word, 36, 64); err == nil {
+		n = big.NewInt(v)
+	} else {
+		var ok bool
+		n, ok = new(big.Int).SetString(strings.ToLower(word), 36)
+		if !ok {
+			return nil, false
+		}
 	}
 	if w == Heavy {
 		n = heavyNumberWork(n)
@@ -87,7 +99,19 @@ func WordToNumber(w Weight, word string) (*big.Int, bool) {
 
 // HashNumber hashes a number to a float (Figure 3's Math.sqrt).
 func HashNumber(w Weight, n *big.Int) float64 {
+	if n.IsInt64() {
+		// float64(int64) rounds to nearest exactly as the big.Float path.
+		return HashSmall(w, n.Int64())
+	}
 	f, _ := new(big.Float).SetInt(n).Float64()
+	return hashFloat(w, f)
+}
+
+// HashSmall is HashNumber for numbers that fit in an int64, avoiding the
+// big.Int boxing on the overwhelmingly common small-word path.
+func HashSmall(w Weight, n int64) float64 { return hashFloat(w, float64(n)) }
+
+func hashFloat(w Weight, f float64) float64 {
 	h := math.Sqrt(math.Abs(f))
 	if w == Heavy {
 		h = heavyHashWork(h)
