@@ -13,11 +13,13 @@
 package junicon_test
 
 import (
+	"io"
 	"sync"
 	"testing"
 
 	"junicon"
 	"junicon/internal/core"
+	"junicon/internal/interp"
 	"junicon/internal/pipe"
 	"junicon/internal/queue"
 	"junicon/internal/remote"
@@ -248,6 +250,98 @@ func BenchmarkAblationTranslated_Sequential(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		wordcount.JuniconSequential(small, wordcount.Light, wordcount.EmbeddedConfig{})
 	}
+}
+
+// ---- Ablation: facts-driven optimization on vs off (BENCH_analyze.json) ----
+//
+// Each pair runs one embedded workload through the interpreter with the
+// interprocedural fact engine off (the seed behaviour) and on. The On
+// lanes include the cost of computing facts per evaluation — the win has
+// to pay for its own analysis. The differential suite (semtest's Fused
+// lanes) pins that every pair produces identical traces; these pin what
+// the optimization buys:
+//
+//   - Fig6HashPipe is the Figure 6 pipeline decomposition with the hash
+//     stage in pure Junicon (stream of items |> light arithmetic hash,
+//     drained): facts prove the producer pure, so the pipe inlines —
+//     no goroutine, no queue round-trips.
+//   - Product exercises prefix fusion over a surface product chain; the
+//     pure ≤1-yield prefix evaluates once instead of per backtrack cycle.
+//   - The Fig6WordCount/Fig6Pipeline lanes run Figure 3's mixed-language
+//     program, whose host native stages are effect-opaque — no fast path
+//     may engage — pinning that the optimizer does not regress the
+//     workloads it cannot prove anything about.
+
+func benchAnalyzeExpr(b *testing.B, expr string, optimize bool) {
+	var opts []junicon.InterpOption
+	if optimize {
+		opts = append(opts, junicon.WithOptimize())
+	}
+	in := junicon.NewInterp(io.Discard, opts...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := in.EvalGen(expr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, ok := g.Next(); !ok {
+				break
+			}
+		}
+	}
+}
+
+const (
+	hashPipeExpr     = `!(|> ((1 to 2000) * 31))`
+	fusedProductExpr = `(2 * 3) & (4 + 5) & (1 to 20000)`
+)
+
+func BenchmarkAnalyzeFusion_Fig6HashPipe_Off(b *testing.B) { benchAnalyzeExpr(b, hashPipeExpr, false) }
+func BenchmarkAnalyzeFusion_Fig6HashPipe_On(b *testing.B)  { benchAnalyzeExpr(b, hashPipeExpr, true) }
+
+func BenchmarkAnalyzeFusion_Product_Off(b *testing.B) { benchAnalyzeExpr(b, fusedProductExpr, false) }
+func BenchmarkAnalyzeFusion_Product_On(b *testing.B)  { benchAnalyzeExpr(b, fusedProductExpr, true) }
+
+func benchAnalyzeWordCount(b *testing.B, pipeline, optimize bool) {
+	lines, _ := corpora()
+	small := lines[:50]
+	var opts []interp.Option
+	if optimize {
+		opts = append(opts, interp.WithOptimize())
+	}
+	// Load once, evaluate per iteration — the embedding steady state. The
+	// On lane still pays the incremental per-eval analysis of each parsed
+	// expression; only the whole-program fixpoint is amortized into setup.
+	in, err := wordcount.NewInterpreter(small, wordcount.Light, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	expr := wordcount.SequentialExpr
+	if pipeline {
+		expr = wordcount.PipelineExpr
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wordcount.InterpSum(in, expr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeFusion_Fig6WordCount_Off(b *testing.B) {
+	benchAnalyzeWordCount(b, false, false)
+}
+func BenchmarkAnalyzeFusion_Fig6WordCount_On(b *testing.B) {
+	benchAnalyzeWordCount(b, false, true)
+}
+func BenchmarkAnalyzeFusion_Fig6Pipeline_Off(b *testing.B) {
+	benchAnalyzeWordCount(b, true, false)
+}
+func BenchmarkAnalyzeFusion_Fig6Pipeline_On(b *testing.B) {
+	benchAnalyzeWordCount(b, true, true)
 }
 
 // ---- Kernel and substrate microbenchmarks ----

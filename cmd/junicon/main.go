@@ -12,6 +12,9 @@
 //	junicon -emit -pkg gen prog.jn   emit the Go translation to stdout
 //	junicon -vet prog.jn …           static checks only; exit 1 on errors
 //	junicon -vet -Werror prog.jn     … treating warnings as errors
+//	junicon -vet -facts prog.jn      … also dump interprocedural facts
+//	junicon -O prog.jn               run with facts-driven optimization
+//	junicon -emit -O -pkg gen p.jn   emit optimized Go translation
 //	junicon -xml 'expr'              print the parsed XML term form
 //	junicon -trace=run.json prog.jn  write a telemetry trace of the run
 //	junicon -metrics -e 'expr'       print runtime metrics after the run
@@ -51,6 +54,8 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "print runtime metrics to stderr when the program ends")
 		vet       = flag.Bool("vet", false, "run static checks only; report diagnostics without executing")
 		werror    = flag.Bool("Werror", false, "with -vet, treat warnings as errors")
+		facts     = flag.Bool("facts", false, "with -vet, dump the interprocedural generator facts per file")
+		optimize  = flag.Bool("O", false, "enable facts-driven optimization (fusion, pipe inlining, buffer sizing)")
 	)
 	flag.Parse()
 
@@ -70,7 +75,7 @@ func main() {
 		}
 		failed := false
 		for _, path := range flag.Args() {
-			if !vetFile(path, *werror) {
+			if !vetFile(path, *werror, *facts) {
 				failed = true
 			}
 		}
@@ -87,7 +92,11 @@ func main() {
 		return
 	}
 
-	in := junicon.NewInterp(os.Stdout)
+	var iopts []junicon.InterpOption
+	if *optimize {
+		iopts = append(iopts, junicon.WithOptimize())
+	}
+	in := junicon.NewInterp(os.Stdout, iopts...)
 	if *itrace {
 		in.EnableTrace(os.Stderr)
 	}
@@ -111,10 +120,11 @@ func main() {
 
 	if *emit {
 		var out string
+		topts := junicon.TranslateOptions{Package: *pkg, Optimize: *optimize}
 		if mixed {
-			out, err = junicon.TranslateMixed(src, junicon.TranslateOptions{Package: *pkg})
+			out, err = junicon.TranslateMixed(src, topts)
 		} else {
-			out, err = junicon.Translate(src, junicon.TranslateOptions{Package: *pkg})
+			out, err = junicon.Translate(src, topts)
 		}
 		fail(err)
 		fmt.Print(out)
@@ -142,10 +152,11 @@ func main() {
 }
 
 // vetFile runs the static analyzer over one file (plain or mixed) and
-// prints its diagnostics. It returns false when the file should fail the
+// prints its diagnostics. With facts set it also dumps the interprocedural
+// fact table to stdout. It returns false when the file should fail the
 // check: parse failure, an error-severity diagnostic, or — under -Werror —
 // any diagnostic at all.
-func vetFile(path string, werror bool) bool {
+func vetFile(path string, werror, facts bool) bool {
 	srcBytes, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "junicon:", err)
@@ -155,6 +166,13 @@ func vetFile(path string, werror bool) bool {
 	var diags []junicon.Diag
 	if strings.Contains(src, "@<") {
 		diags, err = junicon.VetMixed(src, nil)
+	} else if facts {
+		var table *junicon.Facts
+		diags, table, err = junicon.VetFacts(src, nil)
+		if err == nil {
+			fmt.Printf("# %s\n", path)
+			table.Fdump(os.Stdout)
+		}
 	} else {
 		diags, err = junicon.Vet(src, nil)
 	}

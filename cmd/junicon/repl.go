@@ -22,7 +22,7 @@ func repl(in *junicon.Interp, input io.Reader, out io.Writer, prompt bool) {
 	const maxResults = 100
 	scanner := bufio.NewScanner(input)
 	scanner.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	var pending strings.Builder
+	var pending, history strings.Builder
 	if prompt {
 		fmt.Fprintln(out, "junicon — concurrent generators (:quit to exit, :help for help)")
 	}
@@ -47,6 +47,10 @@ func repl(in *junicon.Interp, input io.Reader, out io.Writer, prompt bool) {
 			case ":help":
 				fmt.Fprintln(out, "enter an expression to evaluate it (first", maxResults, "results shown),")
 				fmt.Fprintln(out, "or a declaration (def/procedure/record/global/class) to load it.")
+				fmt.Fprintln(out, ":facts dumps the interprocedural generator facts of loaded declarations.")
+				continue
+			case ":facts":
+				printFacts(in, history.String(), out)
 				continue
 			}
 		}
@@ -57,15 +61,35 @@ func repl(in *junicon.Interp, input io.Reader, out io.Writer, prompt bool) {
 			continue // keep reading: grouping delimiters still open
 		}
 		pending.Reset()
-		evalLine(in, src, out, maxResults)
+		evalLine(in, src, out, maxResults, &history)
 	}
+}
+
+// printFacts recomputes and dumps the interprocedural fact table over
+// every declaration this session has loaded — effect summaries, yield
+// bounds, restartability — the analysis the -O evaluator acts on.
+func printFacts(in *junicon.Interp, loaded string, out io.Writer) {
+	if strings.TrimSpace(loaded) == "" {
+		fmt.Fprintln(out, "-- no declarations loaded")
+		return
+	}
+	known := func(name string) bool {
+		_, ok := in.Global(name)
+		return ok
+	}
+	_, facts, err := junicon.VetFacts(loaded, known)
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	facts.Fdump(out)
 }
 
 // evalLine loads declarations or evaluates an expression, printing
 // analyzer diagnostics first. Diagnostics never block the REPL — even an
 // error-severity finding still evaluates, so the user sees the runtime
 // behaviour it predicts.
-func evalLine(in *junicon.Interp, src string, out io.Writer, maxResults int) {
+func evalLine(in *junicon.Interp, src string, out io.Writer, maxResults int, history *strings.Builder) {
 	trimmed := strings.TrimSpace(src)
 	first := strings.SplitN(trimmed, " ", 2)[0]
 	switch first {
@@ -73,6 +97,9 @@ func evalLine(in *junicon.Interp, src string, out io.Writer, maxResults int) {
 		warn(in, trimmed, out, false)
 		if err := in.LoadProgram(trimmed); err != nil {
 			fmt.Fprintln(out, "error:", err)
+		} else if history != nil {
+			history.WriteString(trimmed)
+			history.WriteString("\n")
 		}
 		return
 	}

@@ -1,0 +1,89 @@
+// Command junilint runs the host-code analyzer suite of internal/lint over
+// Go source trees: invariants of the pipe, queue and telemetry layers that
+// the Go compiler cannot check.
+//
+// Usage:
+//
+//	junilint [dir ...]        check all .go files under each dir (default .)
+//	junilint -list            print the analyzers and exit
+//
+// Findings print as path:line:col: check: message, one per line; the exit
+// status is 1 when anything was found. //junilint:ignore on (or directly
+// above) a line suppresses its findings. Unlike go vet's -vettool plugins,
+// junilint is a standalone binary on purpose: the suite is stdlib-only
+// (go/ast, no type checker, no golang.org/x/tools), so it builds and runs
+// in hermetic environments where module downloads are impossible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"junicon/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	found := 0
+	checked := 0
+	for _, dir := range dirs {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				// Hidden trees and vendored/test fixtures are not ours to lint.
+				name := d.Name()
+				if path != dir && (strings.HasPrefix(name, ".") || name == "vendor" || name == "testdata") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			findings, err := lint.CheckSource(path, src)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			checked++
+			for _, f := range findings {
+				fmt.Println(f)
+				found++
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "junilint:", err)
+			os.Exit(2)
+		}
+	}
+	if checked == 0 {
+		fmt.Fprintln(os.Stderr, "junilint: no Go files checked")
+		os.Exit(2)
+	}
+	if found > 0 {
+		os.Exit(1)
+	}
+}

@@ -19,13 +19,23 @@ import (
 // and native-function registry.
 type Interp = interp.Interp
 
+// InterpOption configures an interpreter built by NewInterp.
+type InterpOption = interp.Option
+
+// WithOptimize enables facts-driven evaluation: the interpreter computes
+// interprocedural generator facts over loaded programs and uses them to
+// fuse pure single-yield product prefixes, inline statically pure pipes
+// and size pipe buffers from yield bounds. Semantically a no-op — the
+// differential suite pins optimized traces to the unoptimized reference.
+func WithOptimize() InterpOption { return interp.WithOptimize() }
+
 // NewInterp returns an interpreter with the builtin library loaded; output
 // of write()/writes() goes to w (nil selects standard output).
-func NewInterp(w io.Writer) *Interp {
-	if w == nil {
-		return interp.New()
+func NewInterp(w io.Writer, opts ...InterpOption) *Interp {
+	if w != nil {
+		opts = append([]InterpOption{interp.WithOutput(w)}, opts...)
 	}
-	return interp.New(interp.WithOutput(w))
+	return interp.New(opts...)
 }
 
 // Region is a scoped annotation found in a mixed-language source.

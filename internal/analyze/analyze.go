@@ -84,6 +84,12 @@ const (
 	CodeShadowMutation  = "JV008" // co-expression mutates a snapshotted variable
 	CodeZeroStep        = "JV009" // to-by with zero increment
 	CodeUnreachable     = "JV010" // statement unreachable after a control transfer
+
+	// Codes of the interprocedural pipe-graph pass (pipegraph.go).
+	CodePipeCycle             = "JV011" // pipes activate each other in a cycle: deadlock
+	CodeUnboundedAccumulation = "JV012" // unbounded producer feeds unbounded accumulation
+	CodeDeadEngine            = "JV013" // generator created but never resumed
+	CodeTruncatedEffects      = "JV014" // limit drops side effects of an effectful generator
 )
 
 // Options configures an analysis run.
@@ -92,6 +98,10 @@ type Options struct {
 	// globals in the REPL, host-defined values in embedding scenarios.
 	// May be nil.
 	Known func(name string) bool
+	// NativeFacts reports declared fact summaries for host natives invoked
+	// with ::name(...). May be nil: undeclared natives are the top of the
+	// effect lattice (EffUnknown), which blocks fusion across them.
+	NativeFacts func(name string) (GenFacts, bool)
 }
 
 // Analyzer carries one run's state: options, the collected symbol table,
@@ -105,8 +115,18 @@ type Analyzer struct {
 // Program analyzes a whole translation unit and returns its diagnostics
 // sorted by source position.
 func Program(p *ast.Program, opts Options) []Diag {
+	diags, _ := ProgramFacts(p, opts)
+	return diags
+}
+
+// ProgramFacts runs the full analysis — the per-scope passes of PR 1 plus
+// the interprocedural fact engine and the pipe-graph pass — returning both
+// the diagnostics and the computed whole-program facts for the runtime to
+// consume.
+func ProgramFacts(p *ast.Program, opts Options) ([]Diag, *Facts) {
 	a := &Analyzer{opts: opts}
 	a.collectGlobals(p)
+	facts, cg := computeFacts(a, p, opts)
 
 	// Top-level statements execute in the shared global scope: analyze
 	// them as one scope whose locals are the globals themselves.
@@ -125,6 +145,7 @@ func Program(p *ast.Program, opts Options) []Diag {
 			a.statement(top, x)
 		}
 	}
+	a.pipeGraph(p, facts, cg)
 
 	sort.SliceStable(a.diags, func(i, j int) bool {
 		pi, pj := a.diags[i].Pos, a.diags[j].Pos
@@ -133,15 +154,22 @@ func Program(p *ast.Program, opts Options) []Diag {
 		}
 		return pi.Col < pj.Col
 	})
-	return a.diags
+	return a.diags, facts
 }
 
 // Expr analyzes a standalone expression (the REPL's unit of input) as a
 // bounded top-level statement.
 func Expr(n ast.Node, opts Options) []Diag {
+	diags, _ := ExprFacts(n, opts)
+	return diags
+}
+
+// ExprFacts analyzes a standalone expression and returns its facts along
+// with the diagnostics.
+func ExprFacts(n ast.Node, opts Options) ([]Diag, *Facts) {
 	p := &ast.Program{Decls: []ast.Node{n}}
 	p.P = n.Pos()
-	return Program(p, opts)
+	return ProgramFacts(p, opts)
 }
 
 // HasErrors reports whether any diagnostic is an Error.

@@ -66,6 +66,7 @@ func TestFixtureCoverage(t *testing.T) {
 		CodeNeverAssigned, CodeNonVariable, CodeDeadAlternative, CodeBadLimit,
 		CodeNotCoexpr, CodePipeRefresh, CodeSelfActivation, CodeShadowMutation,
 		CodeZeroStep, CodeUnreachable,
+		CodePipeCycle, CodeUnboundedAccumulation, CodeDeadEngine, CodeTruncatedEffects,
 	}
 	if len(codes) < 8 {
 		t.Fatalf("acceptance requires >= 8 diagnostic codes, have %d", len(codes))

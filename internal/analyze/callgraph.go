@@ -1,0 +1,237 @@
+package analyze
+
+import (
+	"sort"
+
+	"junicon/internal/ast"
+)
+
+// callgraph builds the structural layer under the interprocedural passes:
+// which procedure calls which, where generators are created (<>e, |<>e,
+// |>e), and where the pipe/product/alternation/limit combinators appear.
+// Top-level statements are modeled as a pseudo-procedure named "" so the
+// REPL's unit of input and whole programs share one graph.
+
+// TopLevel is the pseudo-procedure name of the program's top-level
+// statement sequence in the call graph.
+const TopLevel = ""
+
+// CreateKind classifies a generator-creation site.
+type CreateKind int
+
+const (
+	// CreateGen is <>e: a first-class generator over the unshadowed body.
+	CreateGen CreateKind = iota
+	// CreateCoexpr is |<>e: a co-expression with snapshotted locals.
+	CreateCoexpr
+	// CreatePipe is |>e: a generator proxy with its own thread of
+	// execution and a bounded transport queue.
+	CreatePipe
+)
+
+// String names the creation operator.
+func (k CreateKind) String() string {
+	switch k {
+	case CreatePipe:
+		return "|>"
+	case CreateCoexpr:
+		return "|<>"
+	default:
+		return "<>"
+	}
+}
+
+// CreateSite is one generator-creation expression.
+type CreateSite struct {
+	Kind CreateKind
+	// Node is the creation expression itself (*ast.Unary).
+	Node *ast.Unary
+	// In is the enclosing procedure (TopLevel for top-level statements).
+	In string
+	// BoundTo is the variable the creation is directly assigned to
+	// ("" when the created generator is used anonymously).
+	BoundTo string
+}
+
+// CallGraph is the whole-program call structure.
+type CallGraph struct {
+	// Procs maps procedure (and method) names to their declarations.
+	Procs map[string]*ast.ProcDecl
+	// Calls maps caller name → callee names for calls through statically
+	// resolvable identifiers that are not shadowed by locals.
+	Calls map[string]map[string]bool
+	// Unknown marks callers that invoke through computed values, locals,
+	// undeclared names or undeclared natives — their effect summaries
+	// must assume the top of the lattice for those sites.
+	Unknown map[string]bool
+	// Creates lists every generator-creation site, in source order.
+	Creates []CreateSite
+}
+
+// Callees returns the sorted callee set of one caller.
+func (cg *CallGraph) Callees(caller string) []string {
+	var out []string
+	for c := range cg.Calls[caller] {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// buildCallGraph collects the graph for a program. localNames reports, per
+// procedure, the names bound locally (parameters plus assigned/declared
+// names) — a call through one of those is a call through a value, not a
+// reference to the global procedure of the same name.
+func buildCallGraph(p *ast.Program) *CallGraph {
+	cg := &CallGraph{
+		Procs:   map[string]*ast.ProcDecl{},
+		Calls:   map[string]map[string]bool{},
+		Unknown: map[string]bool{},
+	}
+	for _, d := range p.Decls {
+		switch x := d.(type) {
+		case *ast.ProcDecl:
+			cg.Procs[x.Name] = x
+		case *ast.ClassDecl:
+			for _, m := range x.Methods {
+				cg.Procs[m.Name] = m
+			}
+		}
+	}
+	for name, decl := range cg.Procs {
+		cg.collect(name, decl.Body, localsOf(decl))
+	}
+	for _, d := range p.Decls {
+		switch d.(type) {
+		case *ast.ProcDecl, *ast.ClassDecl, *ast.RecordDecl, *ast.GlobalDecl:
+		default:
+			cg.collect(TopLevel, d, map[string]bool{})
+		}
+	}
+	return cg
+}
+
+// localsOf computes the locally bound name set of a procedure: parameters,
+// declared locals/statics, assignment targets and bound-iteration
+// temporaries.
+func localsOf(p *ast.ProcDecl) map[string]bool {
+	locals := map[string]bool{}
+	for _, param := range p.Params {
+		locals[param] = true
+	}
+	for n := range declaredNames(p.Body) {
+		locals[n] = true
+	}
+	for n := range assignedNames(p.Body) {
+		locals[n] = true
+	}
+	return locals
+}
+
+// collect walks one caller's body recording edges and creation sites.
+func (cg *CallGraph) collect(caller string, body ast.Node, locals map[string]bool) {
+	addEdge := func(callee string) {
+		if cg.Calls[caller] == nil {
+			cg.Calls[caller] = map[string]bool{}
+		}
+		cg.Calls[caller][callee] = true
+	}
+	ast.Walk(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Call:
+			name, ok := identName(x.Fun)
+			switch {
+			case !ok:
+				// Calls through computed expressions resolve dynamically.
+				// A call through a bound-iteration temporary introduced by
+				// normalization (§5A) re-points at whatever the temporary
+				// iterates; the normal form keeps the callee adjacent, so
+				// resolve through a directly preceding BindIn when the
+				// caller's product is in scope — otherwise unknown.
+				cg.Unknown[caller] = true
+			case cg.Procs[name] != nil && !locals[name]:
+				addEdge(name)
+			case builtinNames()[name] && !locals[name]:
+				// Builtin: effects come from the builtin table, not an edge.
+			default:
+				cg.Unknown[caller] = true
+			}
+		case *ast.NativeCall:
+			// Host natives are opaque unless the embedder declares facts
+			// for them (Options.NativeFacts); record the site by name so
+			// the effect pass can consult the declaration.
+			// (No edge: natives are not analyzed procedures.)
+		case *ast.Unary:
+			switch x.Op {
+			case "<>", "|<>", "|>":
+				kind := CreateGen
+				if x.Op == "|<>" {
+					kind = CreateCoexpr
+				} else if x.Op == "|>" {
+					kind = CreatePipe
+				}
+				cg.Creates = append(cg.Creates, CreateSite{Kind: kind, Node: x, In: caller})
+			}
+		}
+		return true
+	})
+	// Second pass: attach BoundTo names to creation sites directly
+	// assigned to a variable (x := |> e, local x := |> e).
+	bind := func(target string, src ast.Node) {
+		u, ok := src.(*ast.Unary)
+		if !ok {
+			return
+		}
+		for i := range cg.Creates {
+			if cg.Creates[i].Node == u && cg.Creates[i].In == caller {
+				cg.Creates[i].BoundTo = target
+			}
+		}
+	}
+	ast.Walk(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Binary:
+			if isAssignOp(x.Op) {
+				if name, ok := identName(x.L); ok {
+					bind(name, x.R)
+				}
+			}
+		case *ast.VarDecl:
+			for i, name := range x.Names {
+				if i < len(x.Inits) && x.Inits[i] != nil {
+					bind(name, x.Inits[i])
+				}
+			}
+		}
+		return true
+	})
+}
+
+// recursiveSet returns the names reachable from themselves in the call
+// graph — every procedure on a call cycle.
+func (cg *CallGraph) recursiveSet() map[string]bool {
+	out := map[string]bool{}
+	for name := range cg.Procs {
+		if cg.reaches(name, name, map[string]bool{}) {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// reaches reports whether target is reachable from the callees of from.
+func (cg *CallGraph) reaches(from, target string, seen map[string]bool) bool {
+	for callee := range cg.Calls[from] {
+		if callee == target {
+			return true
+		}
+		if seen[callee] {
+			continue
+		}
+		seen[callee] = true
+		if cg.reaches(callee, target, seen) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,845 @@
+package analyze
+
+import (
+	"sort"
+	"sync"
+
+	"junicon/internal/ast"
+)
+
+// effects.go is the interprocedural fact computation: a fixpoint over the
+// call graph that assigns every procedure an effect summary and a
+// yield-count bound, then a final caching pass that records facts for
+// every node of the program. Soundness discipline: unknown callees and
+// host natives are the top of the lattice; recursive generator procedures
+// are pinned to unbounded yields before the fixpoint runs, so exact
+// bounds never under-approximate a sequence the runtime would fuse.
+
+// factsComp carries one fact-computation run.
+type factsComp struct {
+	a     *Analyzer
+	cg    *CallGraph
+	opts  Options
+	table map[string]*ProcFacts
+	// nodes is nil during the fixpoint; the final pass swaps in the cache
+	// so every visited subtree records its facts.
+	nodes map[ast.Node]GenFacts
+	rec   map[string]bool
+}
+
+// procCtx is the name-resolution context of one analyzed body.
+type procCtx struct {
+	name   string
+	locals map[string]bool
+}
+
+// computeFacts runs the interprocedural engine over a program whose
+// globals the analyzer has already collected.
+func computeFacts(a *Analyzer, p *ast.Program, opts Options) (*Facts, *CallGraph) {
+	cg := buildCallGraph(p)
+	fc := &factsComp{a: a, cg: cg, opts: opts, table: map[string]*ProcFacts{}}
+	fc.rec = cg.recursiveSet()
+
+	// Bottom-initialize, pinning recursive procedures to their sound
+	// summaries: generator recursion (any suspend in the body) yields
+	// unboundedly; return-only recursion yields at most once.
+	for name, decl := range cg.Procs {
+		pf := &ProcFacts{Name: name, GenFacts: GenFacts{Yields: boundNone}}
+		if fc.rec[name] {
+			pf.Recursive = true
+			if containsSuspend(decl.Body) {
+				pf.Yields = boundUnbounded
+			} else {
+				pf.Yields = boundOpt
+			}
+		}
+		fc.table[name] = pf
+	}
+
+	// Fixpoint: effects join monotonically; yields of non-recursive
+	// procedures settle once their callees have (DAG depth bounds the
+	// iteration count, +1 to detect stability).
+	names := make([]string, 0, len(cg.Procs))
+	for n := range cg.Procs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for iter := 0; iter <= len(names)+1; iter++ {
+		changed := false
+		for _, name := range names {
+			old := *fc.table[name]
+			got := fc.summarize(name)
+			next := old
+			next.Effects |= got.Effects
+			if fc.rec[name] {
+				// Yields stay pinned; only effects refine.
+			} else {
+				next.Yields = got.Yields
+			}
+			next.Restartable = (next.Effects &^ EffControl).Fusable()
+			if next.Effects != old.Effects || next.Yields != old.Yields ||
+				next.Restartable != old.Restartable {
+				*fc.table[name] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Final pass with the node cache on: every subtree the runtime might
+	// ask about records its facts, including top-level statements and
+	// create-site bodies.
+	fc.nodes = map[ast.Node]GenFacts{}
+	for _, name := range names {
+		decl := cg.Procs[name]
+		cx := &procCtx{name: name, locals: localsOf(decl)}
+		fc.stmtEffects(decl.Body, cx)
+		fc.procYields(decl.Body.Stmts, cx)
+	}
+	topCx := &procCtx{name: TopLevel, locals: map[string]bool{}}
+	for _, d := range p.Decls {
+		switch d.(type) {
+		case *ast.ProcDecl, *ast.RecordDecl, *ast.GlobalDecl, *ast.ClassDecl:
+		default:
+			fc.expr(d, topCx)
+		}
+	}
+	// Demandedness: re-walk marking expressions driven to exhaustion.
+	markDemand(p, fc.nodes)
+
+	return &Facts{procs: fc.table, nodes: fc.nodes}, cg
+}
+
+// containsSuspend reports whether a body suspends anywhere (nested create
+// bodies excluded: their suspensions belong to the created generator).
+func containsSuspend(n ast.Node) bool {
+	found := false
+	ast.Walk(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if u, ok := m.(*ast.Unary); ok && (u.Op == "<>" || u.Op == "|<>" || u.Op == "|>") {
+			return false
+		}
+		if _, ok := m.(*ast.Suspend); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// summarize computes one procedure's summary from the current table.
+func (fc *factsComp) summarize(name string) GenFacts {
+	decl := fc.cg.Procs[name]
+	cx := &procCtx{name: name, locals: localsOf(decl)}
+	eff := fc.stmtEffects(decl.Body, cx)
+	yields, _ := fc.procYields(decl.Body.Stmts, cx)
+	if fc.cg.Unknown[name] {
+		eff |= EffUnknown
+	}
+	// Control transfers inside the body resolve inside the invocation;
+	// they are not effects of calling the procedure.
+	eff &^= EffControl
+	return GenFacts{Effects: eff, Yields: yields}
+}
+
+// record caches facts for a node on the final pass.
+func (fc *factsComp) record(n ast.Node, g GenFacts) GenFacts {
+	if fc.nodes != nil && n != nil {
+		fc.nodes[n] = g
+	}
+	return g
+}
+
+// ---------- builtin facts ----------
+
+// builtinFacts maps builtin names to their summaries. Unlisted builtins
+// are assumed pure single-valued converters that may fail — everything in
+// the kernel library that is not listed here fits that shape.
+var builtinFacts = sync.OnceValue(func() map[string]GenFacts {
+	io1 := GenFacts{Effects: EffIO, Yields: boundOne}
+	heap1 := GenFacts{Effects: EffHeap, Yields: boundOne}
+	heapOpt := GenFacts{Effects: EffHeap, Yields: boundOpt}
+	pure1 := GenFacts{Yields: boundOne}
+	pureOpt := GenFacts{Yields: boundOpt}
+	pureFin := GenFacts{Yields: boundFinite}
+	m := map[string]GenFacts{
+		// I/O
+		"write": io1, "writes": io1,
+		"stop": {Effects: EffIO, Yields: boundNone},
+		// Structure mutators
+		"put": heap1, "push": heap1, "insert": heap1, "delete": heap1,
+		"get": heapOpt, "pop": heapOpt, "pull": heapOpt,
+		// Pure constructors / inspectors
+		"image": pure1, "type": pure1, "copy": pure1, "list": pure1,
+		"table": pure1, "set": pure1, "sort": pure1, "reverse": pure1,
+		"repl": pure1, "left": pure1, "right": pure1, "center": pure1,
+		"trim": pure1, "map": pure1, "ord": pure1, "char": pure1,
+		"abs": pure1,
+		// Converters and tests (fail on mismatch)
+		"numeric": pureOpt, "integer": pureOpt, "real": pureOpt,
+		"string": pureOpt, "cset": pureOpt, "proc": pureOpt,
+		"member": pureOpt, "any": pureOpt, "many": pureOpt,
+		"match": pureOpt,
+		// Generators
+		"find": pureFin, "upto": pureFin, "bal": pureFin, "key": pureFin,
+		"seq": {Yields: Bound{Min: 0, Max: BoundUnbounded}},
+		// String scanning: movement mutates the scan environment
+		"tab":  {Effects: EffHeap, Yields: boundOpt},
+		"move": {Effects: EffHeap, Yields: boundOpt},
+		"pos":  pureOpt,
+	}
+	// The *At variants share their base function's facts.
+	for _, name := range []string{"find", "upto", "many", "any", "match"} {
+		m[name+"At"] = m[name]
+	}
+	m["tabMatch"] = GenFacts{Effects: EffHeap, Yields: boundOpt}
+	return m
+})
+
+// builtinFactsFor returns the summary of a builtin, defaulting to a pure
+// optional single value for unlisted library functions.
+func builtinFactsFor(name string) GenFacts {
+	if f, ok := builtinFacts()[name]; ok {
+		return f
+	}
+	return GenFacts{Yields: boundOpt}
+}
+
+// ---------- expression facts ----------
+
+// expr computes (and on the final pass caches) the facts of an expression.
+func (fc *factsComp) expr(n ast.Node, cx *procCtx) GenFacts {
+	switch x := n.(type) {
+	case nil:
+		return GenFacts{Yields: boundNone}
+
+	case *ast.IntLit, *ast.RealLit, *ast.StrLit, *ast.CsetLit:
+		return fc.record(n, GenFacts{Yields: boundOne})
+
+	case *ast.Keyword:
+		if x.Name == "fail" {
+			return fc.record(n, GenFacts{Yields: boundNone})
+		}
+		return fc.record(n, GenFacts{Yields: boundOne})
+
+	case *ast.Ident:
+		return fc.record(n, fc.readFacts(x.Name, cx))
+	case *ast.TmpRef:
+		// Normalization temporaries are bound by their BindIn term within
+		// the enclosing FlatProduct — locals by construction, never globals.
+		return fc.record(n, GenFacts{Yields: boundOne})
+
+	case *ast.ListLit:
+		g := GenFacts{Yields: boundOne}
+		for _, e := range x.Elems {
+			ef := fc.expr(e, cx)
+			g.Effects |= ef.Effects
+			if !ef.Yields.CannotFail() {
+				g.Yields.Min = 0
+			}
+		}
+		return fc.record(n, g)
+
+	case *ast.Binary:
+		return fc.record(n, fc.binaryFacts(x, cx))
+
+	case *ast.Unary:
+		return fc.record(n, fc.unaryFacts(x, cx))
+
+	case *ast.ToBy:
+		lo := fc.expr(x.Lo, cx)
+		hi := fc.expr(x.Hi, cx)
+		g := GenFacts{Effects: lo.Effects | hi.Effects}
+		operands := lo.Yields.Mul(hi.Yields)
+		if x.By != nil {
+			by := fc.expr(x.By, cx)
+			g.Effects |= by.Effects
+			operands = operands.Mul(by.Yields)
+		}
+		g.Yields = operands.Mul(rangeCount(x))
+		return fc.record(n, g)
+
+	case *ast.Call:
+		return fc.record(n, fc.callFacts(x, cx))
+
+	case *ast.NativeCall:
+		g := GenFacts{Effects: EffUnknown, Yields: boundOpt}
+		if fc.opts.NativeFacts != nil {
+			if nf, ok := fc.opts.NativeFacts(x.Name); ok {
+				g = nf
+			}
+		}
+		if x.Recv != nil {
+			rf := fc.expr(x.Recv, cx)
+			g.Effects |= rf.Effects
+			g.Yields = rf.Yields.Mul(g.Yields)
+		}
+		for _, a := range x.Args {
+			af := fc.expr(a, cx)
+			g.Effects |= af.Effects
+			g.Yields = af.Yields.Mul(g.Yields)
+		}
+		return fc.record(n, g)
+
+	case *ast.Index:
+		xf := fc.expr(x.X, cx)
+		idx := fc.expr(x.I, cx)
+		b := xf.Yields.Mul(idx.Yields)
+		b.Min = 0 // subscripts fail out of range
+		return fc.record(n, GenFacts{Effects: xf.Effects | idx.Effects, Yields: b})
+
+	case *ast.Slice:
+		g := fc.joinAll(cx, x.X, x.I, x.J)
+		g.Yields.Min = 0
+		return fc.record(n, g)
+
+	case *ast.Field:
+		xf := fc.expr(x.X, cx)
+		b := xf.Yields
+		b.Min = 0
+		return fc.record(n, GenFacts{Effects: xf.Effects, Yields: b})
+
+	case *ast.If:
+		cond := fc.expr(x.Cond, cx)
+		then := fc.expr(x.Then, cx)
+		els := fc.expr(x.Else, cx) // nil → {0,0}
+		g := GenFacts{Effects: cond.Effects | then.Effects | els.Effects}
+		g.Yields = then.Yields.Join(els.Yields)
+		if x.Else == nil || !cond.Yields.CannotFail() {
+			g.Yields.Min = 0
+		}
+		return fc.record(n, g)
+
+	case *ast.While:
+		g := fc.joinAll(cx, x.Cond, x.Body)
+		g.Yields = boundNone // loops fail as expressions
+		return fc.record(n, g)
+	case *ast.Every:
+		g := fc.joinAll(cx, x.E, x.Body)
+		g.Yields = boundNone
+		return fc.record(n, g)
+	case *ast.Repeat:
+		g := fc.joinAll(cx, x.Body)
+		g.Yields = boundNone
+		return fc.record(n, g)
+
+	case *ast.Case:
+		subj := fc.expr(x.Subject, cx)
+		g := GenFacts{Effects: subj.Effects, Yields: boundNone}
+		for _, c := range x.Clauses {
+			if c.Sel != nil {
+				g.Effects |= fc.expr(c.Sel, cx).Effects
+			}
+			cf := fc.expr(c.Body, cx)
+			g.Effects |= cf.Effects
+			g.Yields = g.Yields.Join(cf.Yields)
+		}
+		g.Yields.Min = 0
+		return fc.record(n, g)
+
+	case *ast.Block:
+		if len(x.Stmts) == 0 {
+			return fc.record(n, GenFacts{Yields: boundOne})
+		}
+		g := GenFacts{}
+		for _, s := range x.Stmts {
+			g.Effects |= fc.expr(s, cx).Effects
+		}
+		// Bounded failures of leading statements are discarded; the
+		// block's sequence is the last statement's.
+		g.Yields = fc.expr(x.Stmts[len(x.Stmts)-1], cx).Yields
+		return fc.record(n, g)
+
+	case *ast.VarDecl:
+		g := GenFacts{Yields: boundOne}
+		for _, init := range x.Inits {
+			if init != nil {
+				g.Effects |= fc.expr(init, cx).Effects
+			}
+		}
+		return fc.record(n, g)
+
+	case *ast.Initial:
+		g := fc.joinAll(cx, x.Body)
+		g.Yields = boundOne
+		return fc.record(n, g)
+
+	case *ast.BindIn:
+		ef := fc.expr(x.E, cx)
+		return fc.record(n, ef)
+
+	case *ast.FlatProduct:
+		g := GenFacts{Yields: boundOne}
+		for _, t := range x.Terms {
+			tf := fc.expr(t, cx)
+			g.Effects |= tf.Effects
+			g.Yields = g.Yields.Mul(tf.Yields)
+		}
+		return fc.record(n, g)
+
+	case *ast.Break:
+		g := fc.joinAll(cx, x.E)
+		g.Effects |= EffControl
+		g.Yields = boundNone
+		return fc.record(n, g)
+	case *ast.NextStmt:
+		return fc.record(n, GenFacts{Effects: EffControl, Yields: boundNone})
+	case *ast.Fail:
+		return fc.record(n, GenFacts{Effects: EffControl, Yields: boundNone})
+	case *ast.Return:
+		g := fc.joinAll(cx, x.E)
+		g.Effects |= EffControl
+		g.Yields = boundOpt
+		return fc.record(n, g)
+	case *ast.Suspend:
+		g := fc.joinAll(cx, x.E, x.Body)
+		g.Effects |= EffControl
+		return fc.record(n, g)
+	}
+	// Unknown node kind: top.
+	return fc.record(n, GenFacts{Effects: EffUnknown, Yields: boundUnbounded})
+}
+
+// joinAll joins the effects of several subexpressions (nil skipped),
+// returning a record whose bound is the join of theirs.
+func (fc *factsComp) joinAll(cx *procCtx, ns ...ast.Node) GenFacts {
+	g := GenFacts{Yields: boundNone}
+	for _, n := range ns {
+		if n == nil {
+			continue
+		}
+		nf := fc.expr(n, cx)
+		g.Effects |= nf.Effects
+		g.Yields = g.Yields.Join(nf.Yields)
+	}
+	return g
+}
+
+// readFacts classifies an identifier read. Any non-local name — global,
+// builtin, host-known or auto-created at first use — reads shared state.
+func (fc *factsComp) readFacts(name string, cx *procCtx) GenFacts {
+	g := GenFacts{Yields: boundOne}
+	if !cx.locals[name] {
+		g.Effects = EffReadsGlobals
+	}
+	return g
+}
+
+// writeEffect classifies an assignment target.
+func (fc *factsComp) writeEffect(target ast.Node, cx *procCtx) Effects {
+	switch t := target.(type) {
+	case *ast.Ident:
+		if cx.locals[t.Name] {
+			return EffPure
+		}
+		return EffWritesGlobals
+	case *ast.TmpRef:
+		return EffPure
+	case *ast.Index, *ast.Slice, *ast.Field, *ast.Keyword:
+		return EffHeap
+	case *ast.Unary:
+		if t.Op == "!" {
+			return EffHeap
+		}
+	}
+	// Computed target: could denote anything.
+	return EffUnknown
+}
+
+func (fc *factsComp) binaryFacts(x *ast.Binary, cx *procCtx) GenFacts {
+	l := fc.expr(x.L, cx)
+	r := fc.expr(x.R, cx)
+	eff := l.Effects | r.Effects
+	switch x.Op {
+	case "&":
+		return GenFacts{Effects: eff, Yields: l.Yields.Mul(r.Yields)}
+	case "|":
+		return GenFacts{Effects: eff, Yields: l.Yields.Add(r.Yields)}
+	case "\\":
+		b := l.Yields
+		if lim, ok := intConst(x.R); ok {
+			if lim < 0 {
+				lim = 0
+			}
+			capped := int(lim)
+			if int64(capped) != lim {
+				capped = maxExact + 1 // enormous literal: treat as finite
+			}
+			b = b.Cap(capped)
+		} else {
+			b.Min = 0
+		}
+		return GenFacts{Effects: eff, Yields: b}
+	case ":=", "<-":
+		eff |= fc.writeEffect(x.L, cx)
+		b := r.Yields
+		if x.Op == "<-" {
+			b.Min = 0 // reversible assignment restores and fails on backtrack
+		}
+		return GenFacts{Effects: eff, Yields: b}
+	case ":=:", "<->":
+		eff |= fc.writeEffect(x.L, cx) | fc.writeEffect(x.R, cx)
+		return GenFacts{Effects: eff, Yields: boundOpt}
+	case "@":
+		// Activation drives an arbitrary co-expression: unknown effects,
+		// one value or failure per activation.
+		return GenFacts{Effects: eff | EffUnknown, Yields: boundUnbounded}
+	case "?":
+		// Scanning: the body runs against a swapped scan environment.
+		b := r.Yields
+		b.Min = 0
+		return GenFacts{Effects: eff | EffHeap, Yields: b}
+	}
+	if isAssignOp(x.Op) { // augmented assignment op:=
+		eff |= fc.writeEffect(x.L, cx)
+		b := l.Yields.Mul(r.Yields)
+		b.Min = 0
+		return GenFacts{Effects: eff, Yields: b}
+	}
+	if isValueOp(x.Op) {
+		b := l.Yields.Mul(r.Yields)
+		if comparisonOp(x.Op) {
+			b.Min = 0 // comparisons fail
+		}
+		return GenFacts{Effects: eff, Yields: b}
+	}
+	switch x.Op {
+	case "===", "~===":
+		b := l.Yields.Mul(r.Yields)
+		b.Min = 0
+		return GenFacts{Effects: eff, Yields: b}
+	}
+	return GenFacts{Effects: eff | EffUnknown, Yields: boundUnbounded}
+}
+
+// comparisonOp reports value operators that may fail (comparisons), as
+// opposed to arithmetic, which always yields per operand pair.
+func comparisonOp(op string) bool {
+	switch op {
+	case "<", "<=", ">", ">=", "~=", "==", "~==", "<<", "<<=", ">>", ">>=":
+		return true
+	}
+	return false
+}
+
+func (fc *factsComp) unaryFacts(x *ast.Unary, cx *procCtx) GenFacts {
+	switch x.Op {
+	case "<>", "|<>":
+		// Creation defers the body; the creation expression itself is a
+		// pure single value. The body's facts are still computed (and
+		// cached) — they are the facts of the created generator.
+		fc.expr(x.X, cx)
+		return GenFacts{Yields: boundOne}
+	case "|>":
+		// A pipe starts its producer eagerly: creating it performs the
+		// body's effects (asynchronously), though the creation expression
+		// still yields exactly the pipe.
+		body := fc.expr(x.X, cx)
+		return GenFacts{Effects: body.Effects, Yields: boundOne}
+	}
+
+	o := fc.expr(x.X, cx)
+	switch x.Op {
+	case "!":
+		k := exprKind(x.X)
+		if k == kindCoexpr || k == kindPipe {
+			return GenFacts{Effects: o.Effects | EffUnknown, Yields: boundUnbounded}
+		}
+		if k == kindValue {
+			// Promotion of a collection or string: finite.
+			return GenFacts{Effects: o.Effects, Yields: boundFinite}
+		}
+		return GenFacts{Effects: o.Effects | EffUnknown, Yields: boundUnbounded}
+	case "@":
+		return GenFacts{Effects: o.Effects | EffUnknown, Yields: boundUnbounded}
+	case "^":
+		return GenFacts{Effects: o.Effects, Yields: o.Yields}
+	case "*", "-", "+", "~":
+		return GenFacts{Effects: o.Effects, Yields: o.Yields}
+	case "/", "\\":
+		b := o.Yields
+		b.Min = 0
+		return GenFacts{Effects: o.Effects, Yields: b}
+	case "?":
+		b := o.Yields
+		b.Min = 0
+		return GenFacts{Effects: o.Effects | EffRandom, Yields: b}
+	case "=":
+		return GenFacts{Effects: o.Effects | EffHeap, Yields: boundFinite}
+	case "|":
+		if o.Yields.Max == 0 {
+			return GenFacts{Effects: o.Effects, Yields: boundNone}
+		}
+		return GenFacts{Effects: o.Effects, Yields: boundUnbounded}
+	case "not":
+		return GenFacts{Effects: o.Effects, Yields: boundOpt}
+	}
+	return GenFacts{Effects: o.Effects | EffUnknown, Yields: boundUnbounded}
+}
+
+// callFacts resolves an invocation's facts.
+func (fc *factsComp) callFacts(x *ast.Call, cx *procCtx) GenFacts {
+	args := GenFacts{Yields: boundOne}
+	for _, a := range x.Args {
+		af := fc.expr(a, cx)
+		args.Effects |= af.Effects
+		args.Yields = args.Yields.Mul(af.Yields)
+	}
+	name, ok := identName(x.Fun)
+	if ok && !cx.locals[name] {
+		if pf, have := fc.table[name]; have {
+			fc.expr(x.Fun, cx)
+			return GenFacts{
+				Effects: args.Effects | pf.Effects | EffReadsGlobals,
+				Yields:  args.Yields.Mul(pf.Yields),
+			}
+		}
+		if builtinNames()[name] {
+			bf := builtinFactsFor(name)
+			fc.expr(x.Fun, cx)
+			return GenFacts{
+				Effects: args.Effects | bf.Effects,
+				Yields:  args.Yields.Mul(bf.Yields),
+			}
+		}
+	}
+	ff := fc.expr(x.Fun, cx)
+	return GenFacts{Effects: args.Effects | ff.Effects | EffUnknown, Yields: boundUnbounded}
+}
+
+// rangeCount computes the per-operand-triple yield count of a to-by.
+func rangeCount(x *ast.ToBy) Bound {
+	lo, lok := intConst(x.Lo)
+	hi, hok := intConst(x.Hi)
+	by := int64(1)
+	bok := true
+	if x.By != nil {
+		by, bok = intConst(x.By)
+	}
+	if !lok || !hok || !bok || by == 0 {
+		return boundFinite // non-constant operands: finite, magnitude unknown
+	}
+	var count int64
+	if by > 0 && hi >= lo {
+		count = (hi-lo)/by + 1
+	} else if by < 0 && hi <= lo {
+		count = (lo-hi)/(-by) + 1
+	}
+	if count > int64(maxExact) {
+		return boundFinite
+	}
+	return exactly(int(count))
+}
+
+// ---------- procedure yields ----------
+
+// procYields computes a procedure's per-invocation yield bound from its
+// statement list: contributions of suspends plus a terminal return.
+func (fc *factsComp) procYields(stmts []ast.Node, cx *procCtx) (Bound, bool) {
+	total := boundNone
+	for _, s := range stmts {
+		b, terminated := fc.stmtYields(s, cx)
+		total = total.Add(b)
+		if terminated {
+			return total, true
+		}
+	}
+	// Falling off the end fails the procedure — no further results, and
+	// the accumulated minimum stands (those suspensions already happened).
+	return total, false
+}
+
+// stmtYields computes one statement's yield contribution and whether it
+// unconditionally terminates the invocation.
+func (fc *factsComp) stmtYields(s ast.Node, cx *procCtx) (Bound, bool) {
+	switch x := s.(type) {
+	case *ast.Suspend:
+		b := fc.expr(x.E, cx).Yields
+		if x.Body != nil {
+			body, _ := fc.stmtYields(x.Body, cx)
+			b = b.Add(b.Mul(body))
+		}
+		return b, false
+	case *ast.Return:
+		if x.E == nil {
+			return boundOne, true
+		}
+		fc.expr(x.E, cx)
+		if cannotFail(x.E) {
+			return boundOne, true
+		}
+		return boundOpt, true
+	case *ast.Fail:
+		return boundNone, true
+	case *ast.Block:
+		return fc.procYields(x.Stmts, cx)
+	case *ast.If:
+		then, tdone := fc.stmtYields(x.Then, cx)
+		var els Bound
+		edone := false
+		if x.Else != nil {
+			els, edone = fc.stmtYields(x.Else, cx)
+		}
+		j := then.Join(els)
+		if x.Else == nil || !cannotFail(x.Cond) {
+			j.Min = 0
+		}
+		return j, tdone && edone && x.Else != nil && cannotFail(x.Cond)
+	case *ast.While, *ast.Repeat:
+		var body ast.Node
+		if w, ok := x.(*ast.While); ok {
+			body = w.Body
+		} else {
+			body = x.(*ast.Repeat).Body
+		}
+		if body == nil {
+			return boundNone, false
+		}
+		b, _ := fc.stmtYields(body, cx)
+		if b.Max == 0 {
+			return boundNone, false
+		}
+		return boundUnbounded, false
+	case *ast.Every:
+		// `every suspend e` merges into per-result suspension.
+		per := boundNone
+		src := fc.expr(x.E, cx).Yields
+		if sus, ok := x.E.(*ast.Suspend); ok {
+			src = fc.expr(sus.E, cx).Yields
+			per = exactly(1)
+		}
+		if x.Body != nil {
+			b, _ := fc.stmtYields(x.Body, cx)
+			per = per.Add(b)
+		}
+		out := src.Mul(per)
+		out.Min = 0
+		return out, false
+	case *ast.Case:
+		out := boundNone
+		for _, c := range x.Clauses {
+			b, _ := fc.stmtYields(c.Body, cx)
+			out = out.Join(b)
+		}
+		out.Min = 0
+		return out, false
+	case *ast.Initial:
+		b, _ := fc.stmtYields(x.Body, cx)
+		b.Min = 0
+		return b, false
+	}
+	// Expression statements (bounded) yield nothing to the caller.
+	return boundNone, false
+}
+
+// stmtEffects joins the effect summaries of a statement's expressions,
+// descending the structural statement forms so control-transfer nodes in
+// statement position do not poison the summary with EffControl.
+func (fc *factsComp) stmtEffects(s ast.Node, cx *procCtx) Effects {
+	switch x := s.(type) {
+	case nil:
+		return EffPure
+	case *ast.Block:
+		eff := EffPure
+		for _, st := range x.Stmts {
+			eff |= fc.stmtEffects(st, cx)
+		}
+		return eff
+	case *ast.If:
+		return fc.expr(x.Cond, cx).Effects |
+			fc.stmtEffects(x.Then, cx) | fc.stmtEffects(x.Else, cx)
+	case *ast.While:
+		return fc.expr(x.Cond, cx).Effects | fc.stmtEffects(x.Body, cx)
+	case *ast.Every:
+		eff := fc.stmtEffects(x.Body, cx)
+		if sus, ok := x.E.(*ast.Suspend); ok {
+			return eff | fc.expr(sus.E, cx).Effects | fc.stmtEffects(sus.Body, cx)
+		}
+		return eff | fc.expr(x.E, cx).Effects
+	case *ast.Repeat:
+		return fc.stmtEffects(x.Body, cx)
+	case *ast.Suspend:
+		return fc.expr(x.E, cx).Effects | fc.stmtEffects(x.Body, cx)
+	case *ast.Return:
+		if x.E == nil {
+			return EffPure
+		}
+		return fc.expr(x.E, cx).Effects
+	case *ast.Fail, *ast.NextStmt:
+		return EffPure
+	case *ast.Break:
+		if x.E == nil {
+			return EffPure
+		}
+		return fc.expr(x.E, cx).Effects
+	case *ast.Case:
+		eff := fc.expr(x.Subject, cx).Effects
+		for _, c := range x.Clauses {
+			if c.Sel != nil {
+				eff |= fc.expr(c.Sel, cx).Effects
+			}
+			eff |= fc.stmtEffects(c.Body, cx)
+		}
+		return eff
+	case *ast.VarDecl:
+		eff := EffPure
+		for _, init := range x.Inits {
+			if init != nil {
+				eff |= fc.expr(init, cx).Effects
+			}
+		}
+		return eff
+	case *ast.Initial:
+		return fc.stmtEffects(x.Body, cx)
+	}
+	return fc.expr(s, cx).Effects
+}
+
+// ---------- demandedness ----------
+
+// markDemand flags expressions the program drives to exhaustion: the
+// iterated expression of every-loops and operands of promotion. The flag
+// rides the cached record, so consumers can distinguish a generator whose
+// full sequence is demanded from one in a bounded position.
+// ExtendExpr computes and caches facts for one more top-level expression
+// against the already-computed interprocedural tables — the incremental
+// path for the REPL and EvalGen: declarations are analyzed once at load
+// time; each evaluated expression then extends the node cache without
+// re-running the whole-program fixpoint.
+func (f *Facts) ExtendExpr(n ast.Node, opts Options) {
+	if f == nil || n == nil {
+		return
+	}
+	f.exprNodes = make(map[ast.Node]GenFacts)
+	fc := &factsComp{opts: opts, table: f.procs, nodes: f.exprNodes}
+	fc.expr(n, &procCtx{name: TopLevel, locals: map[string]bool{}})
+	markDemand(&ast.Program{Decls: []ast.Node{n}}, fc.nodes)
+}
+
+func markDemand(p *ast.Program, nodes map[ast.Node]GenFacts) {
+	mark := func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		if g, ok := nodes[n]; ok {
+			g.Demanded = true
+			nodes[n] = g
+		}
+	}
+	ast.Walk(p, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Every:
+			mark(x.E)
+		case *ast.Unary:
+			if x.Op == "!" {
+				mark(x.X)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,346 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"junicon/internal/ast"
+)
+
+// This file defines the whole-program fact lattice the interprocedural
+// engine computes (effects.go) and the runtime consumes (interp, translate,
+// pipe): per-generator effect summaries, yield-count bounds, restartability
+// and demandedness. The passes of PR 1 only *warn*; facts additionally
+// *drive* the evaluator — pure ≤1-yield chains fuse into direct calls,
+// pipe buffers size themselves from yield bounds, and provably tiny pure
+// producers skip goroutines entirely. The semtest Fused evaluator is the
+// executable proof that none of this can change a trace.
+
+// Effects is the effect summary of a generator expression: which classes
+// of observable action evaluating (and re-evaluating) it may perform. The
+// lattice is a bitset join; the empty set is pure.
+type Effects uint8
+
+const (
+	// EffReadsGlobals marks reads of program globals (or host-known names).
+	EffReadsGlobals Effects = 1 << iota
+	// EffWritesGlobals marks assignments to program globals.
+	EffWritesGlobals
+	// EffHeap marks mutation of reachable structures: subscript/field
+	// assignment, put/push/insert/delete, scanning-state movement.
+	EffHeap
+	// EffIO marks input/output: write, writes, read, reads, stop.
+	EffIO
+	// EffRandom marks dependence on the random stream (?x): re-evaluation
+	// may yield a different sequence.
+	EffRandom
+	// EffControl marks non-local control transfer (break/next/return/
+	// suspend/fail appearing inside the expression): the expression cannot
+	// be re-driven mechanically.
+	EffControl
+	// EffUnknown marks calls the analysis cannot resolve — host natives
+	// without declared facts, calls through computed values, activation of
+	// arbitrary co-expressions. Top of the lattice.
+	EffUnknown
+)
+
+// EffPure is the bottom of the effect lattice.
+const EffPure Effects = 0
+
+// Pure reports a fully effect-free summary.
+func (e Effects) Pure() bool { return e == EffPure }
+
+// Fusable reports whether the runtime may re-order, elide or inline
+// evaluations of the expression without changing any trace: no writes, no
+// IO, no randomness, no control transfer, nothing unknown. Reads of
+// globals are permitted — a read elided on a backtracking path that can
+// no longer succeed is unobservable.
+func (e Effects) Fusable() bool {
+	const barrier = EffWritesGlobals | EffHeap | EffIO | EffRandom | EffControl | EffUnknown
+	return e&barrier == 0
+}
+
+// String renders the summary as a compact comma-joined set ("pure" when
+// empty) — the form the -facts dump and the tests pin.
+func (e Effects) String() string {
+	if e == EffPure {
+		return "pure"
+	}
+	var parts []string
+	for _, f := range []struct {
+		bit  Effects
+		name string
+	}{
+		{EffReadsGlobals, "reads-globals"},
+		{EffWritesGlobals, "writes-globals"},
+		{EffHeap, "mutates-heap"},
+		{EffIO, "io"},
+		{EffRandom, "random"},
+		{EffControl, "control"},
+		{EffUnknown, "unknown"},
+	} {
+		if e&f.bit != 0 {
+			parts = append(parts, f.name)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Bound markers for yield-count maxima that are not small constants.
+const (
+	// BoundFinite marks a yield count that is statically finite but of
+	// unknown magnitude (promotion of a collection, a to-by range with
+	// non-constant operands).
+	BoundFinite = -1
+	// BoundUnbounded marks a yield count with no static bound (repeated
+	// alternation, suspension inside a while/repeat loop, recursion).
+	BoundUnbounded = -2
+)
+
+// maxExact is the widening threshold: exact bounds beyond it collapse to
+// BoundFinite so the interprocedural fixpoint terminates.
+const maxExact = 4096
+
+// Bound is a yield-count interval [Min, Max] per evaluation cycle. Max is
+// either an exact count (>= 0), BoundFinite, or BoundUnbounded — extending
+// the per-scope boundedness lattice of JV003/JV004 across procedure calls.
+type Bound struct {
+	Min int
+	Max int
+}
+
+// Handy constructors.
+func exactly(n int) Bound { return Bound{Min: n, Max: n} }
+func atMost(n int) Bound  { return Bound{Min: 0, Max: n} }
+
+var (
+	boundNone      = Bound{0, 0}
+	boundOne       = Bound{1, 1}
+	boundOpt       = Bound{0, 1}
+	boundFinite    = Bound{0, BoundFinite}
+	boundUnbounded = Bound{0, BoundUnbounded}
+)
+
+// Finite reports whether the sequence provably terminates.
+func (b Bound) Finite() bool { return b.Max != BoundUnbounded }
+
+// AtMost reports whether the cycle provably yields no more than n results.
+func (b Bound) AtMost(n int) bool { return b.Max >= 0 && b.Max <= n }
+
+// CannotFail reports whether the expression provably yields at least once.
+func (b Bound) CannotFail() bool { return b.Min >= 1 }
+
+// String renders the bound: "0", "1", "=N", "≤N", "finite", "unbounded".
+func (b Bound) String() string {
+	switch {
+	case b.Max == BoundUnbounded:
+		return "unbounded"
+	case b.Max == BoundFinite:
+		return "finite"
+	case b.Min == b.Max:
+		return fmt.Sprintf("=%d", b.Max)
+	default:
+		return fmt.Sprintf("%d..%d", b.Min, b.Max)
+	}
+}
+
+// normMax collapses over-threshold exact maxima (widening).
+func normMax(m int) int {
+	if m >= 0 && m > maxExact {
+		return BoundFinite
+	}
+	return m
+}
+
+// maxRank orders maxima for joins: exact < finite < unbounded.
+func maxRank(m int) int {
+	switch m {
+	case BoundUnbounded:
+		return 2
+	case BoundFinite:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// joinMax is the lattice join of two maxima.
+func joinMax(a, b int) int {
+	if maxRank(a) != maxRank(b) {
+		if maxRank(a) > maxRank(b) {
+			return a
+		}
+		return b
+	}
+	if a > b {
+		return normMax(a)
+	}
+	return normMax(b)
+}
+
+// addMax sums maxima (sequence/alternation composition).
+func addMax(a, b int) int {
+	if maxRank(a) > 0 || maxRank(b) > 0 {
+		return joinMax(a, b)
+	}
+	return normMax(a + b)
+}
+
+// mulMax multiplies maxima (product composition).
+func mulMax(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if maxRank(a) > 0 || maxRank(b) > 0 {
+		return joinMax(a, b)
+	}
+	return normMax(a * b)
+}
+
+// Join is the lattice join (alternation of control paths).
+func (b Bound) Join(o Bound) Bound {
+	min := b.Min
+	if o.Min < min {
+		min = o.Min
+	}
+	return Bound{Min: min, Max: joinMax(b.Max, o.Max)}
+}
+
+// Add composes sequential contributions (both happen, counts sum).
+func (b Bound) Add(o Bound) Bound {
+	min := b.Min + o.Min
+	if min > maxExact {
+		min = maxExact
+	}
+	return Bound{Min: min, Max: addMax(b.Max, o.Max)}
+}
+
+// Mul composes product contributions: each result of b re-runs o.
+func (b Bound) Mul(o Bound) Bound {
+	min := b.Min * o.Min
+	if min > maxExact {
+		min = maxExact
+	}
+	return Bound{Min: min, Max: mulMax(b.Max, o.Max)}
+}
+
+// Cap limits the interval to at most n results (e \ n).
+func (b Bound) Cap(n int) Bound {
+	if n < 0 {
+		n = 0
+	}
+	out := b
+	if out.Min > n {
+		out.Min = n
+	}
+	if maxRank(out.Max) > 0 || out.Max > n {
+		out.Max = n
+	}
+	return out
+}
+
+// GenFacts is the computed fact record of one generator expression.
+type GenFacts struct {
+	Effects Effects
+	Yields  Bound
+	// Restartable reports that re-driving the expression from the start is
+	// statically safe and reproducible: a Fusable effect summary. The
+	// runtime may elide restart bookkeeping when it is false, and may
+	// re-run the sequence when it is true.
+	Restartable bool
+	// Demanded reports that the expression sits in a position that drives
+	// it to exhaustion (an every-control, a promotion) rather than a
+	// bounded position that takes at most one result.
+	Demanded bool
+}
+
+// Fusable reports that the whole expression may be inlined/fused: effect
+// summary permits it and the yield count is statically finite.
+func (g GenFacts) Fusable() bool { return g.Effects.Fusable() && g.Yields.Finite() }
+
+// String renders the record for the -facts dump.
+func (g GenFacts) String() string {
+	s := fmt.Sprintf("effects=%s yields=%s", g.Effects, g.Yields)
+	if g.Restartable {
+		s += " restartable"
+	}
+	if g.Demanded {
+		s += " demanded"
+	}
+	return s
+}
+
+// ProcFacts is the interprocedural summary of one procedure: the facts of
+// one invocation's result sequence.
+type ProcFacts struct {
+	Name string
+	GenFacts
+	Recursive bool
+}
+
+// Facts is the whole-program fact table: procedure summaries from the
+// interprocedural fixpoint plus a per-node cache filled on the final pass,
+// so consumers can ask about any subtree of the analyzed program by node
+// identity.
+type Facts struct {
+	procs map[string]*ProcFacts
+	nodes map[ast.Node]GenFacts
+	// exprNodes is the node cache of the most recent ExtendExpr call: the
+	// facts of one evaluated expression, replaced wholesale on the next
+	// call. Kept apart from nodes so a long-lived interpreter evaluating
+	// many expressions does not grow the persistent cache without bound —
+	// each parsed tree has fresh node identities, so entries for earlier
+	// evaluations could never be looked up again.
+	exprNodes map[ast.Node]GenFacts
+}
+
+// Proc returns the summary of a named procedure.
+func (f *Facts) Proc(name string) (ProcFacts, bool) {
+	if f == nil {
+		return ProcFacts{}, false
+	}
+	p, ok := f.procs[name]
+	if !ok {
+		return ProcFacts{}, false
+	}
+	return *p, true
+}
+
+// At returns the facts of a node of the analyzed program (by identity).
+func (f *Facts) At(n ast.Node) (GenFacts, bool) {
+	if f == nil {
+		return GenFacts{}, false
+	}
+	if g, ok := f.nodes[n]; ok {
+		return g, true
+	}
+	g, ok := f.exprNodes[n]
+	return g, ok
+}
+
+// ProcNames returns the summarized procedure names, sorted.
+func (f *Facts) ProcNames() []string {
+	if f == nil {
+		return nil
+	}
+	names := make([]string, 0, len(f.procs))
+	for n := range f.procs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Fdump writes the per-procedure fact table one line per procedure — the
+// output of junicon -vet -facts.
+func (f *Facts) Fdump(w interface{ Write([]byte) (int, error) }) {
+	for _, name := range f.ProcNames() {
+		p := f.procs[name]
+		rec := ""
+		if p.Recursive {
+			rec = " recursive"
+		}
+		fmt.Fprintf(w, "%s: %s%s\n", name, p.GenFacts, rec)
+	}
+}

@@ -1,0 +1,148 @@
+package analyze
+
+import (
+	"junicon/internal/ast"
+)
+
+// fusion.go holds the decision procedures through which the runtime
+// consumes computed facts: which product prefixes may be evaluated once
+// (core.FusedProduct), and how a pipe's transport should be provisioned
+// from its producer's yield bound (inline substitution or a bound-derived
+// buffer). Both are deliberately conservative — the semtest Fused
+// evaluator pins that a decision here can never change a trace.
+
+// FusablePrefix returns the number of leading terms of a product chain
+// that are safe to evaluate exactly once instead of re-driving them on
+// every backtracking cycle. A term qualifies when its facts show a
+// fusable effect summary (no writes, IO, randomness, control transfer or
+// unknowns) and at most one yield — then the skipped re-evaluations are
+// unobservable, provided nothing later in the chain can change what the
+// prefix would read:
+//
+//   - no tail term assigns a name the prefix reads (locals included —
+//     the effect lattice does not track local rebinding);
+//   - when the prefix reads anything at all (names or heap locations),
+//     the tail's joined effects must be free of global/heap mutation and
+//     unknowns.
+//
+// At least one term is always left as the iteration tail. Returns 0 for
+// nil facts, unanalyzed nodes, or whenever the side conditions fail.
+func (f *Facts) FusablePrefix(terms []ast.Node) int {
+	if f == nil || len(terms) < 2 {
+		return 0
+	}
+	k := 0
+	for k < len(terms)-1 {
+		g, ok := f.At(terms[k])
+		if !ok || !g.Effects.Fusable() || !g.Yields.AtMost(1) {
+			break
+		}
+		k++
+	}
+	if k == 0 {
+		return 0
+	}
+
+	reads := map[string]bool{}
+	readsAny := false
+	for _, t := range terms[:k] {
+		ast.Walk(t, func(m ast.Node) bool {
+			switch x := m.(type) {
+			case *ast.Ident:
+				reads[x.Name] = true
+				readsAny = true
+			case *ast.TmpRef:
+				reads[x.Name] = true
+				readsAny = true
+			case *ast.Index, *ast.Slice, *ast.Field:
+				readsAny = true
+			case *ast.Unary:
+				if x.Op == "!" {
+					readsAny = true
+				}
+			}
+			return true
+		})
+	}
+
+	var tailEff Effects
+	for _, t := range terms[k:] {
+		if g, ok := f.At(t); ok {
+			tailEff |= g.Effects
+		} else {
+			tailEff |= EffUnknown
+		}
+	}
+	const mutators = EffWritesGlobals | EffHeap | EffUnknown
+	if readsAny && tailEff&mutators != 0 {
+		return 0
+	}
+	for _, t := range terms[k:] {
+		for name := range assignedNames(t) {
+			if reads[name] {
+				return 0
+			}
+		}
+	}
+	return k
+}
+
+// PipeStrategy is a fact-derived provisioning decision for one |> site.
+type PipeStrategy struct {
+	// Inline substitutes a synchronous in-thread proxy for the pipe: no
+	// goroutine, no queue, no pool scheduling. Chosen only for strictly
+	// pure producers, where eager-asynchronous versus lazy-synchronous
+	// evaluation is unobservable.
+	Inline bool
+	// Buffer is the transport-queue bound to use instead of the runtime
+	// default (0 keeps the default): for a producer with a small exact
+	// yield bound, a queue of Max+1 slots holds the entire sequence, so
+	// the producer never blocks and the queue never over-allocates.
+	Buffer int
+}
+
+// PipeStrategy decides how to provision the pipe over the given producer
+// body. Zero value (async, default buffer) for nil facts or unanalyzed
+// bodies.
+func (f *Facts) PipeStrategy(body ast.Node) PipeStrategy {
+	if f == nil {
+		return PipeStrategy{}
+	}
+	g, ok := f.At(body)
+	if !ok {
+		return PipeStrategy{}
+	}
+	if g.Effects == EffPure {
+		return PipeStrategy{Inline: true}
+	}
+	if g.Yields.Max >= 0 {
+		// Bounded effectful producer: size the queue to the whole sequence
+		// (capped well under the runtime default of 1024).
+		if b := g.Yields.Max + 1; b < 1024 {
+			return PipeStrategy{Buffer: b}
+		}
+	}
+	return PipeStrategy{}
+}
+
+// BoundedOnce reports that a statement's whole sequence is at most one
+// result with no pipe creation anywhere inside — the case where a
+// translated top-level statement can skip the core.Bound wrapper (whose
+// only job is cutting resumption and restarting state).
+func (f *Facts) BoundedOnce(stmt ast.Node) bool {
+	if f == nil {
+		return false
+	}
+	g, ok := f.At(stmt)
+	if !ok || !g.Yields.AtMost(1) {
+		return false
+	}
+	creates := false
+	ast.Walk(stmt, func(m ast.Node) bool {
+		if u, ok := m.(*ast.Unary); ok && u.Op == "|>" {
+			creates = true
+		}
+		return !creates
+	})
+	return !creates
+}

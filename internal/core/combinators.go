@@ -51,6 +51,55 @@ func Product(gens ...Gen) Gen {
 	return g
 }
 
+// fusedProduct is the fact-driven fast path for a product whose leading
+// terms are statically pure and yield at most once (analyze.FusablePrefix):
+// the prefix is evaluated a single time per lifetime instead of being
+// re-driven by the backtracking machinery on every cycle. Purity makes the
+// elided re-evaluations unobservable — a pure term re-Nexted after its
+// single result deterministically fails, and a pure term that failed once
+// fails forever — so the trace is identical to Product's.
+type fusedProduct struct {
+	prefix []Gen
+	tail   Gen
+	state  int8 // 0 unevaluated, 1 prefix succeeded, 2 prefix failed
+}
+
+func (p *fusedProduct) Next() (V, bool) {
+	switch p.state {
+	case 0:
+		for _, g := range p.prefix {
+			if _, ok := g.Next(); !ok {
+				p.state = 2
+				return nil, false
+			}
+		}
+		p.state = 1
+	case 2:
+		return nil, false
+	}
+	return p.tail.Next()
+}
+
+func (p *fusedProduct) Restart() {
+	for _, g := range p.prefix {
+		g.Restart()
+	}
+	p.tail.Restart()
+	p.state = 0
+}
+
+// FusedProduct composes a product whose prefix terms are evaluated once
+// and whose tail supplies the iteration. The caller guarantees — by
+// static analysis — that every prefix term is effect-free and yields at
+// most one result; under any other terms the trace differs from
+// Product's.
+func FusedProduct(prefix []Gen, tail Gen) Gen {
+	if len(prefix) == 0 {
+		return tail
+	}
+	return &fusedProduct{prefix: prefix, tail: tail}
+}
+
 // inGen implements bound iteration (x in e): each result of e is assigned to
 // the reified variable before being yielded, chaining the pieces of a
 // flattened primary together (§5A).

@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 
+	"junicon/internal/analyze"
 	"junicon/internal/ast"
 	"junicon/internal/core"
 	"junicon/internal/parser"
@@ -58,6 +59,16 @@ type Interp struct {
 	scan     *core.ScanHolder
 	tracer   *core.Tracer
 	out      io.Writer
+
+	// Facts-driven optimization (interprocedural analysis consumed by the
+	// evaluator): when optimize is set, LoadProgram/EvalGen compute
+	// whole-program facts over the normalized trees and eval fuses pure
+	// ≤1-yield product prefixes, inlines pure pipes and sizes pipe buffers
+	// from yield bounds. decls accumulates normalized declarations across
+	// loads so facts stay interprocedural in the REPL.
+	optimize bool
+	facts    *analyze.Facts
+	decls    []ast.Node
 }
 
 // Option configures an interpreter.
@@ -65,6 +76,11 @@ type Option func(*Interp)
 
 // WithOutput directs write()/writes() output to w.
 func WithOutput(w io.Writer) Option { return func(in *Interp) { in.out = w } }
+
+// WithOptimize enables facts-driven evaluation: statically justified
+// fusion, pipe inlining and buffer sizing. Semantically a no-op — the
+// semtest Fused lane pins that traces are identical either way.
+func WithOptimize() Option { return func(in *Interp) { in.optimize = true } }
 
 // New returns an interpreter with the builtin library loaded.
 func New(opts ...Option) *Interp {
@@ -140,11 +156,52 @@ func (in *Interp) LoadProgram(src string) error {
 		return err
 	}
 	norm := transform.Normalize(prog).(*ast.Program)
+	if in.optimize {
+		for _, d := range norm.Decls {
+			switch d.(type) {
+			case *ast.ProcDecl, *ast.ClassDecl, *ast.RecordDecl, *ast.GlobalDecl:
+				in.decls = append(in.decls, d)
+			}
+		}
+		in.refreshFacts(norm.Decls)
+	}
 	return core.Protect(func() {
 		for _, d := range norm.Decls {
 			in.loadDecl(d)
 		}
 	})
+}
+
+// refreshFacts recomputes whole-program facts over every declaration
+// loaded so far plus the given extra nodes. Facts are keyed by node
+// identity, so recomputation re-covers earlier declarations' trees (their
+// procedure bodies are compiled lazily, at call time) and the extra nodes
+// about to be evaluated. Diagnostics are discarded here — vet reporting
+// is the REPL's and Vet's job, not the evaluator's.
+func (in *Interp) refreshFacts(extra []ast.Node) {
+	nodes := make([]ast.Node, 0, len(in.decls)+len(extra))
+	nodes = append(nodes, in.decls...)
+	for _, n := range extra {
+		switch n.(type) {
+		case *ast.ProcDecl, *ast.ClassDecl, *ast.RecordDecl, *ast.GlobalDecl:
+			// already accumulated in in.decls
+		default:
+			nodes = append(nodes, n)
+		}
+	}
+	p := &ast.Program{Decls: nodes}
+	_, in.facts = analyze.ProgramFacts(p, in.factsOptions())
+}
+
+// factsOptions builds the analyze options for this interpreter: a name is
+// known when it resolves in the global scope at analysis time.
+func (in *Interp) factsOptions() analyze.Options {
+	return analyze.Options{
+		Known: func(name string) bool {
+			_, ok := in.Global(name)
+			return ok
+		},
+	}
 }
 
 func (in *Interp) loadDecl(d ast.Node) {
@@ -188,6 +245,16 @@ func (in *Interp) EvalGen(src string) (core.Gen, error) {
 		return nil, err
 	}
 	norm := transform.Normalize(e)
+	if in.optimize {
+		if in.facts != nil {
+			// Declarations are unchanged since the last LoadProgram: the
+			// interprocedural tables stay valid, so extend the node cache
+			// with just this expression instead of re-running the fixpoint.
+			in.facts.ExtendExpr(norm, in.factsOptions())
+		} else {
+			in.refreshFacts([]ast.Node{norm})
+		}
+	}
 	var g core.Gen
 	if err := core.Protect(func() { g = in.eval(norm, in.globals) }); err != nil {
 		return nil, err

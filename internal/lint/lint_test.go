@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// check runs the suite over one source snippet and returns the findings'
+// "check" names in order.
+func check(t *testing.T, src string) []Finding {
+	t.Helper()
+	findings, err := CheckSource("test.go", []byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return findings
+}
+
+func wantChecks(t *testing.T, src string, want ...string) {
+	t.Helper()
+	var got []string
+	for _, f := range check(t, src) {
+		got = append(got, f.Check)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("findings = %v, want %v\n%v", got, want, check(t, src))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("findings = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPipeStopLeak(t *testing.T) {
+	wantChecks(t, `package p
+
+func leak(g core.Gen) int {
+	p := pipe.FromGen(g, 8)
+	v, _ := p.Next()
+	return v
+}
+`, "pipestop")
+}
+
+func TestPipeStopReleased(t *testing.T) {
+	for _, release := range []string{
+		"defer p.Stop()",
+		"p.Stop()",
+		"p.First()",
+	} {
+		wantChecks(t, `package p
+
+func ok(g core.Gen) {
+	p := pipe.FromGen(g, 8)
+	`+release+`
+	p.Next()
+}
+`)
+	}
+}
+
+func TestPipeStopEscapes(t *testing.T) {
+	cases := []string{
+		// Returned: the caller owns the release.
+		`package p
+func mk(g core.Gen) *pipe.Pipe { p := pipe.FromGen(g, 8); return p }`,
+		// Passed as an argument.
+		`package p
+func hand(g core.Gen) { p := pipe.FromGen(g, 8); drain(p) }`,
+		// Stored in a struct literal.
+		`package p
+func store(g core.Gen) S { p := pipe.FromGen(g, 8); return S{pipe: p} }`,
+		// Aliased through OnPool (the alias carries the release duty).
+		`package p
+func pooled(g core.Gen, pl *pool.Pool) { p := pipe.FromGen(g, 8); q := p.OnPool(pl); q.Stop() }`,
+	}
+	for _, src := range cases {
+		wantChecks(t, src)
+	}
+}
+
+func TestPipeStopChainedCreation(t *testing.T) {
+	// The creator hides mid-chain; the variable still holds the pipe.
+	wantChecks(t, `package p
+
+func leak(g core.Gen, pl *pool.Pool) {
+	p := pipe.FromGenBatched(g, 8, 4).OnPool(pl)
+	p.Next()
+}
+`, "pipestop")
+}
+
+func TestPutAfterClose(t *testing.T) {
+	wantChecks(t, `package p
+
+func flush(q queue.Queue[int]) {
+	q.Close()
+	q.Put(1)
+}
+`, "putclose")
+}
+
+func TestPutAfterCloseBatchInLoop(t *testing.T) {
+	wantChecks(t, `package p
+
+func flush(q queue.Queue[int], runs [][]int) {
+	q.Close()
+	for _, r := range runs {
+		q.PutBatch(r)
+	}
+}
+`, "putclose")
+}
+
+func TestPutAfterCloseClean(t *testing.T) {
+	cases := []string{
+		// Put before Close: the normal shutdown order.
+		`package p
+func ok(q queue.Queue[int]) { q.Put(1); q.Close() }`,
+		// defer Close runs last, not at its textual position.
+		`package p
+func ok(q queue.Queue[int]) { defer q.Close(); q.Put(1) }`,
+		// Reassignment starts a fresh queue.
+		`package p
+func ok(q queue.Queue[int]) { q.Close(); q = queue.NewArrayBlocking[int](4); q.Put(1) }`,
+		// Different receivers.
+		`package p
+func ok(a, b queue.Queue[int]) { a.Close(); b.Put(1) }`,
+	}
+	for _, src := range cases {
+		wantChecks(t, src)
+	}
+}
+
+func TestTelemetryRegistryInLoop(t *testing.T) {
+	wantChecks(t, `package p
+
+func hot(vs []int) {
+	for range vs {
+		telemetry.NewCounter("pipe.values").Inc()
+	}
+}
+`, "telemetryguard")
+}
+
+func TestTelemetryUnguardedEmit(t *testing.T) {
+	wantChecks(t, `package p
+
+func hot(vs []int) {
+	for i := range vs {
+		telemetry.Emit(1, telemetry.KindYield, "x", int64(i))
+	}
+}
+`, "telemetryguard")
+}
+
+func TestTelemetryGuardedEmitClean(t *testing.T) {
+	cases := []string{
+		// Direct gate inside the loop.
+		`package p
+func ok(vs []int) {
+	for i := range vs {
+		if telemetry.TraceOn() {
+			telemetry.Emit(1, telemetry.KindYield, "x", int64(i))
+		}
+	}
+}`,
+		// Snapshot idiom: gate hoisted out of the loop into a variable.
+		`package p
+func ok(vs []int) {
+	observed := telemetry.Active()
+	for i := range vs {
+		if observed {
+			telemetry.Emit(1, telemetry.KindYield, "x", int64(i))
+		}
+	}
+}`,
+		// Whole loop under the gate.
+		`package p
+func ok(vs []int) {
+	if telemetry.On() {
+		for i := range vs {
+			telemetry.Emit(1, telemetry.KindYield, "x", int64(i))
+		}
+	}
+}`,
+		// Counter hoisted to a package var: the intended shape.
+		`package p
+var c = telemetry.NewCounter("pipe.values")
+func ok(vs []int) {
+	for range vs {
+		c.Inc()
+	}
+}`,
+	}
+	for _, src := range cases {
+		wantChecks(t, src)
+	}
+}
+
+func TestTelemetryGuardElseBranchNotGuarded(t *testing.T) {
+	// The else branch of a gate is the telemetry-off path: emitting there
+	// is exactly backwards and must still be flagged.
+	wantChecks(t, `package p
+
+func hot(vs []int) {
+	for i := range vs {
+		if telemetry.TraceOn() {
+			_ = i
+		} else {
+			telemetry.Emit(1, telemetry.KindYield, "x", int64(i))
+		}
+	}
+}
+`, "telemetryguard")
+}
+
+func TestIgnoreDirective(t *testing.T) {
+	wantChecks(t, `package p
+
+func flush(q queue.Queue[int]) {
+	q.Close()
+	//junilint:ignore — contract test
+	q.Put(1)
+}
+`)
+}
+
+func TestFindingFormat(t *testing.T) {
+	fs := check(t, `package p
+
+func flush(q queue.Queue[int]) {
+	q.Close()
+	q.Put(1)
+}
+`)
+	if len(fs) != 1 {
+		t.Fatalf("findings: %v", fs)
+	}
+	s := fs[0].String()
+	if !strings.HasPrefix(s, "test.go:5:") || !strings.Contains(s, "putclose:") {
+		t.Fatalf("finding format: %q", s)
+	}
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// telemetryGuard keeps telemetry out of hot loops. Two shapes:
+//
+//   - telemetry.NewCounter / NewGauge / NewHistogram inside a loop: these
+//     are registry lookups (name hash + registry lock) meant to run once
+//     at package init and be cached in a var, never per iteration.
+//   - telemetry.Emit / EmitSpan / NextStream inside a loop with no
+//     enclosing telemetry guard: the convention throughout the runtime is
+//     to snapshot telemetry.Active()/On()/TraceOn() once (or test it
+//     directly) and only emit under that test, so the disabled-telemetry
+//     fast path costs one predictable branch. An unguarded emission pays
+//     the ring-buffer CAS on every iteration even with tracing off.
+//
+// A guard is an enclosing if whose condition calls telemetry.On, Active
+// or TraceOn — or mentions a variable assigned from one of those calls
+// anywhere in the same function (the snapshot idiom).
+var telemetryGuard = &Analyzer{
+	Name: "telemetryguard",
+	Doc:  "telemetry registry lookups or unguarded emissions in hot loops",
+	Run:  runTelemetryGuard,
+}
+
+var (
+	telemetryRegistry = map[string]bool{"NewCounter": true, "NewGauge": true, "NewHistogram": true}
+	telemetryEmitters = map[string]bool{"Emit": true, "EmitSpan": true, "NextStream": true}
+	telemetryGates    = map[string]bool{"On": true, "Active": true, "TraceOn": true}
+)
+
+func runTelemetryGuard(f *File) []Finding {
+	var out []Finding
+	for _, decl := range f.AST.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		out = append(out, telemetryGuardFunc(f, fn.Body)...)
+	}
+	return out
+}
+
+func telemetryGuardFunc(f *File, body *ast.BlockStmt) []Finding {
+	// The snapshot idiom: observed := telemetry.Active().
+	guardVars := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, l := range as.Lhs {
+			id, ok := l.(*ast.Ident)
+			if ok && isGateExpr(as.Rhs[i], nil) {
+				guardVars[id.Name] = true
+			}
+		}
+		return true
+	})
+
+	// Path-tracking walk: for every telemetry call, look up the ancestor
+	// stack for a loop below the nearest guarding if-branch.
+	var out []Finding
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		name, call := pkgCall(n, "telemetry")
+		if call == nil {
+			return true
+		}
+		inLoop := false
+		guarded := false
+		for _, anc := range stack[:len(stack)-1] {
+			switch a := anc.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				inLoop = true
+			case *ast.IfStmt:
+				if isGateExpr(a.Cond, guardVars) && within(a.Body, call.Pos()) {
+					guarded = true
+				}
+			}
+		}
+		if !inLoop {
+			return true
+		}
+		switch {
+		case telemetryRegistry[name]:
+			out = append(out, Finding{
+				Pos:   position(f, call),
+				Check: "telemetryguard",
+				Msg: fmt.Sprintf(
+					"telemetry.%s inside a loop: registry lookup per iteration — hoist the metric to a package-level var",
+					name),
+			})
+		case telemetryEmitters[name] && !guarded:
+			out = append(out, Finding{
+				Pos:   position(f, call),
+				Check: "telemetryguard",
+				Msg: fmt.Sprintf(
+					"telemetry.%s in a loop without a telemetry.Active()/On()/TraceOn() guard: the disabled path pays per-iteration cost",
+					name),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// isGateExpr reports whether e contains a telemetry.On/Active/TraceOn
+// call or (when guardVars is non-nil) a snapshot variable of one.
+func isGateExpr(e ast.Expr, guardVars map[string]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if name, call := pkgCall(n, "telemetry"); call != nil && telemetryGates[name] {
+			found = true
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && guardVars != nil && guardVars[id.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// within reports whether pos falls inside n's source range.
+func within(n ast.Node, pos token.Pos) bool {
+	return n != nil && n.Pos() <= pos && pos < n.End()
+}

@@ -177,6 +177,7 @@ func TestCloseDrainsThenFails(t *testing.T) {
 	q.Put(1)
 	q.Put(2)
 	q.Close()
+	//junilint:ignore — this test IS the Put-after-Close contract.
 	if err := q.Put(3); err != ErrClosed {
 		t.Fatalf("Put after close = %v", err)
 	}

@@ -92,14 +92,28 @@ func Grid() []GridCell {
 // newInterp builds a fresh interpreter with the case's program loaded and
 // writes discarded (corpus programs may call write; its return value, not
 // the output stream, is the observable here).
-func newInterp(c Case) (*interp.Interp, error) {
-	in := interp.New(interp.WithOutput(io.Discard))
+func newInterp(c Case, opts ...interp.Option) (*interp.Interp, error) {
+	in := interp.New(append([]interp.Option{interp.WithOutput(io.Discard)}, opts...)...)
 	if c.Program != "" {
 		if err := in.LoadProgram(c.Program); err != nil {
 			return nil, fmt.Errorf("load %s: %w", c.Name, err)
 		}
 	}
 	return in, nil
+}
+
+// fusedGen evaluates the case on a facts-optimizing interpreter (fusion,
+// pipe inlining, buffer sizing on) and returns the generator.
+func fusedGen(c Case) (core.Gen, error) {
+	in, err := newInterp(c, interp.WithOptimize())
+	if err != nil {
+		return nil, err
+	}
+	g, err := in.EvalGen(c.Expr)
+	if err != nil {
+		return nil, fmt.Errorf("eval %s: %w", c.Name, err)
+	}
+	return g, nil
 }
 
 // drainGen drains a plain generator under core.Protect, folding a raised
@@ -131,6 +145,38 @@ func Sequential(c Case) (Result, error) {
 		return Result{}, fmt.Errorf("eval %s: %w", c.Name, err)
 	}
 	return drainGen(g, c.max()), nil
+}
+
+// Fused evaluates the case on the kernel with facts-driven optimization
+// enabled — statically justified product fusion, pipe inlining and buffer
+// sizing. The optimizer's contract is that it is invisible: the trace must
+// equal the Sequential reference on every case.
+func Fused(c Case) (Result, error) {
+	g, err := fusedGen(c)
+	if err != nil {
+		return Result{}, err
+	}
+	return drainGen(g, c.max()), nil
+}
+
+// FusedBatched is Batched with the optimizing interpreter underneath: the
+// fused generator drains through a batched pipe, so fusion composes with
+// every buffer × batch cell of the transport grid.
+func FusedBatched(c Case, buffer, batch int) (Result, error) {
+	g, err := fusedGen(c)
+	if err != nil {
+		return Result{}, err
+	}
+	return drainPipe(pipe.FromGenBatched(g, buffer, batch), c.max()), nil
+}
+
+// FusedPooled is Pooled with the optimizing interpreter underneath.
+func FusedPooled(c Case, pl *pool.Pool, buffer, batch int) (Result, error) {
+	g, err := fusedGen(c)
+	if err != nil {
+		return Result{}, err
+	}
+	return drainPipe(pipe.FromGenBatched(g, buffer, batch).OnPool(pl), c.max()), nil
 }
 
 // drainPipe drains a pipe-like generator (local or remote): producer

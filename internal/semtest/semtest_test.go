@@ -153,6 +153,73 @@ func TestDifferentialPooledGrid(t *testing.T) {
 	}
 }
 
+// TestDifferentialFusedGrid is the optimizer's semantic gate: every corpus
+// case evaluated with facts-driven optimization on — directly, through
+// every buffer × batch cell of the transport grid, and on pooled workers —
+// must reproduce the unoptimized sequential trace exactly. Any divergence
+// means a fusion, inlining or buffer-sizing decision changed the language,
+// not just its speed.
+func TestDifferentialFusedGrid(t *testing.T) {
+	pl := pool.New(4)
+	defer pl.Shutdown()
+	for _, c := range corpus(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			ref := reference(t, c)
+			got, err := Fused(c)
+			if err != nil {
+				t.Fatalf("fused: %v", err)
+			}
+			if !got.Equal(ref) {
+				t.Fatalf("fused diverged:\nref = %s\ngot = %s", ref, got)
+			}
+			for _, cell := range Grid() {
+				got, err := FusedBatched(c, cell.Buffer, cell.Batch)
+				if err != nil {
+					t.Fatalf("fused batched %+v: %v", cell, err)
+				}
+				if !got.Equal(ref) {
+					t.Fatalf("fused batched %+v diverged:\nref = %s\ngot = %s", cell, ref, got)
+				}
+				got, err = FusedPooled(c, pl, cell.Buffer, cell.Batch)
+				if err != nil {
+					t.Fatalf("fused pooled %+v: %v", cell, err)
+				}
+				if !got.Equal(ref) {
+					t.Fatalf("fused pooled %+v diverged:\nref = %s\ngot = %s", cell, ref, got)
+				}
+			}
+		})
+	}
+}
+
+// TestFusedRandomExpressions extends the property-based sweep to the
+// optimizer: random finite-generator expressions evaluated fused must match
+// the unoptimized reference. The grammar's products and procedure calls
+// exercise the fusion prefix logic far beyond the hand-written corpus.
+func TestFusedRandomExpressions(t *testing.T) {
+	const prelude = `
+def gen(a, b) { suspend a to b; }
+def double(x) { return x * 2; }
+`
+	iterations := 120
+	if testing.Short() {
+		iterations = 25
+	}
+	eg := &exprGen{rng: rand.New(rand.NewSource(7))}
+	for i := 0; i < iterations; i++ {
+		c := Case{Name: fmt.Sprintf("fused-rand-%d", i), Program: prelude, Expr: eg.expr(3)}
+		ref := reference(t, c)
+		got, err := Fused(c)
+		if err != nil {
+			t.Fatalf("%s (%s) fused: %v", c.Name, c.Expr, err)
+		}
+		if !got.Equal(ref) {
+			t.Fatalf("%s: %s\nfused diverged:\nref = %s\ngot = %s", c.Name, c.Expr, ref, got)
+		}
+	}
+}
+
 // exprGen builds random well-formed expressions over FINITE generators —
 // the transform package's generative grammar, pointed at the transports
 // instead of the normalizer.

@@ -40,6 +40,12 @@ type Options struct {
 	Known func(name string) bool
 	// NoVet disables the pre-translation analyzer gate entirely.
 	NoVet bool
+	// Optimize enables facts-driven emission: pure ≤1-yield product
+	// prefixes compile to core.FusedProduct, strictly pure pipes to
+	// pipe.NewInline, bounded pipes to bound-sized buffers, and ≤1-yield
+	// top-level statements skip the core.Bound wrapper. Off by default so
+	// generated output is stable; semantics are identical either way.
+	Optimize bool
 }
 
 // TranslateProgram parses, normalizes and translates a whole Junicon
@@ -59,6 +65,11 @@ func TranslateProgram(src string, opts Options) (string, error) {
 	}
 	norm := transform.Normalize(prog).(*ast.Program)
 	e := newEmitter(opts)
+	if opts.Optimize {
+		// Facts are computed over the normalized tree — the one being
+		// emitted — so the emitter can consult them by node identity.
+		_, e.facts = analyze.ProgramFacts(norm, analyze.Options{Known: opts.Known})
+	}
 	out, err := e.program(norm)
 	if err != nil {
 		return "", err
@@ -102,6 +113,9 @@ type emitter struct {
 	// scope holds the names that are cells in the current procedure
 	// (parameters, locals, temporaries); anything else resolves globally.
 	scope map[string]bool
+	// facts is the whole-program fact table when Options.Optimize is set
+	// (nil otherwise — every consultation is nil-safe and conservative).
+	facts *analyze.Facts
 	errs  []string
 }
 
@@ -303,7 +317,13 @@ func (e *emitter) program(p *ast.Program) (string, error) {
 	}
 	e.scope = map[string]bool{}
 	for _, s := range topLevel {
-		e.linef("core.Bound(%s).Next()", e.expr(s))
+		if e.facts.BoundedOnce(s) {
+			// At most one result and no pipes to release: the Bound
+			// wrapper's cut-and-restart bookkeeping is dead weight.
+			e.linef("%s.Next()", e.expr(s))
+		} else {
+			e.linef("core.Bound(%s).Next()", e.expr(s))
+		}
 	}
 	e.depth--
 	e.linef("}")

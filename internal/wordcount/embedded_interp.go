@@ -28,9 +28,10 @@ def sumHash (sofar, hash) { return sofar + hash; }
 
 // NewInterpreter returns an interpreter loaded with the Figure 3 program:
 // the corpus bound to the global lines, and the host stages wordToNumber,
-// hashNumber and split registered as natives.
-func NewInterpreter(lines []string, w Weight) (*interp.Interp, error) {
-	in := interp.New(interp.WithOutput(io.Discard))
+// hashNumber and split registered as natives. Extra options pass through
+// (interp.WithOptimize for the facts-driven ablation).
+func NewInterpreter(lines []string, w Weight, opts ...interp.Option) (*interp.Interp, error) {
+	in := interp.New(append([]interp.Option{interp.WithOutput(io.Discard)}, opts...)...)
 	in.RegisterNative("wordToNumber", wordToNumberProc(w).Fn)
 	in.RegisterNative("hashNumber", hashNumberProc(w).Fn)
 	in.RegisterNative("split", func(args ...value.V) (value.V, error) {
@@ -55,27 +56,42 @@ func NewInterpreter(lines []string, w Weight) (*interp.Interp, error) {
 	return in, nil
 }
 
+// SequentialExpr and PipelineExpr are Figure 3's driver expressions: the
+// word-count sum without and with the generator proxy pipe. Exported so
+// the facts-driven ablation can evaluate them repeatedly against one
+// loaded interpreter (the embedding steady state: load once, eval many).
+const (
+	SequentialExpr = `this::hashNumber(this::wordToNumber(splitWords(readLines())))`
+	PipelineExpr   = `this::hashNumber( ! (|> this::wordToNumber(splitWords(readLines()))))`
+)
+
 // InterpretedSequential runs the sequential word-count through the
 // interpreter: the expression of Figure 3's runPipeline without the pipe.
-func InterpretedSequential(lines []string, w Weight) (float64, error) {
-	in, err := NewInterpreter(lines, w)
+// Extra options pass through to the interpreter (the facts-driven ablation
+// runs this same workload with interp.WithOptimize, pinning that the
+// optimizer cannot regress a path it has nothing to prove about — the
+// native stages are effect-opaque, so no fast path may engage).
+func InterpretedSequential(lines []string, w Weight, opts ...interp.Option) (float64, error) {
+	in, err := NewInterpreter(lines, w, opts...)
 	if err != nil {
 		return 0, err
 	}
-	return interpSum(in, `this::hashNumber(this::wordToNumber(splitWords(readLines())))`)
+	return InterpSum(in, SequentialExpr)
 }
 
 // InterpretedPipeline runs Figure 3's runPipeline expression verbatim: a
 // generator proxy spun around the word→number stage.
-func InterpretedPipeline(lines []string, w Weight) (float64, error) {
-	in, err := NewInterpreter(lines, w)
+func InterpretedPipeline(lines []string, w Weight, opts ...interp.Option) (float64, error) {
+	in, err := NewInterpreter(lines, w, opts...)
 	if err != nil {
 		return 0, err
 	}
-	return interpSum(in, `this::hashNumber( ! (|> this::wordToNumber(splitWords(readLines()))))`)
+	return InterpSum(in, PipelineExpr)
 }
 
-func interpSum(in *interp.Interp, expr string) (float64, error) {
+// InterpSum evaluates expr on a loaded interpreter and sums the reals it
+// generates.
+func InterpSum(in *interp.Interp, expr string) (float64, error) {
 	g, err := in.EvalGen(expr)
 	if err != nil {
 		return 0, err

@@ -36,6 +36,24 @@ func Vet(src string, known func(name string) bool) ([]Diag, error) {
 	return analyze.Program(prog, analyze.Options{Known: known}), nil
 }
 
+// Facts is the interprocedural fact table the analyzer computes alongside
+// its diagnostics: per-procedure effect summaries, yield-count bounds,
+// restartability and demandedness. The same table drives the evaluator's
+// and translator's optimizations; Fdump renders it for inspection.
+type Facts = analyze.Facts
+
+// VetFacts is Vet plus the fact table: it parses a Junicon program and
+// returns both the static diagnostics and the interprocedural generator
+// facts the optimizer would act on (junicon -vet -facts).
+func VetFacts(src string, known func(name string) bool) ([]Diag, *Facts, error) {
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	diags, facts := analyze.ProgramFacts(prog, analyze.Options{Known: known})
+	return diags, facts, nil
+}
+
 // VetExpr analyzes a standalone expression (the REPL's unit of input).
 func VetExpr(expr string, known func(name string) bool) ([]Diag, error) {
 	n, err := parser.ParseExpression(expr)

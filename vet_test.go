@@ -1,6 +1,11 @@
 package junicon_test
 
 import (
+	"go/ast"
+	goparser "go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -73,6 +78,81 @@ func TestVetMixedOffsetsLines(t *testing.T) {
 	}
 	if diags[0].Pos.Line != 4 {
 		t.Fatalf("expected whole-file line 4, got %d (%s)", diags[0].Pos.Line, diags[0])
+	}
+}
+
+// TestCorpusVetClean is the false-positive gate for the analyzer: every
+// shipped Junicon program — the testdata/ fixtures the tests and examples
+// load, and the programs embedded as raw string literals in examples/ —
+// must produce zero diagnostics at default severity. A new check that
+// fires on working corpus code is a false positive by definition.
+func TestCorpusVetClean(t *testing.T) {
+	// Host-bound names: examples register natives and globals before
+	// loading, so name-resolution warnings (JV001) don't apply here — the
+	// corpus gate is about the structural and flow checks.
+	known := func(string) bool { return true }
+	vetOne := func(t *testing.T, label, src string) {
+		t.Helper()
+		var diags []junicon.Diag
+		var err error
+		if strings.Contains(src, "@<") {
+			diags, err = junicon.VetMixed(src, known)
+		} else {
+			diags, err = junicon.Vet(src, known)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: corpus program not clean: %s", label, d)
+		}
+	}
+	files, err := filepath.Glob(filepath.Join("testdata", "*.jn"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata corpus: %v", err)
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vetOne(t, file, string(src))
+	}
+	// Raw string literals in the examples: anything that parses as a
+	// Junicon program is corpus; literals in other languages (host text,
+	// format strings) fail to parse and are skipped.
+	mains, err := filepath.Glob(filepath.Join("examples", "*", "main.go"))
+	if err != nil || len(mains) == 0 {
+		t.Fatalf("no examples: %v", err)
+	}
+	vetted := 0
+	for _, file := range mains {
+		fset := token.NewFileSet()
+		parsed, err := goparser.ParseFile(fset, file, nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", file, err)
+		}
+		ast.Inspect(parsed, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING || !strings.HasPrefix(lit.Value, "`") {
+				return true
+			}
+			src := strings.Trim(lit.Value, "`")
+			if strings.Contains(src, "@<") {
+				vetted++
+				vetOne(t, fset.Position(lit.Pos()).String(), src)
+				return true
+			}
+			if _, err := junicon.Vet(src, known); err != nil {
+				return true // not a Junicon program
+			}
+			vetted++
+			vetOne(t, fset.Position(lit.Pos()).String(), src)
+			return true
+		})
+	}
+	if vetted < 5 {
+		t.Fatalf("only %d embedded example programs vetted; extraction broke", vetted)
 	}
 }
 
