@@ -552,3 +552,134 @@ def tokens(s) {
 		core.Count(g) // auto-restarts each cycle
 	}
 }
+
+// ---- Compiled execution: bytecode vm vs tree walk vs translation ----
+//
+// The BenchmarkVM* lanes feed BENCH_vm.json (regenerate with
+// `go test -bench 'BenchmarkVM' -benchmem . | go run ./cmd/benchjson
+// -o BENCH_vm.json`). Each workload runs under the tree-walking
+// evaluator and under WithVM — identical programs, identical traces
+// (the semtest Compiled lanes pin that) — so the pair isolates what
+// compiling to slot-framed bytecode buys. The Fig6 lanes add the
+// translated kernel composition as the ceiling: ahead-of-time Go
+// emission with no interpreter in the loop.
+//
+// Two regimes matter. The Fig6 word-count lanes are the paper's
+// embedded workload, dominated by host native calls — the vm only
+// accelerates the generator plumbing between natives. The drain lanes
+// (Primes, EveryLoop, Product, Calls) are pure Junicon, where
+// evaluator overhead is the whole cost and the vm's win is starkest.
+
+// benchVMDrain loads a program once, builds one generator for expr, and
+// drains it per iteration — generators auto-restart after exhaustion, so
+// each iteration replays the full sequence. This is the evaluator
+// steady state: no parse or compile inside the loop on either side.
+func benchVMDrain(b *testing.B, program, expr string, vm bool) {
+	var opts []junicon.InterpOption
+	if vm {
+		opts = append(opts, junicon.WithVM())
+	}
+	in := junicon.NewInterp(io.Discard, opts...)
+	if program != "" {
+		if err := in.LoadProgram(program); err != nil {
+			b.Fatal(err)
+		}
+	}
+	g, err := in.EvalGen(expr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Count(g)
+	}
+}
+
+const vmPrimesProgram = `
+def isprime(n) {
+  if n < 2 then fail;
+  every d := 2 to n-1 do { if not (n % d ~= 0) then fail };
+  return n;
+}
+def primesBelow(limit) {
+  suspend isprime(2 to limit);
+}`
+
+func BenchmarkVMPrimes_TreeWalk(b *testing.B) {
+	benchVMDrain(b, vmPrimesProgram, `primesBelow(200)`, false)
+}
+func BenchmarkVMPrimes_VM(b *testing.B) {
+	benchVMDrain(b, vmPrimesProgram, `primesBelow(200)`, true)
+}
+
+func BenchmarkVMEveryLoop_TreeWalk(b *testing.B) {
+	benchVMDrain(b, "", `{ t := 0; every t +:= (1 to 2000); t }`, false)
+}
+func BenchmarkVMEveryLoop_VM(b *testing.B) {
+	benchVMDrain(b, "", `{ t := 0; every t +:= (1 to 2000); t }`, true)
+}
+
+func BenchmarkVMProduct_TreeWalk(b *testing.B) {
+	benchVMDrain(b, "", `(1 to 60) * (1 to 60)`, false)
+}
+func BenchmarkVMProduct_VM(b *testing.B) {
+	benchVMDrain(b, "", `(1 to 60) * (1 to 60)`, true)
+}
+
+const vmCallsProgram = `def double(x) { return x * 2; }`
+
+func BenchmarkVMCalls_TreeWalk(b *testing.B) {
+	benchVMDrain(b, vmCallsProgram, `double(1 to 2000)`, false)
+}
+func BenchmarkVMCalls_VM(b *testing.B) {
+	benchVMDrain(b, vmCallsProgram, `double(1 to 2000)`, true)
+}
+
+// benchVMWordCount is the Figure 3 embedding steady state (load once,
+// evaluate per iteration), as in benchAnalyzeWordCount, with compiled
+// execution toggled. The vm lane pays expression compilation inside the
+// loop — the win has to carry its own lowering cost, as the embedding
+// would experience it.
+func benchVMWordCount(b *testing.B, pipeline, vm bool) {
+	lines, _ := corpora()
+	small := lines[:50]
+	var opts []interp.Option
+	if vm {
+		opts = append(opts, interp.WithVM())
+	}
+	in, err := wordcount.NewInterpreter(small, wordcount.Light, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	expr := wordcount.SequentialExpr
+	if pipeline {
+		expr = wordcount.PipelineExpr
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wordcount.InterpSum(in, expr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVMFig6_WordCount_TreeWalk(b *testing.B) { benchVMWordCount(b, false, false) }
+func BenchmarkVMFig6_WordCount_VM(b *testing.B)       { benchVMWordCount(b, false, true) }
+
+// The pipeline pair pins that compiled generators feed the pipe/thread
+// machinery unchanged — the vm frame is just another Gen behind |>.
+func BenchmarkVMFig6_Pipeline_TreeWalk(b *testing.B) { benchVMWordCount(b, true, false) }
+func BenchmarkVMFig6_Pipeline_VM(b *testing.B)       { benchVMWordCount(b, true, true) }
+
+// BenchmarkVMFig6_WordCount_Translated is the ceiling: the same workload
+// as ahead-of-time translated kernel compositions, no interpreter at all.
+func BenchmarkVMFig6_WordCount_Translated(b *testing.B) {
+	lines, _ := corpora()
+	small := lines[:50]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wordcount.JuniconSequential(small, wordcount.Light, wordcount.EmbeddedConfig{})
+	}
+}

@@ -14,6 +14,8 @@
 //	junicon -vet -Werror prog.jn     … treating warnings as errors
 //	junicon -vet -facts prog.jn      … also dump interprocedural facts
 //	junicon -O prog.jn               run with facts-driven optimization
+//	junicon -vm prog.jn              run with compiled execution (bytecode vm)
+//	junicon -dis prog.jn             print bytecode listings (also -dis -e 'expr')
 //	junicon -emit -O -pkg gen p.jn   emit optimized Go translation
 //	junicon -xml 'expr'              print the parsed XML term form
 //	junicon -trace=run.json prog.jn  write a telemetry trace of the run
@@ -56,6 +58,8 @@ func main() {
 		werror    = flag.Bool("Werror", false, "with -vet, treat warnings as errors")
 		facts     = flag.Bool("facts", false, "with -vet, dump the interprocedural generator facts per file")
 		optimize  = flag.Bool("O", false, "enable facts-driven optimization (fusion, pipe inlining, buffer sizing)")
+		useVM     = flag.Bool("vm", false, "enable compiled execution (bytecode vm with slot-based resumable frames)")
+		dis       = flag.Bool("dis", false, "disassemble instead of running: print bytecode listings for a file (or -e expression)")
 	)
 	flag.Parse()
 
@@ -96,9 +100,27 @@ func main() {
 	if *optimize {
 		iopts = append(iopts, junicon.WithOptimize())
 	}
+	if *useVM || *dis {
+		iopts = append(iopts, junicon.WithVM())
+	}
 	in := junicon.NewInterp(os.Stdout, iopts...)
 	if *itrace {
 		in.EnableTrace(os.Stderr)
+	}
+
+	if *dis {
+		switch {
+		case *expr != "":
+			fail(in.DisassembleExpr(*expr, os.Stdout))
+		case flag.NArg() >= 1:
+			srcBytes, err := os.ReadFile(flag.Arg(0))
+			fail(err)
+			fail(in.DisassembleProgram(string(srcBytes), os.Stdout))
+		default:
+			fmt.Fprintln(os.Stderr, "junicon: -dis requires a file or -e expression")
+			os.Exit(2)
+		}
+		return
 	}
 
 	if *expr != "" && flag.NArg() == 0 {

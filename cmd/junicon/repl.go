@@ -48,9 +48,28 @@ func repl(in *junicon.Interp, input io.Reader, out io.Writer, prompt bool) {
 				fmt.Fprintln(out, "enter an expression to evaluate it (first", maxResults, "results shown),")
 				fmt.Fprintln(out, "or a declaration (def/procedure/record/global/class) to load it.")
 				fmt.Fprintln(out, ":facts dumps the interprocedural generator facts of loaded declarations.")
+				fmt.Fprintln(out, ":vm toggles compiled execution (bytecode vm; loaded procedures recompile).")
+				fmt.Fprintln(out, ":dis <expr> prints an expression's bytecode listing.")
 				continue
 			case ":facts":
 				printFacts(in, history.String(), out)
+				continue
+			case ":vm":
+				in.SetVM(!in.VMEnabled())
+				if in.VMEnabled() {
+					fmt.Fprintln(out, "-- compiled execution on")
+				} else {
+					fmt.Fprintln(out, "-- compiled execution off (tree walk)")
+				}
+				continue
+			}
+			if t := strings.TrimSpace(line); t == ":dis" || strings.HasPrefix(t, ":dis ") {
+				rest := strings.TrimSpace(strings.TrimPrefix(t, ":dis"))
+				if rest == "" {
+					fmt.Fprintln(out, "usage: :dis <expr>")
+				} else if err := in.DisassembleExpr(rest, out); err != nil {
+					fmt.Fprintln(out, "not compiled:", err)
+				}
 				continue
 			}
 		}

@@ -29,6 +29,13 @@ type InterpOption = interp.Option
 // differential suite pins optimized traces to the unoptimized reference.
 func WithOptimize() InterpOption { return interp.WithOptimize() }
 
+// WithVM enables compiled execution: loaded procedures and evaluated
+// expressions run as slot-framed bytecode on the vm package's stack
+// machine where the compiler supports them, falling back to the tree walk
+// where it does not. Like WithOptimize, semantically a no-op — the semtest
+// Compiled lanes pin compiled traces to the sequential reference.
+func WithVM() InterpOption { return interp.WithVM() }
+
 // NewInterp returns an interpreter with the builtin library loaded; output
 // of write()/writes() goes to w (nil selects standard output).
 func NewInterp(w io.Writer, opts ...InterpOption) *Interp {

@@ -1,0 +1,213 @@
+// Package compile lowers normalized Junicon syntax trees — the §5A normal
+// forms the transform package produces — into flat bytecode for the vm
+// package's slot-based resumable frames. Where the tree-walking
+// interpreter composes closure generators (interface dispatch per resume)
+// and the translator composes the same combinators in generated Go, the
+// compiler reduces suspend/resume to a saved program counter plus a choice
+// stack inside one reusable frame: goal-directed backtracking becomes
+// "pop the most recent choice point and re-enter its instruction".
+//
+// The compiler is deliberately partial: forms whose semantics live outside
+// a single frame (string scanning, co-expression and pipe creation,
+// reversible assignment, static variables) report Unsupported, and the
+// interpreter transparently falls back to the tree walk for that unit —
+// so compiled execution is a pure optimization, never a semantic fork.
+package compile
+
+import (
+	"fmt"
+
+	"junicon/internal/ast"
+	"junicon/internal/core"
+	"junicon/internal/value"
+)
+
+// Op is a bytecode operation.
+type Op uint8
+
+// The instruction set. A/B/C are the instruction operands: A is the
+// primary operand (constant index, slot, jump target, argument count),
+// B names the frame's auxiliary cell backing resumable instructions and
+// C carries an extra constant index where needed.
+const (
+	OpNop Op = iota
+
+	// ----- values and slots -----
+	OpConst       // push Consts[A]
+	OpNull        // push &null
+	OpPop         // pop and discard
+	OpPopN        // pop A values and discard (loop-exit stack truncation)
+	OpLoadSlot    // push slots[A]
+	OpStoreSlot   // slots[A] = deref(top); top replaced by the stored value
+	OpBindSlot    // slots[A] = deref(top); top kept (BindIn: x_N in e)
+	OpLoadGlobal  // push Globals[A]'s value
+	OpStoreGlobal // Globals[A] = deref(top); top replaced by the stored value
+
+	// ----- control -----
+	OpJump       // pc = A
+	OpFail       // backtrack: resume the most recent choice point
+	OpYield      // pop v; emit deref(v); resumption continues at pc+1
+	OpReturn     // pop v; discard all choice points; emit deref(v)
+	OpReturnFail // discard all choice points and fail the frame (proc `fail`)
+	OpMark       // arm a failure handler: failure resumes at A; aux B records the barrier
+	OpCut        // drop choice points above aux B's barrier (commit a bounded context)
+	OpFork       // alternation: arm a choice point; resumption continues at A
+	OpRepAlt     // |e loop head (aux B): re-runs e while each cycle produced
+	OpRepNote    // record that the enclosing |e cycle produced a value (aux B)
+	OpLimitBegin // pop n (e \ n); aux B holds the count, limit and barrier
+	OpLimitCheck // count one result; at the limit, cut e's choice points
+
+	// ----- operators -----
+	OpArith       // pop b, a; push arith[A](a, b)
+	OpCmp         // pop b, a; v, ok = cmp[A](a, b); fail or push v
+	OpUnary       // pop a; push unary[A](a)
+	OpNullTest    // pop a; push &null when null, else fail (/x)
+	OpNonNullTest // pop a; fail when null, else push the value (\x)
+	OpBang        // pop v; generate v's elements (aux B)
+	OpToBy        // pop by, hi, lo; generate the range (aux B)
+	OpCaseEq      // pop v; continue when v === slots[A], else fail
+
+	// ----- structures -----
+	OpMakeList  // pop A values; push the list [v1, …, vA]
+	OpIndex     // pop i, x; push deref(x[i]) or fail
+	OpIndexVar  // pop i, x; push the reference x[i] or fail (assignment target)
+	OpSection   // pop j, i, x; push x[i:j] or fail
+	OpField     // pop x; push deref(x.name) for name Consts[A]; missing raises
+	OpFieldVar  // pop x; push the reference x.name (assignment target)
+	OpStoreVar  // pop v, t; t must be a variable; t := deref(v); push the value
+	OpAugVar    // pop v, t; r = arith[A](t value, v); t := r; push r
+	OpCmpAugVar // pop v, t; r, ok = cmp[A](t value, v); fail or t := r; push r
+	// Fused read-modify-write for named targets: the target's current value
+	// is read when the operation applies (per source value, as AugAssignVar
+	// reads t.Get() per cycle).
+	OpAugSlot      // pop v; r = arith[C](slots[A], v); slots[A] = r; push r
+	OpCmpAugSlot   // pop v; r, ok = cmp[C](slots[A], v); fail or store+push
+	OpAugGlobal    // pop v; r = arith[C](Globals[A], v); Globals[A] = r; push r
+	OpCmpAugGlobal // pop v; r, ok = cmp[C](Globals[A], v); fail or store+push
+
+	// ----- invocation -----
+	OpCall       // A args + callee on stack; general call, resumable (aux B)
+	OpCall1      // A args + callee; facts-proven ≤1-yield pure call, no choice point (aux B)
+	OpCallNative // A args; native Consts[C]; singleton result or fail (aux B)
+
+	opCount
+)
+
+// Instr is one instruction.
+type Instr struct {
+	Op      Op
+	A, B, C int32
+}
+
+// Resume is one entry of a code object's resume-point table: an
+// instruction that execution can re-enter after a suspension (yield) or a
+// failure (choice point). The table is what makes a compiled generator's
+// continuation explicit data — PC plus slots — rather than a captured
+// closure stack.
+type Resume struct {
+	PC   int
+	Kind string // "yield", "mark", "fork", "call", "bang", "to-by", "rep-alt"
+}
+
+// Code is a compiled unit: a top-level expression or a procedure body.
+type Code struct {
+	Name    string // procedure name, or "" for an expression
+	Params  int    // leading slots bound from call arguments
+	Instrs  []Instr
+	Consts  []value.V
+	Globals []*value.Var // global cells, resolved at compile time
+	// GlobalNames parallels Globals for the disassembler.
+	GlobalNames []string
+	// Slots names the frame's slot array: parameters first, then locals
+	// and the x_N temporaries of the normal form, in slot order.
+	Slots  []string
+	NumAux int // auxiliary cells backing resumable instructions
+	// Resumes is the resume-point table, in program order.
+	Resumes []Resume
+}
+
+// Unsupported reports a form the compiler does not lower; callers fall
+// back to the tree-walking interpreter for the whole unit.
+type Unsupported struct {
+	Reason string
+	At     ast.Pos
+}
+
+func (u *Unsupported) Error() string {
+	return fmt.Sprintf("compile: unsupported at %d:%d: %s", u.At.Line, u.At.Col, u.Reason)
+}
+
+// Env supplies name resolution and interprocedural facts to the compiler.
+// All lookups happen at compile time, mirroring the interpreter's
+// resolve-at-construction discipline (the tree walk also binds cells when
+// the generator is built, not when it is driven).
+type Env struct {
+	// LookupGlobal returns the cell of an existing global.
+	LookupGlobal func(name string) (*value.Var, bool)
+	// DefineGlobal auto-creates a global cell for an unknown top-level
+	// name (the interpreter's REPL-persistence rule). nil in procedure
+	// mode, where unknown names become frame slots (Icon default-local).
+	DefineGlobal func(name string) *value.Var
+	// LookupConst resolves builtins and natives to compile-time constant
+	// values, after globals and locals have been tried.
+	LookupConst func(name string) (value.V, bool)
+	// Native resolves a ::name native invocation.
+	Native func(name string) (*value.Native, bool)
+	// CallDirect reports that calls to the named procedure may compile to
+	// a direct (non-resumable) call: the facts engine proved the callee
+	// pure with at most one yield.
+	CallDirect func(name string) bool
+}
+
+// Operator tables: the compiler encodes an operator as an index into
+// these shared tables; the vm indexes the same tables at run time. The
+// functions are exactly the kernel's (core.ArithOp / core.CompareOp), so
+// compiled and tree-walked operators share one implementation.
+var (
+	// ArithNames lists the binary arithmetic/constructive operators in
+	// encoding order.
+	ArithNames = []string{"+", "-", "*", "/", "%", "^", "||", "|||", "++", "--", "**"}
+	// CmpNames lists the conditional comparison operators in encoding order.
+	CmpNames = []string{"<", "<=", ">", ">=", "~=", "<<", "<<=", ">>", ">>=", "==", "~==", "===", "~==="}
+	// UnaryNames lists the unary operators in encoding order.
+	UnaryNames = []string{"-", "+", "~", "*", "^"}
+
+	// ArithFns, CmpFns and UnaryFns are the corresponding kernel functions.
+	ArithFns []func(a, b value.V) value.V
+	CmpFns   []func(a, b value.V) (value.V, bool)
+	UnaryFns []func(v value.V) value.V
+
+	arithIndex = map[string]int{}
+	cmpIndex   = map[string]int{}
+)
+
+func init() {
+	for i, name := range ArithNames {
+		fn, ok := core.ArithOp(name)
+		if !ok {
+			panic("compile: missing kernel arith op " + name)
+		}
+		ArithFns = append(ArithFns, fn)
+		arithIndex[name] = i
+	}
+	for i, name := range CmpNames {
+		fn, ok := core.CompareOp(name)
+		if !ok {
+			panic("compile: missing kernel comparison op " + name)
+		}
+		CmpFns = append(CmpFns, fn)
+		cmpIndex[name] = i
+	}
+	UnaryFns = []func(v value.V) value.V{
+		value.Neg, value.Pos, value.Complement,
+		func(v value.V) value.V { // *x, including co-expression sizes
+			if s, ok := value.Deref(v).(value.Sized); ok {
+				return value.IntV(int64(s.Size()))
+			}
+			return value.Size(v)
+		},
+		core.Refresh, // ^x
+	}
+}
+
+var unaryIndex = map[string]int{"-": 0, "+": 1, "~": 2, "*": 3, "^": 4}

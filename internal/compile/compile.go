@@ -1,0 +1,302 @@
+package compile
+
+import (
+	"junicon/internal/ast"
+	"junicon/internal/transform"
+	"junicon/internal/value"
+)
+
+// Expr lowers a normalized top-level expression into bytecode. Unknown
+// names auto-create globals (via env.DefineGlobal), matching the
+// interpreter's top-of-session rule; x_N temporaries become frame slots.
+// Unsupported forms return *Unsupported — the caller falls back to the
+// tree walk.
+func Expr(n ast.Node, env Env) (code *Code, err error) {
+	c := newCompiler(env, false)
+	defer c.trap(&err)
+	c.expr(n)
+	c.emit(OpYield, 0, 0, 0)
+	c.emit(OpFail, 0, 0, 0)
+	return c.finish(), nil
+}
+
+// Proc lowers a procedure declaration into bytecode: parameters occupy the
+// leading slots, locals and temporaries follow (numbered by the
+// transform.SlotCandidates order as they resolve), and the control
+// skeleton — suspend / return / fail, loops, case — compiles structurally,
+// exactly as the interpreter executes it.
+func Proc(d *ast.ProcDecl, env Env) (code *Code, err error) {
+	c := newCompiler(env, true)
+	defer c.trap(&err)
+	c.code.Name = d.Name
+	c.code.Params = len(d.Params)
+	for _, p := range d.Params {
+		c.slot(p)
+	}
+	// Pre-seed the slot numbering order (parameters already claimed):
+	// candidates resolve lazily, but enumerating them here keeps the
+	// printed slot table stable however control flow visits names.
+	c.candidates = transform.SlotCandidates(d.Params, d.Body)
+	for _, s := range d.Body.Stmts {
+		c.stmt(s)
+	}
+	// Falling off the end fails the procedure (Icon semantics): no
+	// resumable state survives.
+	c.emit(OpReturnFail, 0, 0, 0)
+	return c.finish(), nil
+}
+
+// compiler is the single-pass lowering state for one unit.
+type compiler struct {
+	env        Env
+	procMode   bool
+	code       *Code
+	depth      int // static operand-stack depth at the current pc
+	slotIdx    map[string]int
+	constIdx   map[string]int
+	globalIdx  map[string]int
+	resolved   map[string]int8 // name → resolution kind already taken
+	candidates []string
+	loops      []*loopCtx
+}
+
+const (
+	resSlot int8 = iota + 1
+	resGlobal
+	resConst
+)
+
+// loopCtx is the compile-time context of one lexically enclosing loop.
+type loopCtx struct {
+	aux        int32 // aux cell whose barrier marks the current iteration
+	entryDepth int   // operand-stack depth at loop entry
+	breaks     []int // Jump sites to patch to the loop exit
+	statement  bool  // statement-position loop (break outcome is bounded)
+	nextAux    int32 // aux cell bounding the body (cut target for next)
+	nexts      []int // Jump sites to patch to the continue point
+	inBody     bool  // currently compiling the loop body (next's domain)
+}
+
+func newCompiler(env Env, procMode bool) *compiler {
+	return &compiler{
+		env:       env,
+		procMode:  procMode,
+		code:      &Code{},
+		slotIdx:   map[string]int{},
+		constIdx:  map[string]int{},
+		globalIdx: map[string]int{},
+		resolved:  map[string]int8{},
+	}
+}
+
+func (c *compiler) trap(err *error) {
+	if r := recover(); r != nil {
+		if u, ok := r.(*Unsupported); ok {
+			*err = u
+			return
+		}
+		panic(r)
+	}
+}
+
+func (c *compiler) unsupported(n ast.Node, reason string) {
+	var at ast.Pos
+	if n != nil {
+		at = n.Pos()
+	}
+	panic(&Unsupported{Reason: reason, At: at})
+}
+
+func (c *compiler) finish() *Code {
+	return c.code
+}
+
+// ----- emission helpers -----
+
+// stackEffect is the net operand-stack change of one instruction.
+func stackEffect(i Instr) int {
+	switch i.Op {
+	case OpConst, OpNull, OpLoadSlot, OpLoadGlobal:
+		return 1
+	case OpPop, OpYield, OpReturn, OpLimitBegin, OpArith, OpCmp, OpCaseEq,
+		OpIndex, OpIndexVar, OpStoreVar, OpAugVar, OpCmpAugVar:
+		return -1
+	case OpAugSlot, OpCmpAugSlot, OpAugGlobal, OpCmpAugGlobal:
+		return 0
+	case OpPopN:
+		return -int(i.A)
+	case OpToBy, OpSection:
+		return -2
+	case OpMakeList:
+		return 1 - int(i.A)
+	case OpCall, OpCall1:
+		return -int(i.A)
+	case OpCallNative:
+		return 1 - int(i.A)
+	default:
+		return 0
+	}
+}
+
+func (c *compiler) emit(op Op, a, b, cc int32) int {
+	in := Instr{Op: op, A: a, B: b, C: cc}
+	c.code.Instrs = append(c.code.Instrs, in)
+	c.depth += stackEffect(in)
+	pc := len(c.code.Instrs) - 1
+	switch op {
+	case OpYield:
+		c.addResume(pc, "yield")
+	case OpMark:
+		c.addResume(pc, "mark")
+	case OpFork:
+		c.addResume(pc, "fork")
+	case OpRepAlt:
+		c.addResume(pc, "rep-alt")
+	case OpCall:
+		c.addResume(pc, "call")
+	case OpBang:
+		c.addResume(pc, "bang")
+	case OpToBy:
+		c.addResume(pc, "to-by")
+	}
+	return pc
+}
+
+func (c *compiler) addResume(pc int, kind string) {
+	c.code.Resumes = append(c.code.Resumes, Resume{PC: pc, Kind: kind})
+}
+
+// here is the pc of the next instruction to be emitted.
+func (c *compiler) here() int32 { return int32(len(c.code.Instrs)) }
+
+// patchA points the jump/handler operand of the instruction at site to the
+// current pc.
+func (c *compiler) patchA(site int) { c.code.Instrs[site].A = c.here() }
+
+func (c *compiler) newAux() int32 {
+	c.code.NumAux++
+	return int32(c.code.NumAux - 1)
+}
+
+// slot returns (allocating if needed) the slot of a local name.
+func (c *compiler) slot(name string) int32 {
+	if i, ok := c.slotIdx[name]; ok {
+		return int32(i)
+	}
+	i := len(c.code.Slots)
+	c.slotIdx[name] = i
+	c.code.Slots = append(c.code.Slots, name)
+	c.resolved[name] = resSlot
+	return int32(i)
+}
+
+// hiddenSlot allocates an unnamed compiler-internal slot (case subjects).
+// The parenthesized name cannot collide with source identifiers.
+func (c *compiler) hiddenSlot(kind string) int32 {
+	name := "(" + kind + ")"
+	for {
+		if _, ok := c.slotIdx[name]; !ok {
+			break
+		}
+		name += "'"
+	}
+	return c.slot(name)
+}
+
+// global returns the Globals index of cell.
+func (c *compiler) global(name string, cell *value.Var) int32 {
+	if i, ok := c.globalIdx[name]; ok {
+		return int32(i)
+	}
+	i := len(c.code.Globals)
+	c.globalIdx[name] = i
+	c.code.Globals = append(c.code.Globals, cell)
+	c.code.GlobalNames = append(c.code.GlobalNames, name)
+	c.resolved[name] = resGlobal
+	return int32(i)
+}
+
+// constant interns v in the constant pool; key dedups literals ("" means
+// always append).
+func (c *compiler) constant(v value.V, key string) int32 {
+	if key != "" {
+		if i, ok := c.constIdx[key]; ok {
+			return int32(i)
+		}
+	}
+	i := len(c.code.Consts)
+	c.code.Consts = append(c.code.Consts, v)
+	if key != "" {
+		c.constIdx[key] = i
+	}
+	return int32(i)
+}
+
+// ----- name resolution -----
+
+// loadName emits a load of name, resolving exactly as the interpreter
+// does: scope chain (slots), then globals, then builtins/natives; unknown
+// names default to locals in procedure mode and auto-create globals at top
+// level.
+func (c *compiler) loadName(n ast.Node, name string, tmp bool) {
+	if i, ok := c.slotIdx[name]; ok {
+		c.emit(OpLoadSlot, int32(i), 0, 0)
+		return
+	}
+	if tmp {
+		// x_N temporaries are always frame-local; BindIn defines them
+		// before any TmpRef reads (guaranteed by the normal form).
+		c.emit(OpLoadSlot, c.slot(name), 0, 0)
+		return
+	}
+	if cell, ok := c.env.LookupGlobal(name); ok {
+		c.emit(OpLoadGlobal, c.global(name, cell), 0, 0)
+		return
+	}
+	if v, ok := c.env.LookupConst(name); ok {
+		c.resolved[name] = resConst
+		c.emit(OpConst, c.constant(v, "name:"+name), 0, 0)
+		return
+	}
+	if c.procMode {
+		// Icon default-local rule.
+		c.emit(OpLoadSlot, c.slot(name), 0, 0)
+		return
+	}
+	if c.env.DefineGlobal == nil {
+		c.unsupported(n, "unknown name "+name)
+	}
+	cell := c.env.DefineGlobal(name)
+	c.emit(OpLoadGlobal, c.global(name, cell), 0, 0)
+}
+
+// storeName emits a store to name (value on top of stack stays as the
+// expression's result).
+func (c *compiler) storeName(n ast.Node, name string, tmp bool) {
+	if i, ok := c.slotIdx[name]; ok {
+		c.emit(OpStoreSlot, int32(i), 0, 0)
+		return
+	}
+	if tmp {
+		c.emit(OpStoreSlot, c.slot(name), 0, 0)
+		return
+	}
+	if cell, ok := c.env.LookupGlobal(name); ok {
+		c.emit(OpStoreGlobal, c.global(name, cell), 0, 0)
+		return
+	}
+	if _, ok := c.env.LookupConst(name); ok {
+		// Assigning a builtin raises at drive time; let the tree walk
+		// produce that error.
+		c.unsupported(n, "assignment to builtin "+name)
+	}
+	if c.procMode {
+		c.emit(OpStoreSlot, c.slot(name), 0, 0)
+		return
+	}
+	if c.env.DefineGlobal == nil {
+		c.unsupported(n, "unknown assignment target "+name)
+	}
+	cell := c.env.DefineGlobal(name)
+	c.emit(OpStoreGlobal, c.global(name, cell), 0, 0)
+}

@@ -1,0 +1,193 @@
+package compile
+
+import (
+	"fmt"
+	"strings"
+
+	"junicon/internal/value"
+)
+
+// opNames maps opcodes to their listing mnemonics.
+var opNames = [opCount]string{
+	OpNop:          "nop",
+	OpConst:        "const",
+	OpNull:         "null",
+	OpPop:          "pop",
+	OpPopN:         "pop.n",
+	OpLoadSlot:     "load.slot",
+	OpStoreSlot:    "store.slot",
+	OpBindSlot:     "bind.slot",
+	OpLoadGlobal:   "load.global",
+	OpStoreGlobal:  "store.global",
+	OpJump:         "jump",
+	OpFail:         "fail",
+	OpYield:        "yield",
+	OpReturn:       "return",
+	OpReturnFail:   "return.fail",
+	OpMark:         "mark",
+	OpCut:          "cut",
+	OpFork:         "fork",
+	OpRepAlt:       "rep.alt",
+	OpRepNote:      "rep.note",
+	OpLimitBegin:   "limit.begin",
+	OpLimitCheck:   "limit.check",
+	OpArith:        "arith",
+	OpCmp:          "cmp",
+	OpUnary:        "unary",
+	OpNullTest:     "null.test",
+	OpNonNullTest:  "nonnull.test",
+	OpBang:         "bang",
+	OpToBy:         "to.by",
+	OpCaseEq:       "case.eq",
+	OpMakeList:     "make.list",
+	OpIndex:        "index",
+	OpIndexVar:     "index.var",
+	OpSection:      "section",
+	OpField:        "field",
+	OpFieldVar:     "field.var",
+	OpStoreVar:     "store.var",
+	OpAugVar:       "aug.var",
+	OpCmpAugVar:    "cmp.aug.var",
+	OpAugSlot:      "aug.slot",
+	OpCmpAugSlot:   "cmp.aug.slot",
+	OpAugGlobal:    "aug.global",
+	OpCmpAugGlobal: "cmp.aug.global",
+	OpCall:         "call",
+	OpCall1:        "call1",
+	OpCallNative:   "call.native",
+}
+
+// Name returns the opcode's listing mnemonic.
+func (op Op) Name() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", op)
+}
+
+// Disassemble renders the unit as a readable listing: a header naming the
+// unit, the slot table (the frame layout), the resume-point table (every
+// pc a suspended or failed frame can re-enter), and the instructions with
+// symbolic operands — slot names, constant images, global names, operator
+// spellings and jump targets.
+func (c *Code) Disassemble() string {
+	var b strings.Builder
+	name := c.Name
+	if name == "" {
+		name = "(expression)"
+	}
+	fmt.Fprintf(&b, "unit %s  params=%d slots=%d aux=%d\n",
+		name, c.Params, len(c.Slots), c.NumAux)
+	if len(c.Slots) > 0 {
+		b.WriteString("  slots:  ")
+		for i, s := range c.Slots {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "[%d]=%s", i, s)
+		}
+		b.WriteByte('\n')
+	}
+	if len(c.GlobalNames) > 0 {
+		b.WriteString("  globals:")
+		for i, g := range c.GlobalNames {
+			if i > 0 {
+				b.WriteByte(' ')
+			} else {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "[%d]=%s", i, g)
+		}
+		b.WriteByte('\n')
+	}
+	if len(c.Resumes) > 0 {
+		b.WriteString("  resume: ")
+		for i, r := range c.Resumes {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d(%s)", r.PC, r.Kind)
+		}
+		b.WriteByte('\n')
+	}
+	for pc, in := range c.Instrs {
+		fmt.Fprintf(&b, "  %4d: %-14s%s\n", pc, in.Op.Name(), c.operands(in))
+	}
+	return b.String()
+}
+
+// operands renders one instruction's operands symbolically.
+func (c *Code) operands(in Instr) string {
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("%-6d ; %s", in.A, c.constImage(in.A))
+	case OpLoadSlot, OpStoreSlot, OpBindSlot:
+		return fmt.Sprintf("%-6d ; %s", in.A, c.slotName(in.A))
+	case OpLoadGlobal, OpStoreGlobal:
+		return fmt.Sprintf("%-6d ; %s", in.A, c.globalName(in.A))
+	case OpJump:
+		return fmt.Sprintf("->%d", in.A)
+	case OpMark, OpFork:
+		return fmt.Sprintf("->%-4d aux=%d", in.A, in.B)
+	case OpRepAlt:
+		return fmt.Sprintf("->%-4d aux=%d", in.A, in.B)
+	case OpRepNote, OpCut, OpLimitBegin, OpLimitCheck:
+		return fmt.Sprintf("aux=%d", in.B)
+	case OpBang, OpToBy:
+		return fmt.Sprintf("aux=%d", in.B)
+	case OpArith, OpAugVar:
+		return fmt.Sprintf("%-6d ; %s", in.A, opSpelling(ArithNames, int(in.A)))
+	case OpCmp, OpCmpAugVar:
+		return fmt.Sprintf("%-6d ; %s", in.A, opSpelling(CmpNames, int(in.A)))
+	case OpUnary:
+		return fmt.Sprintf("%-6d ; %s", in.A, opSpelling(UnaryNames, int(in.A)))
+	case OpAugSlot:
+		return fmt.Sprintf("%-6d ; %s %s:=", in.A, c.slotName(in.A), opSpelling(ArithNames, int(in.C)))
+	case OpCmpAugSlot:
+		return fmt.Sprintf("%-6d ; %s %s:=", in.A, c.slotName(in.A), opSpelling(CmpNames, int(in.C)))
+	case OpAugGlobal:
+		return fmt.Sprintf("%-6d ; %s %s:=", in.A, c.globalName(in.A), opSpelling(ArithNames, int(in.C)))
+	case OpCmpAugGlobal:
+		return fmt.Sprintf("%-6d ; %s %s:=", in.A, c.globalName(in.A), opSpelling(CmpNames, int(in.C)))
+	case OpCaseEq:
+		return fmt.Sprintf("%-6d ; subject %s", in.A, c.slotName(in.A))
+	case OpPopN, OpMakeList:
+		return fmt.Sprintf("%d", in.A)
+	case OpField, OpFieldVar:
+		return fmt.Sprintf("%-6d ; .%s", in.A, c.constImage(in.A))
+	case OpCall, OpCall1:
+		return fmt.Sprintf("argc=%-2d aux=%d", in.A, in.B)
+	case OpCallNative:
+		return fmt.Sprintf("argc=%-2d aux=%d ; %s", in.A, in.B, c.constImage(in.C))
+	default:
+		return ""
+	}
+}
+
+func (c *Code) slotName(i int32) string {
+	if int(i) < len(c.Slots) {
+		return c.Slots[i]
+	}
+	return "?"
+}
+
+func (c *Code) globalName(i int32) string {
+	if int(i) < len(c.GlobalNames) {
+		return c.GlobalNames[i]
+	}
+	return "?"
+}
+
+func (c *Code) constImage(i int32) string {
+	if int(i) < len(c.Consts) {
+		return value.Image(c.Consts[i])
+	}
+	return "?"
+}
+
+func opSpelling(names []string, i int) string {
+	if i >= 0 && i < len(names) {
+		return names[i]
+	}
+	return "?"
+}

@@ -1,0 +1,718 @@
+package compile
+
+import (
+	"junicon/internal/ast"
+	"junicon/internal/value"
+)
+
+// This file lowers expressions. The compilation schemes mirror the kernel
+// combinators instruction for instruction: wherever the tree walk would
+// build a generator whose Next/Restart drives sub-generators, the compiled
+// form arms choice points (OpMark/OpFork) whose failure paths re-enter the
+// same sub-expression code. Stack depth at every pc is static; the compiler
+// tracks it (c.depth) so non-local exits (break/next) can truncate the
+// operand stack to the loop's entry depth.
+
+// expr compiles n in generative expression position: the emitted code
+// pushes exactly one value per result, and failing into its choice points
+// produces the rest of the sequence.
+func (c *compiler) expr(n ast.Node) {
+	switch x := n.(type) {
+	case nil:
+		c.emit(OpNull, 0, 0, 0)
+
+	// ----- literals and names -----
+	case *ast.IntLit:
+		i, ok := value.ToInteger(value.String(x.Text))
+		if !ok {
+			c.unsupported(n, "malformed integer literal "+x.Text)
+		}
+		c.emit(OpConst, c.constant(i, "int:"+x.Text), 0, 0)
+	case *ast.RealLit:
+		r, ok := value.ToReal(value.String(x.Text))
+		if !ok {
+			c.unsupported(n, "malformed real literal "+x.Text)
+		}
+		c.emit(OpConst, c.constant(r, "real:"+x.Text), 0, 0)
+	case *ast.StrLit:
+		c.emit(OpConst, c.constant(value.String(x.Value), "str:"+x.Value), 0, 0)
+	case *ast.CsetLit:
+		c.emit(OpConst, c.constant(value.NewCset(x.Value), "cset:"+x.Value), 0, 0)
+	case *ast.Keyword:
+		c.keyword(x)
+	case *ast.Ident:
+		c.loadName(x, x.Name, false)
+	case *ast.TmpRef:
+		c.loadName(x, x.Name, true)
+	case *ast.ListLit:
+		for _, e := range x.Elems {
+			c.expr(e)
+		}
+		c.emit(OpMakeList, int32(len(x.Elems)), 0, 0)
+
+	// ----- normalized forms -----
+	case *ast.FlatProduct:
+		if len(x.Terms) == 0 {
+			c.emit(OpNull, 0, 0, 0)
+			return
+		}
+		// Product compiles to plain sequencing: backtracking is global, so
+		// failure after a later term naturally resumes the nearest earlier
+		// choice point — exactly the product search order.
+		for _, t := range x.Terms[:len(x.Terms)-1] {
+			c.expr(t)
+			c.emit(OpPop, 0, 0, 0)
+		}
+		c.expr(x.Terms[len(x.Terms)-1])
+	case *ast.BindIn:
+		c.expr(x.E)
+		c.emit(OpBindSlot, c.slot(x.Tmp), 0, 0)
+
+	// ----- operators -----
+	case *ast.Binary:
+		c.binary(x)
+	case *ast.Unary:
+		c.unary(x)
+	case *ast.ToBy:
+		c.expr(x.Lo)
+		c.expr(x.Hi)
+		if x.By == nil {
+			c.emit(OpConst, c.constant(value.NewInt(1), "int:1"), 0, 0)
+		} else {
+			c.expr(x.By)
+		}
+		c.emit(OpToBy, 0, c.newAux(), 0)
+
+	// ----- primaries -----
+	case *ast.Call:
+		c.call(x)
+	case *ast.NativeCall:
+		c.nativeCall(x)
+	case *ast.Index:
+		c.expr(x.X)
+		c.expr(x.I)
+		c.emit(OpIndex, 0, 0, 0)
+	case *ast.Slice:
+		c.expr(x.X)
+		c.expr(x.I)
+		c.expr(x.J)
+		c.emit(OpSection, 0, 0, 0)
+	case *ast.Field:
+		c.expr(x.X)
+		c.emit(OpField, c.constant(value.String(x.Name), "str:"+x.Name), 0, 0)
+
+	// ----- control -----
+	case *ast.Block:
+		switch len(x.Stmts) {
+		case 0:
+			c.emit(OpNull, 0, 0, 0)
+		case 1:
+			c.expr(x.Stmts[0])
+		default:
+			for _, s := range x.Stmts[:len(x.Stmts)-1] {
+				c.boundedDiscard(s)
+			}
+			c.expr(x.Stmts[len(x.Stmts)-1])
+		}
+	case *ast.VarDecl:
+		c.varDecl(x)
+		c.emit(OpNull, 0, 0, 0) // the declaration's value is &null
+	case *ast.If:
+		c.ifExpr(x)
+	case *ast.While:
+		c.loopExpr(loopWhile, x.Cond, x.Body, x.Until)
+	case *ast.Every:
+		c.loopExpr(loopEvery, x.E, x.Body, false)
+	case *ast.Repeat:
+		c.loopExpr(loopRepeat, nil, x.Body, false)
+	case *ast.Case:
+		c.caseExpr(x)
+	case *ast.Break:
+		d := c.depth
+		c.breakFrom(x, x.E)
+		c.depth = d + 1 // never falls through; callers see one pushed value
+	case *ast.NextStmt:
+		d := c.depth
+		c.nextFrom(x)
+		c.depth = d + 1
+	case *ast.Fail:
+		c.emit(OpFail, 0, 0, 0)
+		c.depth++
+
+	case *ast.Return, *ast.Suspend:
+		c.unsupported(n, "return/suspend outside a procedure body")
+	case *ast.Initial:
+		c.unsupported(n, "initial clause")
+	default:
+		c.unsupported(n, "form not compiled")
+	}
+}
+
+// keyword compiles &-keywords; the scanning keywords live outside a frame.
+func (c *compiler) keyword(k *ast.Keyword) {
+	switch k.Name {
+	case "null":
+		c.emit(OpNull, 0, 0, 0)
+	case "fail":
+		c.emit(OpFail, 0, 0, 0)
+		c.depth++
+	case "lcase":
+		c.emit(OpConst, c.constant(value.CsetLcase, "kw:lcase"), 0, 0)
+	case "ucase":
+		c.emit(OpConst, c.constant(value.CsetUcase, "kw:ucase"), 0, 0)
+	case "digits":
+		c.emit(OpConst, c.constant(value.CsetDigits, "kw:digits"), 0, 0)
+	case "letters":
+		c.emit(OpConst, c.constant(value.CsetLetters, "kw:letters"), 0, 0)
+	default:
+		c.unsupported(k, "keyword &"+k.Name)
+	}
+}
+
+// binary compiles binary operators.
+func (c *compiler) binary(x *ast.Binary) {
+	switch x.Op {
+	case "&":
+		c.expr(x.L)
+		c.emit(OpPop, 0, 0, 0)
+		c.expr(x.R)
+		return
+	case "|":
+		d := c.depth
+		fork := c.emit(OpFork, -1, 0, 0)
+		c.expr(x.L)
+		end := c.emit(OpJump, -1, 0, 0)
+		c.patchA(fork)
+		c.depth = d
+		c.expr(x.R)
+		c.patchA(end)
+		return
+	case ":=":
+		c.assign(x.L, x.R)
+		return
+	case "\\":
+		// The count is evaluated first, as in Icon (LimitGen).
+		aux := c.newAux()
+		c.expr(x.R)
+		c.emit(OpLimitBegin, 0, aux, 0)
+		c.expr(x.L)
+		c.emit(OpLimitCheck, 0, aux, 0)
+		return
+	case "<-", ":=:", "<->":
+		c.unsupported(x, "reversible assignment/exchange "+x.Op)
+	case "@":
+		c.unsupported(x, "co-expression activation")
+	case "?":
+		c.unsupported(x, "string scanning")
+	}
+	if i, ok := arithIndex[x.Op]; ok {
+		c.expr(x.L)
+		c.expr(x.R)
+		c.emit(OpArith, int32(i), 0, 0)
+		return
+	}
+	if i, ok := cmpIndex[x.Op]; ok {
+		c.expr(x.L)
+		c.expr(x.R)
+		c.emit(OpCmp, int32(i), 0, 0)
+		return
+	}
+	if len(x.Op) > 2 && x.Op[len(x.Op)-2:] == ":=" {
+		c.augAssign(x)
+		return
+	}
+	c.unsupported(x, "operator "+x.Op)
+}
+
+// unary compiles prefix operators.
+func (c *compiler) unary(x *ast.Unary) {
+	switch x.Op {
+	case "!":
+		c.expr(x.X)
+		c.emit(OpBang, 0, c.newAux(), 0)
+	case "/":
+		c.expr(x.X)
+		c.emit(OpNullTest, 0, 0, 0)
+	case "\\":
+		c.expr(x.X)
+		c.emit(OpNonNullTest, 0, 0, 0)
+	case "|":
+		// Repeated alternation: the RepAlt cell notes whether the current
+		// cycle produced anything; an empty cycle fails the construct.
+		aux := c.newAux()
+		top := c.emit(OpRepAlt, 0, aux, 0)
+		c.code.Instrs[top].A = int32(top + 1)
+		c.expr(x.X)
+		c.emit(OpRepNote, 0, aux, 0)
+	case "not":
+		d := c.depth
+		aux := c.newAux()
+		m := c.emit(OpMark, -1, aux, 0)
+		c.expr(x.X)
+		c.emit(OpCut, 0, aux, 0)
+		c.emit(OpPop, 0, 0, 0)
+		c.emit(OpFail, 0, 0, 0)
+		c.patchA(m)
+		c.depth = d
+		c.emit(OpNull, 0, 0, 0)
+	case "-", "+", "~", "*", "^":
+		c.expr(x.X)
+		c.emit(OpUnary, int32(unaryIndex[x.Op]), 0, 0)
+	case "?":
+		c.unsupported(x, "random element ?x")
+	case "=":
+		c.unsupported(x, "tab-match =x (scanning)")
+	case "@":
+		c.unsupported(x, "co-expression activation")
+	case "<>", "|<>", "|>":
+		c.unsupported(x, "generator/co-expression/pipe creation "+x.Op)
+	default:
+		c.unsupported(x, "unary operator "+x.Op)
+	}
+}
+
+// call compiles f(args…). When the callee is a statically known procedure
+// the facts engine proved pure with at most one yield, the site compiles to
+// OpCall1 — no choice point, no resume bookkeeping (the PR-6 facts feeding
+// the PR-7 call protocol).
+func (c *compiler) call(x *ast.Call) {
+	direct := false
+	if id, ok := x.Fun.(*ast.Ident); ok && c.env.CallDirect != nil {
+		if _, isSlot := c.slotIdx[id.Name]; !isSlot {
+			if _, isGlobal := c.env.LookupGlobal(id.Name); isGlobal && c.env.CallDirect(id.Name) {
+				direct = true
+			}
+		}
+	}
+	c.expr(x.Fun)
+	for _, a := range x.Args {
+		c.expr(a)
+	}
+	op := OpCall
+	if direct {
+		op = OpCall1
+	}
+	c.emit(op, int32(len(x.Args)), c.newAux(), 0)
+}
+
+// nativeCall compiles recv::name(args…): registry lookup at compile time,
+// receiver (when present) passed as the first argument.
+func (c *compiler) nativeCall(x *ast.NativeCall) {
+	if c.env.Native == nil {
+		c.unsupported(x, "native ::"+x.Name)
+	}
+	native, ok := c.env.Native(x.Name)
+	if !ok {
+		// The interpreter raises at construction; fall back so it does.
+		c.unsupported(x, "unregistered native ::"+x.Name)
+	}
+	n := len(x.Args)
+	if x.Recv != nil {
+		c.expr(x.Recv)
+		n++
+	}
+	for _, a := range x.Args {
+		c.expr(a)
+	}
+	c.emit(OpCallNative, int32(n), c.newAux(), c.constant(native, "native:"+x.Name))
+}
+
+// assign compiles target := rhs.
+func (c *compiler) assign(target ast.Node, rhs ast.Node) {
+	switch t := target.(type) {
+	case *ast.Ident:
+		c.expr(rhs)
+		c.storeName(t, t.Name, false)
+	case *ast.TmpRef:
+		c.expr(rhs)
+		c.storeName(t, t.Name, true)
+	case *ast.Index:
+		// The reference is resolved before the right side runs (a failing
+		// subscript must skip rhs's effects), matching Assign's operand
+		// order: target outer, source inner.
+		c.expr(t.X)
+		c.expr(t.I)
+		c.emit(OpIndexVar, 0, 0, 0)
+		c.expr(rhs)
+		c.emit(OpStoreVar, 0, 0, 0)
+	case *ast.Field:
+		c.expr(t.X)
+		c.emit(OpFieldVar, c.constant(value.String(t.Name), "str:"+t.Name), 0, 0)
+		c.expr(rhs)
+		c.emit(OpStoreVar, 0, 0, 0)
+	default:
+		c.unsupported(target, "assignment target")
+	}
+}
+
+// augAssign compiles target op:= rhs. The target's current value is read
+// when the operation applies — per source value, as AugAssignVar does — so
+// slots and globals get fused read-modify-write opcodes rather than a
+// load/store pair around the rhs.
+func (c *compiler) augAssign(x *ast.Binary) {
+	base := x.Op[:len(x.Op)-2]
+	ai, isArith := arithIndex[base]
+	ci, isCmp := cmpIndex[base]
+	if !isArith && !isCmp {
+		c.unsupported(x, "operator "+x.Op)
+	}
+	idx, op2 := int32(ai), [2]Op{OpAugSlot, OpAugGlobal}
+	opVar := OpAugVar
+	if isCmp {
+		idx, op2 = int32(ci), [2]Op{OpCmpAugSlot, OpCmpAugGlobal}
+		opVar = OpCmpAugVar
+	}
+	switch t := x.L.(type) {
+	case *ast.Ident, *ast.TmpRef:
+		name, tmp := "", false
+		if id, ok := t.(*ast.Ident); ok {
+			name = id.Name
+		} else {
+			name, tmp = t.(*ast.TmpRef).Name, true
+		}
+		c.expr(x.R)
+		c.emitAugName(x, name, tmp, op2, idx)
+		return
+	case *ast.Index:
+		c.expr(t.X)
+		c.expr(t.I)
+		c.emit(OpIndexVar, 0, 0, 0)
+	case *ast.Field:
+		c.expr(t.X)
+		c.emit(OpFieldVar, c.constant(value.String(t.Name), "str:"+t.Name), 0, 0)
+	default:
+		c.unsupported(x.L, "augmented assignment target")
+	}
+	c.expr(x.R)
+	c.emit(opVar, idx, 0, 0)
+}
+
+// emitAugName resolves an augmented assignment to a named target, using the
+// slot or global fused opcode.
+func (c *compiler) emitAugName(n ast.Node, name string, tmp bool, ops [2]Op, idx int32) {
+	if i, ok := c.slotIdx[name]; ok {
+		c.emit(ops[0], int32(i), 0, idx)
+		return
+	}
+	if tmp {
+		c.emit(ops[0], c.slot(name), 0, idx)
+		return
+	}
+	if cell, ok := c.env.LookupGlobal(name); ok {
+		c.emit(ops[1], c.global(name, cell), 0, idx)
+		return
+	}
+	if _, ok := c.env.LookupConst(name); ok {
+		c.unsupported(n, "augmented assignment to builtin "+name)
+	}
+	if c.procMode {
+		c.emit(ops[0], c.slot(name), 0, idx)
+		return
+	}
+	if c.env.DefineGlobal == nil {
+		c.unsupported(n, "unknown assignment target "+name)
+	}
+	cell := c.env.DefineGlobal(name)
+	c.emit(ops[1], c.global(name, cell), 0, idx)
+}
+
+// boundedDiscard compiles s as a bounded, discarded evaluation: at most one
+// result, failure ignored — the kernel's sequence-term discipline.
+func (c *compiler) boundedDiscard(s ast.Node) {
+	d := c.depth
+	aux := c.newAux()
+	m := c.emit(OpMark, -1, aux, 0)
+	c.expr(s)
+	c.emit(OpCut, 0, aux, 0)
+	c.emit(OpPop, 0, 0, 0)
+	c.patchA(m)
+	c.depth = d
+}
+
+// varDecl compiles local declarations: each initializer is evaluated
+// boundedly; a failing (or absent) initializer leaves &null.
+func (c *compiler) varDecl(x *ast.VarDecl) {
+	if x.Kind == "static" {
+		c.unsupported(x, "static declaration")
+	}
+	for i, name := range x.Names {
+		if k := c.resolved[name]; k == resGlobal || k == resConst {
+			// The name was already resolved non-locally earlier in this
+			// unit; redeclaring it local here would diverge from the
+			// interpreter's construction-order resolution.
+			c.unsupported(x, "local "+name+" declared after non-local use")
+		}
+		d := c.depth
+		if x.Inits[i] == nil {
+			c.emit(OpNull, 0, 0, 0)
+			c.declStore(x, name)
+			c.emit(OpPop, 0, 0, 0)
+			continue
+		}
+		aux := c.newAux()
+		m := c.emit(OpMark, -1, aux, 0)
+		c.expr(x.Inits[i])
+		c.emit(OpCut, 0, aux, 0)
+		c.declStore(x, name)
+		c.emit(OpPop, 0, 0, 0)
+		done := c.emit(OpJump, -1, 0, 0)
+		c.patchA(m)
+		c.depth = d
+		c.emit(OpNull, 0, 0, 0)
+		c.declStore(x, name)
+		c.emit(OpPop, 0, 0, 0)
+		c.patchA(done)
+	}
+}
+
+// declStore stores the top of stack into the declared name: a slot inside
+// procedures, a (defined-on-the-spot) global at top level.
+func (c *compiler) declStore(n ast.Node, name string) {
+	if c.procMode {
+		c.emit(OpStoreSlot, c.slot(name), 0, 0)
+		return
+	}
+	if i, ok := c.slotIdx[name]; ok {
+		c.emit(OpStoreSlot, int32(i), 0, 0)
+		return
+	}
+	if cell, ok := c.env.LookupGlobal(name); ok {
+		c.emit(OpStoreGlobal, c.global(name, cell), 0, 0)
+		return
+	}
+	if c.env.DefineGlobal == nil {
+		c.unsupported(n, "declaration outside a procedure")
+	}
+	cell := c.env.DefineGlobal(name)
+	c.emit(OpStoreGlobal, c.global(name, cell), 0, 0)
+}
+
+// ifExpr compiles if/then/else in expression position: the condition is
+// bounded; the chosen branch supplies the result sequence.
+func (c *compiler) ifExpr(x *ast.If) {
+	d := c.depth
+	aux := c.newAux()
+	m := c.emit(OpMark, -1, aux, 0)
+	c.expr(x.Cond)
+	c.emit(OpCut, 0, aux, 0)
+	c.emit(OpPop, 0, 0, 0)
+	c.expr(x.Then)
+	end := c.emit(OpJump, -1, 0, 0)
+	c.patchA(m)
+	c.depth = d
+	if x.Else == nil {
+		c.emit(OpFail, 0, 0, 0)
+		c.depth++
+	} else {
+		c.expr(x.Else)
+	}
+	c.patchA(end)
+}
+
+// caseExpr compiles a case expression. The subject is evaluated boundedly
+// and pinned in a hidden slot; each selector's results are searched for ===
+// equivalence (a mismatch fails back into the selector, a spent selector
+// fails over to the next clause), and a match commits to its branch.
+func (c *compiler) caseExpr(x *ast.Case) {
+	d := c.depth
+	subjAux := c.newAux()
+	subjFail := c.emit(OpMark, -1, subjAux, 0)
+	c.expr(x.Subject)
+	c.emit(OpCut, 0, subjAux, 0)
+	subj := c.hiddenSlot("case")
+	c.emit(OpBindSlot, subj, 0, 0)
+	c.emit(OpPop, 0, 0, 0)
+
+	var deflt ast.Node
+	hasDefault := false
+	var bodies []int // Jump sites into clause bodies
+	var bodyExprs []ast.Node
+	for _, cl := range x.Clauses {
+		if cl.Sel == nil {
+			deflt, hasDefault = cl.Body, true
+			continue
+		}
+		aux := c.newAux()
+		m := c.emit(OpMark, -1, aux, 0)
+		c.expr(cl.Sel)
+		c.emit(OpCaseEq, subj, 0, 0)
+		c.emit(OpCut, 0, aux, 0)
+		bodies = append(bodies, c.emit(OpJump, -1, 0, 0))
+		bodyExprs = append(bodyExprs, cl.Body)
+		c.patchA(m)
+		c.depth = d
+	}
+	var ends []int
+	if hasDefault {
+		c.expr(deflt)
+		ends = append(ends, c.emit(OpJump, -1, 0, 0))
+	} else {
+		c.emit(OpFail, 0, 0, 0)
+	}
+	// Subject failure fails the whole expression.
+	c.patchA(subjFail)
+	c.depth = d
+	c.emit(OpFail, 0, 0, 0)
+	for i, site := range bodies {
+		c.patchA(site)
+		c.depth = d
+		c.expr(bodyExprs[i])
+		ends = append(ends, c.emit(OpJump, -1, 0, 0))
+	}
+	for _, site := range ends {
+		c.patchA(site)
+	}
+	c.depth = d + 1
+}
+
+// Loop kinds for the shared loop compiler.
+type loopKind int
+
+const (
+	loopWhile loopKind = iota
+	loopEvery
+	loopRepeat
+)
+
+// loopExpr compiles while/until/every/repeat in expression position. The
+// loop fails unless a break delegates an outcome.
+func (c *compiler) loopExpr(kind loopKind, head, body ast.Node, until bool) {
+	c.loopCompile(kind, head, body, until, false)
+}
+
+// loopCompile is the shared loop lowering; statement reports statement
+// position (the body compiles as a statement, break outcomes are bounded
+// and discarded, and a finished loop falls through instead of failing).
+func (c *compiler) loopCompile(kind loopKind, head, body ast.Node, until, statement bool) {
+	d := c.depth
+	ctx := &loopCtx{entryDepth: d, statement: statement}
+	c.loops = append(c.loops, ctx)
+	defer func() { c.loops = c.loops[:len(c.loops)-1] }()
+
+	auxHead := c.newAux()
+	auxBody := c.newAux()
+	ctx.aux = auxHead
+	ctx.nextAux = auxBody
+
+	var exits []int // sites to patch to the loop exit
+	top := int(c.here())
+	var headSite int
+	switch kind {
+	case loopWhile:
+		headSite = c.emit(OpMark, -1, auxHead, 0)
+		c.expr(head)
+		c.emit(OpCut, 0, auxHead, 0)
+		c.emit(OpPop, 0, 0, 0)
+		if until {
+			// Condition success exits an until loop…
+			exits = append(exits, c.emit(OpJump, -1, 0, 0))
+			// …and condition failure runs the body.
+			c.patchA(headSite)
+			c.depth = d
+			headSite = -1
+		}
+	case loopEvery:
+		headSite = c.emit(OpMark, -1, auxHead, 0)
+		c.expr(head)
+		c.emit(OpPop, 0, 0, 0)
+	case loopRepeat:
+		headSite = -1
+		// repeat cuts/continues on the body cell alone.
+		ctx.aux = auxBody
+	}
+
+	// Body: bounded in expression loops, structural in statement loops.
+	// With no body there is nothing to bound and no `next` to anchor.
+	if body != nil {
+		ctx.inBody = true
+		bodyMark := c.emit(OpMark, -1, auxBody, 0)
+		if statement {
+			c.stmt(body)
+			c.emit(OpCut, 0, auxBody, 0)
+		} else {
+			c.expr(body)
+			c.emit(OpCut, 0, auxBody, 0)
+			c.emit(OpPop, 0, 0, 0)
+		}
+		ctx.inBody = false
+		// Body failure lands at the continue point too (the body is
+		// bounded — its failure is indistinguishable from completion).
+		c.patchA(bodyMark)
+		c.depth = d
+	}
+	cont := int(c.here())
+	switch kind {
+	case loopWhile, loopRepeat:
+		c.emit(OpJump, int32(top), 0, 0)
+	case loopEvery:
+		c.emit(OpFail, 0, 0, 0) // resume the generator
+	}
+	for _, site := range ctx.nexts {
+		c.code.Instrs[site].A = int32(cont)
+	}
+
+	// Loop exit: the head is spent (condition failed / generator dry).
+	if headSite >= 0 {
+		c.patchA(headSite)
+	}
+	for _, site := range exits {
+		c.patchA(site)
+	}
+	c.depth = d
+	if !statement {
+		// The loop expression itself fails; only break reaches the end.
+		c.emit(OpFail, 0, 0, 0)
+		c.depth = d + 1
+	}
+	for _, site := range ctx.breaks {
+		c.patchA(site)
+	}
+}
+
+// breakFrom compiles break [e] against the innermost loop: discard the
+// loop's choice points and operand-stack growth, then deliver the outcome —
+// delegated generatively in expression loops, bounded and discarded in
+// statement loops.
+func (c *compiler) breakFrom(n ast.Node, e ast.Node) {
+	if len(c.loops) == 0 {
+		c.unsupported(n, "break outside a loop")
+	}
+	ctx := c.loops[len(c.loops)-1]
+	c.emit(OpCut, 0, ctx.aux, 0)
+	if !ctx.statement && e == nil {
+		// Bare break: the loop expression's outcome is Empty.
+		c.emit(OpFail, 0, 0, 0)
+		return
+	}
+	if k := c.depth - ctx.entryDepth; k > 0 {
+		c.emit(OpPopN, int32(k), 0, 0)
+	}
+	if ctx.statement {
+		if e != nil {
+			c.boundedDiscard(e)
+		}
+	} else {
+		c.expr(e)
+	}
+	ctx.breaks = append(ctx.breaks, c.emit(OpJump, -1, 0, 0))
+}
+
+// nextFrom compiles next: abandon the current body iteration of the
+// nearest loop whose body we are in, discarding everything in between.
+func (c *compiler) nextFrom(n ast.Node) {
+	var ctx *loopCtx
+	for i := len(c.loops) - 1; i >= 0; i-- {
+		if c.loops[i].inBody {
+			ctx = c.loops[i]
+			break
+		}
+	}
+	if ctx == nil {
+		c.unsupported(n, "next outside a loop body")
+	}
+	c.emit(OpCut, 0, ctx.nextAux, 0)
+	if k := c.depth - ctx.entryDepth; k > 0 {
+		c.emit(OpPopN, int32(k), 0, 0)
+	}
+	ctx.nexts = append(ctx.nexts, c.emit(OpJump, -1, 0, 0))
+}

@@ -1,0 +1,210 @@
+package compile
+
+import (
+	"junicon/internal/ast"
+)
+
+// This file lowers procedure-body statements, mirroring the interpreter's
+// structural executor (interp.execStmt): statements are depth-neutral and
+// failure-contained — every choice point a statement arms is consumed or
+// cut before control falls through to the next statement — so suspension
+// is the only way execution leaves a statement with live state.
+
+// stmt compiles s in statement position.
+func (c *compiler) stmt(s ast.Node) {
+	switch x := s.(type) {
+	case *ast.Block:
+		// No block scope in Icon: statements share the procedure scope.
+		for _, st := range x.Stmts {
+			c.stmt(st)
+		}
+
+	case *ast.VarDecl:
+		c.stmtVarDecl(x)
+
+	case *ast.Initial:
+		c.unsupported(x, "initial clause")
+
+	case *ast.Return:
+		if x.E == nil {
+			c.emit(OpNull, 0, 0, 0)
+			c.emit(OpReturn, 0, 0, 0)
+			c.emit(OpFail, 0, 0, 0) // resumption after return fails the frame
+			return
+		}
+		d := c.depth
+		aux := c.newAux()
+		m := c.emit(OpMark, -1, aux, 0)
+		c.expr(x.E)
+		c.emit(OpCut, 0, aux, 0)
+		c.emit(OpReturn, 0, 0, 0)
+		c.emit(OpFail, 0, 0, 0)
+		c.patchA(m)
+		c.depth = d
+		// A failing return expression fails the whole procedure.
+		c.emit(OpReturnFail, 0, 0, 0)
+
+	case *ast.Fail:
+		c.emit(OpReturnFail, 0, 0, 0)
+
+	case *ast.Suspend:
+		c.suspendStmt(x)
+
+	case *ast.If:
+		d := c.depth
+		aux := c.newAux()
+		m := c.emit(OpMark, -1, aux, 0)
+		c.expr(x.Cond)
+		c.emit(OpCut, 0, aux, 0)
+		c.emit(OpPop, 0, 0, 0)
+		c.stmt(x.Then)
+		end := c.emit(OpJump, -1, 0, 0)
+		c.patchA(m)
+		c.depth = d
+		if x.Else != nil {
+			c.stmt(x.Else)
+		}
+		c.patchA(end)
+
+	case *ast.While:
+		c.loopCompile(loopWhile, x.Cond, x.Body, x.Until, true)
+	case *ast.Every:
+		// `every suspend e [do body]` — the classic produce-all idiom — is
+		// a suspend statement over e (the interpreter merges it the same
+		// way; a bare Suspend node in expression position would not
+		// compile).
+		if sus, isSuspend := x.E.(*ast.Suspend); isSuspend {
+			merged := &ast.Suspend{E: sus.E, Body: x.Body}
+			merged.P = sus.P
+			if sus.Body != nil {
+				merged.Body = sus.Body
+			}
+			c.suspendStmt(merged)
+			return
+		}
+		c.loopCompile(loopEvery, x.E, x.Body, false, true)
+	case *ast.Repeat:
+		c.loopCompile(loopRepeat, nil, x.Body, false, true)
+
+	case *ast.Case:
+		c.caseStmt(x)
+
+	case *ast.Break:
+		d := c.depth
+		c.breakFrom(x, x.E)
+		c.depth = d
+	case *ast.NextStmt:
+		d := c.depth
+		c.nextFrom(x)
+		c.depth = d
+
+	case *ast.Binary:
+		if x.Op == "?" {
+			c.unsupported(x, "string scanning statement")
+		}
+		c.boundedDiscard(s)
+
+	default:
+		// Plain expression statement: bounded evaluation, outcome discarded.
+		c.boundedDiscard(s)
+	}
+}
+
+// stmtVarDecl compiles a local declaration statement: each cell is nulled
+// before its initializer runs (the executor's Define-then-init order — the
+// initializer of `local x := x + 1` reads null, not a stale value), and a
+// failing initializer leaves the null.
+func (c *compiler) stmtVarDecl(x *ast.VarDecl) {
+	if x.Kind == "static" {
+		c.unsupported(x, "static declaration")
+	}
+	for i, name := range x.Names {
+		if k := c.resolved[name]; k == resGlobal || k == resConst {
+			c.unsupported(x, "local "+name+" declared after non-local use")
+		}
+		c.emit(OpNull, 0, 0, 0)
+		c.declStore(x, name)
+		c.emit(OpPop, 0, 0, 0)
+		if x.Inits[i] == nil {
+			continue
+		}
+		d := c.depth
+		aux := c.newAux()
+		m := c.emit(OpMark, -1, aux, 0)
+		c.expr(x.Inits[i])
+		c.emit(OpCut, 0, aux, 0)
+		c.declStore(x, name)
+		c.emit(OpPop, 0, 0, 0)
+		c.patchA(m)
+		c.depth = d
+	}
+}
+
+// suspendStmt compiles suspend e [do body]: yield every result of e,
+// running the (bounded) do-clause after each resumption; when e is spent,
+// control continues with the next statement.
+func (c *compiler) suspendStmt(x *ast.Suspend) {
+	d := c.depth
+	aux := c.newAux()
+	m := c.emit(OpMark, -1, aux, 0)
+	c.expr(x.E)
+	c.emit(OpYield, 0, 0, 0)
+	if x.Body != nil {
+		c.boundedDiscard(x.Body)
+	}
+	c.emit(OpFail, 0, 0, 0) // resume e after each delivered result
+	c.patchA(m)
+	c.depth = d
+}
+
+// caseStmt compiles a case statement: bounded subject (failure skips the
+// whole statement), committed clause selection, branch as a statement.
+func (c *compiler) caseStmt(x *ast.Case) {
+	d := c.depth
+	subjAux := c.newAux()
+	subjFail := c.emit(OpMark, -1, subjAux, 0)
+	c.expr(x.Subject)
+	c.emit(OpCut, 0, subjAux, 0)
+	subj := c.hiddenSlot("case")
+	c.emit(OpBindSlot, subj, 0, 0)
+	c.emit(OpPop, 0, 0, 0)
+
+	var deflt ast.Node
+	hasDefault := false
+	var bodies []int
+	var bodyStmts []ast.Node
+	for _, cl := range x.Clauses {
+		if cl.Sel == nil {
+			deflt, hasDefault = cl.Body, true
+			continue
+		}
+		aux := c.newAux()
+		m := c.emit(OpMark, -1, aux, 0)
+		c.expr(cl.Sel)
+		c.emit(OpCaseEq, subj, 0, 0)
+		c.emit(OpCut, 0, aux, 0)
+		bodies = append(bodies, c.emit(OpJump, -1, 0, 0))
+		bodyStmts = append(bodyStmts, cl.Body)
+		c.patchA(m)
+		c.depth = d
+	}
+	var ends []int
+	if hasDefault {
+		c.stmt(deflt)
+	}
+	ends = append(ends, c.emit(OpJump, -1, 0, 0))
+	// Subject failure: the statement completes with nothing selected.
+	c.patchA(subjFail)
+	c.depth = d
+	ends = append(ends, c.emit(OpJump, -1, 0, 0))
+	for i, site := range bodies {
+		c.patchA(site)
+		c.depth = d
+		c.stmt(bodyStmts[i])
+		ends = append(ends, c.emit(OpJump, -1, 0, 0))
+	}
+	for _, site := range ends {
+		c.patchA(site)
+	}
+	c.depth = d
+}

@@ -86,6 +86,13 @@ func NonNullTest(e Gen) Gen {
 // evaluated first, as in Icon.
 func LimitGen(e, n Gen) Gen {
 	return Apply1(func(nv V) Gen {
+		// e is captured here, not an Apply1 operand (the limit applies to
+		// its whole sequence), so an external Restart of this expression
+		// cannot reach it. Restart it when a limit cycle begins instead:
+		// without this, a bounded re-execution (loop body, product
+		// re-drive) would resume a suspended e and fail one spurious time
+		// before e's own auto-restart kicked in.
+		e.Restart()
 		return Limit(e, value.MustInt(nv))
 	}, n)
 }
@@ -215,8 +222,13 @@ func mustHeldVar(v V, op string) *value.Var {
 }
 
 // RevAssignTo implements target <- src where target generates variables.
+// src stays closure-captured (RevAssignVar owns its save/restore cycle per
+// target variable), so it is restarted explicitly per application — an
+// externally restarted reversible assignment must not resume a suspended
+// src (see AugAssignTo).
 func RevAssignTo(target, src Gen) Gen {
 	return Apply1(func(tv V) Gen {
+		src.Restart()
 		return RevAssignVar(mustHeldVar(tv, "<-"), src)
 	}, &shieldVarsGen{e: target})
 }
@@ -235,18 +247,30 @@ func RevSwapTo(l, r Gen) Gen {
 	}, &shieldVarsGen{e: l}, &shieldVarsGen{e: r})
 }
 
-// AugAssignTo implements target op:= src for plain operations.
+// AugAssignTo implements target op:= src for plain operations. src must be
+// an Apply2 operand, not captured in the application closure: a closure
+// capture would hide it from Restart, and a bounded re-execution (a loop
+// body) would then resume src mid-sequence instead of restarting it.
 func AugAssignTo(op func(a, b V) V, target, src Gen) Gen {
-	return Apply1(func(tv V) Gen {
-		return AugAssignVar(mustHeldVar(tv, "op:="), op, src)
-	}, &shieldVarsGen{e: target})
+	return Apply2(func(tv, sv V) Gen {
+		t := mustHeldVar(tv, "op:=")
+		t.Set(op(t.Get(), sv))
+		return Unit(t)
+	}, &shieldVarsGen{e: target}, src)
 }
 
 // CmpAugAssignTo implements target op:= src for conditional operations.
+// Like AugAssignTo, src is an Apply2 operand so Restart reaches it.
 func CmpAugAssignTo(op func(a, b V) (V, bool), target, src Gen) Gen {
-	return Apply1(func(tv V) Gen {
-		return CmpAugAssignVar(mustHeldVar(tv, "op:="), op, src)
-	}, &shieldVarsGen{e: target})
+	return Apply2(func(tv, sv V) Gen {
+		t := mustHeldVar(tv, "op:=")
+		r, ok := op(t.Get(), sv)
+		if !ok {
+			return Empty()
+		}
+		t.Set(r)
+		return Unit(t)
+	}, &shieldVarsGen{e: target}, src)
 }
 
 // ArithOp returns the kernel function for a binary arithmetic/construction

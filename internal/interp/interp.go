@@ -69,6 +69,14 @@ type Interp struct {
 	optimize bool
 	facts    *analyze.Facts
 	decls    []ast.Node
+
+	// Compiled execution (the bytecode vm): when vm is set, loaded
+	// procedures and evaluated expressions run as slot-framed bytecode
+	// where the compiler supports them, falling back to the tree walk
+	// where it does not. vmCompiled marks declarations already lowered so
+	// SetVM re-toggles don't wrap wrappers.
+	vm         bool
+	vmCompiled map[*ast.ProcDecl]bool
 }
 
 // Option configures an interpreter.
@@ -156,20 +164,26 @@ func (in *Interp) LoadProgram(src string) error {
 		return err
 	}
 	norm := transform.Normalize(prog).(*ast.Program)
-	if in.optimize {
-		for _, d := range norm.Decls {
-			switch d.(type) {
-			case *ast.ProcDecl, *ast.ClassDecl, *ast.RecordDecl, *ast.GlobalDecl:
-				in.decls = append(in.decls, d)
-			}
+	for _, d := range norm.Decls {
+		switch d.(type) {
+		case *ast.ProcDecl, *ast.ClassDecl, *ast.RecordDecl, *ast.GlobalDecl:
+			in.decls = append(in.decls, d)
 		}
+	}
+	if in.optimize || in.vm {
 		in.refreshFacts(norm.Decls)
 	}
-	return core.Protect(func() {
+	err = core.Protect(func() {
 		for _, d := range norm.Decls {
 			in.loadDecl(d)
 		}
 	})
+	if err == nil && in.vm {
+		// Second phase: every cell of the batch exists, so mutually
+		// recursive procedures compile against each other's globals.
+		in.compileProcs(norm.Decls)
+	}
+	return err
 }
 
 // refreshFacts recomputes whole-program facts over every declaration
@@ -254,6 +268,9 @@ func (in *Interp) EvalGen(src string) (core.Gen, error) {
 		} else {
 			in.refreshFacts([]ast.Node{norm})
 		}
+	}
+	if g := in.compileEval(norm); g != nil {
+		return g, nil
 	}
 	var g core.Gen
 	if err := core.Protect(func() { g = in.eval(norm, in.globals) }); err != nil {

@@ -1,0 +1,112 @@
+package semtest
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"junicon/internal/core"
+	"junicon/internal/interp"
+	"junicon/internal/pipe"
+	"junicon/internal/pool"
+)
+
+// Compiled lanes: the case evaluates on a vm-enabled interpreter, so any
+// unit the bytecode compiler can lower runs as a slot-framed machine and
+// the rest tree-walks. The vm's contract is the same as every other knob
+// in this harness: pure performance, identical trace.
+
+// compiledGen evaluates the case on a vm-enabled interpreter.
+func compiledGen(c Case) (core.Gen, error) {
+	in, err := newInterp(c, interp.WithVM())
+	if err != nil {
+		return nil, err
+	}
+	g, err := in.EvalGen(c.Expr)
+	if err != nil {
+		return nil, fmt.Errorf("eval %s: %w", c.Name, err)
+	}
+	return g, nil
+}
+
+// Compiled evaluates the case under the bytecode vm, no transport.
+func Compiled(c Case) (Result, error) {
+	g, err := compiledGen(c)
+	if err != nil {
+		return Result{}, err
+	}
+	return drainGen(g, c.max()), nil
+}
+
+// CompiledBatched drains the compiled generator through a batched pipe —
+// compiled frames must compose with the transport grid unchanged.
+func CompiledBatched(c Case, buffer, batch int) (Result, error) {
+	g, err := compiledGen(c)
+	if err != nil {
+		return Result{}, err
+	}
+	return drainPipe(pipe.FromGenBatched(g, buffer, batch), c.max()), nil
+}
+
+// CompiledPooled is CompiledBatched with the producer on a pool worker.
+func CompiledPooled(c Case, pl *pool.Pool, buffer, batch int) (Result, error) {
+	g, err := compiledGen(c)
+	if err != nil {
+		return Result{}, err
+	}
+	return drainPipe(pipe.FromGenBatched(g, buffer, batch).OnPool(pl), c.max()), nil
+}
+
+// RandomExpr generates a random goal-directed expression from a small
+// grammar of generator forms: ranges, alternation, products, limits,
+// repeated alternation, promotion, arithmetic and comparisons over
+// generators, if/else, not, and list formation. Every production
+// terminates (repeated alternation is always limited), so the result
+// sequence is finite; type errors are possible by construction (string
+// operands under arithmetic) and legitimate — a raised error is part of
+// the observable trace and must reproduce identically on every lane.
+func RandomExpr(rng *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return strconv.Itoa(rng.Intn(10))
+		case 1:
+			return strconv.Itoa(1 + rng.Intn(5))
+		case 2:
+			return `"` + string(rune('a'+rng.Intn(3))) + `"`
+		default:
+			return "&null"
+		}
+	}
+	sub := func() string { return RandomExpr(rng, depth-1) }
+	switch rng.Intn(12) {
+	case 0:
+		return fmt.Sprintf("(%d to %d)", rng.Intn(6), rng.Intn(12))
+	case 1:
+		return fmt.Sprintf("(%d to %d by %d)", rng.Intn(8), rng.Intn(8), 1+rng.Intn(3))
+	case 2:
+		return "(" + sub() + " | " + sub() + ")"
+	case 3:
+		return "(" + sub() + " & " + sub() + ")"
+	case 4:
+		op := []string{"+", "-", "*"}[rng.Intn(3)]
+		return "(" + sub() + " " + op + " " + sub() + ")"
+	case 5:
+		op := []string{"<", "<=", ">", "~="}[rng.Intn(4)]
+		return "(" + sub() + " " + op + " " + sub() + ")"
+	case 6:
+		return fmt.Sprintf("(%s \\ %d)", sub(), rng.Intn(4))
+	case 7:
+		return fmt.Sprintf("((|%s) \\ %d)", sub(), 1+rng.Intn(5))
+	case 8:
+		return "![" + sub() + ", " + sub() + "]"
+	case 9:
+		return "!" + `"` + strings.Repeat("ab", 1+rng.Intn(2)) + `"`
+	case 10:
+		return "(if " + sub() + " then " + sub() + " else " + sub() + ")"
+	case 11:
+		return "(not " + sub() + ")"
+	}
+	return "1"
+}

@@ -1,0 +1,82 @@
+package semtest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"junicon/internal/pool"
+)
+
+// TestDifferentialCompiledGrid is the bytecode vm's semantic gate: every
+// corpus case evaluated under compiled execution — directly, through every
+// buffer × batch cell of the transport grid, and on pooled workers — must
+// reproduce the tree-walk sequential trace exactly. The vm compiles what
+// it can and falls back where it can't; either way the trace is the
+// language, and it must not move.
+func TestDifferentialCompiledGrid(t *testing.T) {
+	pl := pool.New(4)
+	defer pl.Shutdown()
+	for _, c := range corpus(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			ref := reference(t, c)
+			got, err := Compiled(c)
+			if err != nil {
+				t.Fatalf("compiled: %v", err)
+			}
+			if !got.Equal(ref) {
+				t.Fatalf("compiled diverged:\nref = %s\ngot = %s", ref, got)
+			}
+			for _, cell := range Grid() {
+				got, err := CompiledBatched(c, cell.Buffer, cell.Batch)
+				if err != nil {
+					t.Fatalf("compiled batched %+v: %v", cell, err)
+				}
+				if !got.Equal(ref) {
+					t.Fatalf("compiled batched %+v diverged:\nref = %s\ngot = %s", cell, ref, got)
+				}
+				got, err = CompiledPooled(c, pl, cell.Buffer, cell.Batch)
+				if err != nil {
+					t.Fatalf("compiled pooled %+v: %v", cell, err)
+				}
+				if !got.Equal(ref) {
+					t.Fatalf("compiled pooled %+v diverged:\nref = %s\ngot = %s", cell, ref, got)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledRandomExpressions drives the vm with two random grammars:
+// the harness's finite-generator exprGen (products, calls, limits) and the
+// exported RandomExpr grammar (which also produces type errors, testing
+// that raised errors reproduce at the same point in the trace). Each
+// sample must match the tree-walk reference exactly.
+func TestCompiledRandomExpressions(t *testing.T) {
+	const prelude = `
+def gen(a, b) { suspend a to b; }
+def double(x) { return x * 2; }
+`
+	iterations := 120
+	if testing.Short() {
+		iterations = 25
+	}
+	eg := &exprGen{rng: rand.New(rand.NewSource(11))}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < iterations; i++ {
+		expr := eg.expr(3)
+		if i%2 == 1 {
+			expr = RandomExpr(rng, 3)
+		}
+		c := Case{Name: fmt.Sprintf("compiled-rand-%d", i), Program: prelude, Expr: expr}
+		ref := reference(t, c)
+		got, err := Compiled(c)
+		if err != nil {
+			t.Fatalf("%s (%s) compiled: %v", c.Name, c.Expr, err)
+		}
+		if !got.Equal(ref) {
+			t.Fatalf("%s: %s\ncompiled diverged:\nref = %s\ngot = %s", c.Name, c.Expr, ref, got)
+		}
+	}
+}

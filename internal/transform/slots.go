@@ -1,0 +1,55 @@
+package transform
+
+import (
+	"junicon/internal/ast"
+)
+
+// Slot numbering for compiled frames. A compiled generator frame replaces
+// the interpreter's map-backed Env with a flat []value.V slot array indexed
+// at compile time, so every name that may bind frame-locally needs a
+// deterministic number. This pass enumerates the candidates in a stable
+// first-occurrence order: parameters first, then every name a normalized
+// body can bind locally — `local` declarations, the x_N temporaries of the
+// §5A normal forms (BindIn/TmpRef), and plain identifiers, which Icon's
+// default-local rule turns into locals when nothing else claims them. The
+// compiler filters the candidates through its resolver (globals, builtins
+// and natives never become slots); the order fixed here is what the
+// disassembler prints and the snapshot work of ROADMAP item 3 will rely on.
+
+// SlotCandidates returns the local-binding candidates of a normalized
+// procedure body (or top-level expression), in first-occurrence order,
+// with params (which are always slots) at the front. The result contains
+// no duplicates.
+func SlotCandidates(params []string, body ast.Node) []string {
+	seen := make(map[string]bool, len(params)+8)
+	names := make([]string, 0, len(params)+8)
+	add := func(n string) {
+		if n == "" || seen[n] {
+			return
+		}
+		seen[n] = true
+		names = append(names, n)
+	}
+	for _, p := range params {
+		add(p)
+	}
+	if body == nil {
+		return names
+	}
+	ast.Walk(body, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.VarDecl:
+			for _, n := range x.Names {
+				add(n)
+			}
+		case *ast.BindIn:
+			add(x.Tmp)
+		case *ast.TmpRef:
+			add(x.Name)
+		case *ast.Ident:
+			add(x.Name)
+		}
+		return true
+	})
+	return names
+}

@@ -1,0 +1,120 @@
+//go:build !race
+
+// Allocation guards for the vm's steady state. testing.AllocsPerRun is
+// meaningless under -race (the detector allocates), so this file is built
+// out of race runs; CI runs it in the plain test pass.
+
+package vm_test
+
+import (
+	"io"
+	"testing"
+
+	"junicon/internal/interp"
+	"junicon/internal/value"
+)
+
+// TestSteadyStateAllocs pins the headline frame property: once a frame is
+// warm, suspending and resuming it allocates nothing. The ranges stay
+// inside the interned small-integer window so yielded values are free too.
+func TestSteadyStateAllocs(t *testing.T) {
+	in := interp.New(interp.WithOutput(io.Discard), interp.WithVM())
+	cases := []struct {
+		name, expr string
+		results    int
+	}{
+		{"range", "1 to 256", 256},
+		{"range-by", "1 to 1000 by 4", 250},
+		{"product", "(1 to 16) * (1 to 16)", 256},
+		{"alternation", "(1 to 100) | (1 to 100)", 200},
+		{"limit", "(1 to 1000) \\ 100", 100},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := mustFrame(t, in, c.expr)
+			// Warm run: first drain grows the operand/choice stacks.
+			warm := drainCount(t, f, c.results)
+			if warm != c.results {
+				t.Fatalf("warm drain produced %d results, want %d", warm, c.results)
+			}
+			// Auto-restarted steady-state drains must not allocate.
+			allocs := testing.AllocsPerRun(10, func() {
+				if n := drainCountFast(f); n != c.results {
+					t.Fatalf("steady drain produced %d results, want %d", n, c.results)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state drain allocates %.1f per run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestFrameReuseAllocs pins frame recycling across Restart: restarting and
+// re-draining a generator frame is allocation-free — the frame, slots,
+// stacks and choice points are all reused in place.
+func TestFrameReuseAllocs(t *testing.T) {
+	in := interp.New(interp.WithOutput(io.Discard), interp.WithVM())
+	f := mustFrame(t, in, "1 to 128")
+	drainCount(t, f, 128)
+	allocs := testing.AllocsPerRun(10, func() {
+		f.Restart()
+		if n := drainCountFast(f); n != 128 {
+			t.Fatalf("drain after Restart produced %d results", n)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Restart+drain allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestCompiledCallAllocs pins the call-site frame cache: a compiled caller
+// driving a compiled callee reuses the cached child frame, so the steady
+// state of a cross-procedure generator drain is allocation-free as well.
+func TestCompiledCallAllocs(t *testing.T) {
+	in := interp.New(interp.WithOutput(io.Discard), interp.WithVM())
+	if err := in.LoadProgram(`def gen(n) { suspend 1 to n; }`); err != nil {
+		t.Fatal(err)
+	}
+	f := mustFrame(t, in, "gen(200)")
+	drainCount(t, f, 200)
+	allocs := testing.AllocsPerRun(10, func() {
+		if n := drainCountFast(f); n != 200 {
+			t.Fatalf("steady drain produced %d results", n)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("compiled call drain allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// drainCount drains the exhausted-or-fresh frame once, counting results.
+func drainCount(t *testing.T, g interface {
+	Next() (value.V, bool)
+}, want int) int {
+	t.Helper()
+	n := 0
+	for {
+		if _, ok := g.Next(); !ok {
+			return n
+		}
+		n++
+		if n > want {
+			t.Fatalf("drain exceeded %d results", want)
+		}
+	}
+}
+
+// drainCountFast is drainCount without the testing plumbing (so the
+// AllocsPerRun body itself is allocation-free).
+func drainCountFast(g interface {
+	Next() (value.V, bool)
+}) int {
+	n := 0
+	for {
+		if _, ok := g.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}

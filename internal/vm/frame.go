@@ -1,0 +1,184 @@
+// Package vm executes the compile package's bytecode in slot-based
+// resumable frames. A frame is the compiled counterpart of a tree-walk
+// generator tower: its program counter plus operand stack plus choice
+// stack are the whole continuation, so suspend/resume is "return from
+// Next / re-enter the loop" and backtracking is "pop a choice point" —
+// no interface dispatch per resume, no closure allocation per generator.
+//
+// Frames satisfy the kernel's generator contract (core.Gen), including
+// auto-restart: after the frame's sequence is exhausted, the next Next
+// re-runs it from the top, exactly as the paper's iterators restart after
+// failure (§5B). Frames recycle through a per-Machine sync.Pool so the
+// steady-state cost of calling a compiled procedure is a reset, not an
+// allocation.
+package vm
+
+import (
+	"sync"
+
+	"junicon/internal/compile"
+	"junicon/internal/core"
+	"junicon/internal/value"
+)
+
+// choice is one choice point: the instruction to re-enter on failure and
+// the operand-stack depth to restore first.
+type choice struct {
+	pc, sp int32
+}
+
+// auxCell is the per-frame state of one resumable instruction (the B
+// operand names the cell). One flat struct serves every resumable opcode;
+// which fields are live depends on the instruction kind.
+type auxCell struct {
+	barrier  int32       // OpMark/OpLimitBegin: choice-stack depth to cut back to
+	count, n int32       // OpLimitBegin/OpLimitCheck: results so far, limit
+	flag     bool        // OpRepAlt/OpRepNote: current |e cycle produced a value
+	mode     int8        // OpBang/OpToBy: which fast path armed
+	i0       int64       // OpBang: element index; OpToBy: current value
+	i1, i2   int64       // OpToBy: hi, by
+	v0       value.V     // OpBang: the promoted list/string
+	g        core.Gen    // generic generator (OpBang mode 0, OpToBy, OpCall)
+	proc     *value.Proc // OpCall: cached callee identity
+	frame    *Frame      // OpCall: cached compiled child frame for this site
+	args     []value.V   // OpCall/OpCallNative: argument scratch
+}
+
+// Machine wraps one compiled unit with its frame pool. Pooled frames are
+// only ever reused for the same code object, so slot and aux arrays (and
+// the call-site caches inside aux) stay valid across recycles.
+type Machine struct {
+	code *compile.Code
+	pool sync.Pool
+}
+
+// New builds a Machine for code.
+func New(code *compile.Code) *Machine {
+	m := &Machine{code: code}
+	m.pool.New = func() any {
+		return &Frame{
+			code:  code,
+			owner: m,
+			slots: make([]value.V, len(code.Slots)),
+			aux:   make([]auxCell, code.NumAux),
+			st:    make([]value.V, 0, 8),
+			cp:    make([]choice, 0, 8),
+		}
+	}
+	return m
+}
+
+// Code returns the compiled unit.
+func (m *Machine) Code() *compile.Code { return m.code }
+
+// NewFrame takes a frame from the pool and arms it with args. The frame is
+// a core.Gen over the unit's result sequence.
+func (m *Machine) NewFrame(args ...value.V) *Frame {
+	f := m.pool.Get().(*Frame)
+	f.args = append(f.args[:0], args...)
+	f.started = false
+	f.resumed = false
+	return f
+}
+
+// Frame is one resumable activation: the compiled unit's slots, operand
+// stack, choice stack and program counter. It implements core.Gen.
+type Frame struct {
+	code    *compile.Code
+	owner   *Machine
+	pc      int32
+	st      []value.V // operand stack
+	slots   []value.V // parameters, locals, normal-form temporaries
+	cp      []choice  // choice points, innermost last
+	aux     []auxCell
+	args    []value.V // call arguments, bound to the leading slots on begin
+	started bool      // a run is in progress (not yet exhausted)
+	resumed bool      // control arrived at pc by failure, not fall-through
+}
+
+// begin (re)starts the frame: pc 0, empty stacks, slots nulled, parameters
+// bound. Auto-restart means begin runs both on the first Next and on the
+// first Next after exhaustion.
+func (f *Frame) begin() {
+	f.pc = 0
+	f.st = f.st[:0]
+	f.cp = f.cp[:0]
+	f.resumed = false
+	for i := range f.slots {
+		f.slots[i] = value.NullV
+	}
+	n := f.code.Params
+	if n > len(f.args) {
+		n = len(f.args)
+	}
+	for i := 0; i < n; i++ {
+		f.slots[i] = value.Deref(f.args[i])
+	}
+	f.started = true
+}
+
+// fail backtracks to the most recent choice point, restoring its operand
+// stack and re-entering its instruction with the resumed flag set. With no
+// choice point left the frame is exhausted (and, per the generator
+// contract, ready to restart).
+func (f *Frame) fail() bool {
+	if len(f.cp) == 0 {
+		f.started = false
+		return false
+	}
+	c := f.cp[len(f.cp)-1]
+	f.cp = f.cp[:len(f.cp)-1]
+	f.st = f.st[:c.sp]
+	f.pc = c.pc
+	f.resumed = true
+	return true
+}
+
+// Restart resets the frame to re-produce its sequence (the calculus's ^
+// operator); the bound arguments are kept.
+func (f *Frame) Restart() {
+	f.started = false
+}
+
+// ResetCall rebinds the frame to fresh arguments and restarts it — the
+// call-site reuse path (OpCall): at most one child frame lives per site
+// per parent frame, so an abandoned child is simply re-armed.
+func (f *Frame) ResetCall(args []value.V) {
+	f.args = append(f.args[:0], args...)
+	f.started = false
+}
+
+// Recycle clears the frame's value references and returns it to its
+// Machine's pool. Only call when no live generator can reach the frame.
+func (f *Frame) Recycle() {
+	f.st = f.st[:0]
+	f.cp = f.cp[:0]
+	for i := range f.slots {
+		f.slots[i] = nil
+	}
+	f.args = f.args[:0]
+	for i := range f.aux {
+		a := &f.aux[i]
+		a.v0, a.g, a.proc = nil, nil, nil
+		// Child frames cached at call sites go back to their own pools.
+		if a.frame != nil {
+			a.frame.Recycle()
+			a.frame = nil
+		}
+		a.args = a.args[:0]
+	}
+	f.started = false
+	f.owner.pool.Put(f)
+}
+
+// stack helpers — inlined by the compiler on the hot path.
+
+func (f *Frame) push(v value.V) { f.st = append(f.st, v) }
+
+func (f *Frame) pop() value.V {
+	v := f.st[len(f.st)-1]
+	f.st = f.st[:len(f.st)-1]
+	return v
+}
+
+func (f *Frame) top() value.V { return f.st[len(f.st)-1] }

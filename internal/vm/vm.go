@@ -1,0 +1,33 @@
+package vm
+
+import (
+	"junicon/internal/ast"
+	"junicon/internal/compile"
+	"junicon/internal/core"
+)
+
+// CompileExpr lowers a normalized top-level expression and wraps it in a
+// Machine; drive it with m.NewFrame(). A compile.Unsupported error means
+// the caller should fall back to the tree walk.
+func CompileExpr(n ast.Node, env compile.Env) (*Machine, error) {
+	code, err := compile.Expr(n, env)
+	if err != nil {
+		return nil, err
+	}
+	return New(code), nil
+}
+
+// CompileProc lowers a procedure declaration and wraps it in a Machine;
+// each call is m.NewFrame(args...).
+func CompileProc(d *ast.ProcDecl, env compile.Env) (*Machine, error) {
+	code, err := compile.Proc(d, env)
+	if err != nil {
+		return nil, err
+	}
+	return New(code), nil
+}
+
+// Gen returns a fresh generator over the unit's result sequence (a frame
+// with no arguments) — the adapter that lets compiled units compose with
+// the kernel's combinators, pipes, batching and pools unchanged.
+func (m *Machine) Gen() core.Gen { return m.NewFrame() }

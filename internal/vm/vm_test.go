@@ -1,0 +1,244 @@
+package vm_test
+
+import (
+	"io"
+	"testing"
+
+	"junicon/internal/core"
+	"junicon/internal/interp"
+	"junicon/internal/value"
+	"junicon/internal/vm"
+)
+
+// vmInterp returns a compiled-execution interpreter (output discarded).
+func vmInterp(t *testing.T, program string) *interp.Interp {
+	t.Helper()
+	in := interp.New(interp.WithOutput(io.Discard), interp.WithVM())
+	if program != "" {
+		if err := in.LoadProgram(program); err != nil {
+			t.Fatalf("load: %v", err)
+		}
+	}
+	return in
+}
+
+// plainInterp returns the tree-walk reference interpreter.
+func plainInterp(t *testing.T, program string) *interp.Interp {
+	t.Helper()
+	in := interp.New(interp.WithOutput(io.Discard))
+	if program != "" {
+		if err := in.LoadProgram(program); err != nil {
+			t.Fatalf("load: %v", err)
+		}
+	}
+	return in
+}
+
+// drain collects up to max images from g, folding a raised error into a
+// trailing "error" marker so traces compare structurally.
+func drain(g core.Gen, max int) []string {
+	var out []string
+	err := core.Protect(func() {
+		for i := 0; i < max; i++ {
+			v, ok := g.Next()
+			if !ok {
+				return
+			}
+			out = append(out, value.Image(value.Deref(v)))
+		}
+	})
+	if err != nil {
+		out = append(out, "error")
+	}
+	return out
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mustFrame asserts the vm interpreter actually compiled the expression —
+// EvalGen returned a bytecode frame, not a tree-walk fallback generator.
+func mustFrame(t *testing.T, in *interp.Interp, src string) *vm.Frame {
+	t.Helper()
+	g, err := in.EvalGen(src)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	f, ok := g.(*vm.Frame)
+	if !ok {
+		t.Fatalf("eval %q: expected a compiled frame, got %T (fallback?)", src, g)
+	}
+	return f
+}
+
+// TestCompiledExprSequences pins compiled evaluation against the tree
+// walk over the expression forms the compiler lowers, and asserts each one
+// genuinely compiled (the generator is a vm.Frame).
+func TestCompiledExprSequences(t *testing.T) {
+	const program = `
+global acc
+def gen(a, b) { suspend a to b; }
+def double(x) { return x * 2; }
+def addTo(x) { acc := x; return acc; }
+record point(x, y)
+`
+	exprs := []string{
+		// Sequences and products.
+		"1 to 10",
+		"1 to 10 by 3",
+		"10 to 1 by -2",
+		"(1 to 3) & (4 | 5)",
+		"(1 to 4) * (1 to 4)",
+		"(1 | 2 | 3) + (10 | 20)",
+		// Limits and repeated alternation.
+		"(1 to 9) \\ 4",
+		"(1 to 5) \\ (2 | 3)",
+		"(|(1 to 2)) \\ 7",
+		"(|1) \\ 3",
+		// Promotion.
+		"![10, 20, 30]",
+		"!\"abc\"",
+		"!'dcba'",
+		// Tests and negation.
+		"/&null",
+		"\\3",
+		"not (1 > 2)",
+		"not (1 < 2)",
+		// Control in expression position.
+		"if 2 > 1 then \"y\" else \"n\"",
+		"if 2 < 1 then \"y\"",
+		"case 2 of { 1: \"a\"; 2: \"b\"; default: \"c\" }",
+		"case 9 of { 1: \"a\"; default: \"d\" }",
+		"case (1 to 5) of { 4: \"hit\" }",
+		// Assignment forms.
+		"{ x := 5; x +:= 2; x }",
+		"{ L := [1, 2, 3]; L[2] := 9; !L }",
+		"{ L := [5, 6]; L[1] +:= 10; L[1] }",
+		"{ p := point(3, 4); p.x := 30; p.x + p.y }",
+		"{ s := \"\"; every s ||:= !\"abc\"; s }",
+		// Loops.
+		"{ i := 0; while i < 5 do i +:= 1; i }",
+		"{ t := 0; every t +:= 1 to 10; t }",
+		"{ i := 0; n := 0; repeat { i +:= 1; if i > 4 then break; n +:= i }; n }",
+		"{ t := 0; every d := 1 to 6 do { if d % 2 == 0 then next; t +:= d }; t }",
+		"while (1 to 3) > 5 do 0",
+		// Calls: general, direct (facts-proven), generator args.
+		"gen(2, 5)",
+		"double(1 to 4)",
+		"double(double(3))",
+		"gen(1 to 2, 4)",
+		"{ addTo(7); acc }",
+		// String/list machinery.
+		"\"abcdef\"[2:4]",
+		"[1, 2, 3][2]",
+		"*\"hello\" + *[1, 2]",
+		"-(1 to 3)",
+	}
+	vin := vmInterp(t, program)
+	pin := plainInterp(t, program)
+	for _, src := range exprs {
+		f := mustFrame(t, vin, src)
+		got := drain(f, 200)
+		ref, err := pin.EvalGen(src)
+		if err != nil {
+			t.Fatalf("reference eval %q: %v", src, err)
+		}
+		want := drain(ref, 200)
+		if !equal(got, want) {
+			t.Errorf("%q:\n  vm   = %v\n  tree = %v", src, got, want)
+		}
+	}
+}
+
+// TestCompiledProcIsFrame proves loaded procedures execute as frames: a
+// compiled call site caches its child frame, and the child is a vm.Frame.
+func TestCompiledProcIsFrame(t *testing.T) {
+	in := vmInterp(t, `def gen(a, b) { suspend a to b; }`)
+	v, ok := in.Global("gen")
+	if !ok {
+		t.Fatal("gen not defined")
+	}
+	p, ok := v.(*value.Proc)
+	if !ok {
+		t.Fatalf("gen is %T", v)
+	}
+	g := p.Call(value.NewInt(1), value.NewInt(3))
+	if _, ok := g.(*vm.Frame); !ok {
+		t.Fatalf("compiled proc call returned %T, want *vm.Frame", g)
+	}
+	if got := drain(g, 10); !equal(got, []string{"1", "2", "3"}) {
+		t.Fatalf("gen(1,3) = %v", got)
+	}
+}
+
+// TestFrameRestart pins the generator contract on frames: auto-restart
+// after exhaustion, and eager Restart mid-sequence.
+func TestFrameRestart(t *testing.T) {
+	in := vmInterp(t, "")
+	f := mustFrame(t, in, "1 to 3")
+	want := []string{"1", "2", "3"}
+	if got := drain(f, 10); !equal(got, want) {
+		t.Fatalf("first drain = %v", got)
+	}
+	// Auto-restart: exhausted frames re-produce on the next demand.
+	if got := drain(f, 10); !equal(got, want) {
+		t.Fatalf("second drain = %v", got)
+	}
+	// Eager restart mid-sequence.
+	if v, ok := f.Next(); !ok || value.Image(v) != "1" {
+		t.Fatalf("Next after drain = %v %v", v, ok)
+	}
+	f.Restart()
+	if got := drain(f, 10); !equal(got, want) {
+		t.Fatalf("drain after Restart = %v", got)
+	}
+}
+
+// TestFallbackLanes pins that unsupported forms still evaluate (tree-walk
+// fallback) and are NOT frames — the partiality contract.
+func TestFallbackLanes(t *testing.T) {
+	vin := vmInterp(t, "")
+	pin := plainInterp(t, "")
+	for _, src := range []string{
+		`"aXbXc" ? tab(upto('X'))`,       // string scanning
+		`{ x := 1; ((x <- 2) & 0) | x }`, // reversible assignment
+		`?10 < 100`,                      // random
+	} {
+		g, err := vin.EvalGen(src)
+		if err != nil {
+			t.Fatalf("eval %q: %v", src, err)
+		}
+		if _, isFrame := g.(*vm.Frame); isFrame {
+			t.Fatalf("%q unexpectedly compiled", src)
+		}
+		ref, err := pin.EvalGen(src)
+		if err != nil {
+			t.Fatalf("reference eval %q: %v", src, err)
+		}
+		// The random case isn't value-deterministic; compare lengths only.
+		got, want := drain(g, 50), drain(ref, 50)
+		if len(got) != len(want) {
+			t.Errorf("%q: vm lane %v, tree lane %v", src, got, want)
+		}
+	}
+}
+
+// TestGlobalPersistence pins the REPL rule under the vm: top-level
+// assignment auto-creates a global visible to later evaluations.
+func TestGlobalPersistence(t *testing.T) {
+	in := vmInterp(t, "")
+	mustFrame(t, in, "zz := 41").Next()
+	f := mustFrame(t, in, "zz + 1")
+	if got := drain(f, 5); !equal(got, []string{"42"}) {
+		t.Fatalf("zz + 1 = %v", got)
+	}
+}
