@@ -20,6 +20,7 @@
 //	junicon -xml 'expr'              print the parsed XML term form
 //	junicon -trace=run.json prog.jn  write a telemetry trace of the run
 //	junicon -metrics -e 'expr'       print runtime metrics after the run
+//	junicon -profile=vm.pb.gz p.jn   write a pprof VM profile (implies -vm)
 //
 // -trace records kernel/pipe/queue telemetry events and writes them when
 // the program ends: Chrome trace_event JSON (chrome://tracing, Perfetto)
@@ -41,6 +42,7 @@ import (
 	"junicon/internal/ast"
 	"junicon/internal/parser"
 	"junicon/internal/telemetry"
+	"junicon/internal/vm"
 )
 
 func main() {
@@ -60,6 +62,7 @@ func main() {
 		optimize  = flag.Bool("O", false, "enable facts-driven optimization (fusion, pipe inlining, buffer sizing)")
 		useVM     = flag.Bool("vm", false, "enable compiled execution (bytecode vm with slot-based resumable frames)")
 		dis       = flag.Bool("dis", false, "disassemble instead of running: print bytecode listings for a file (or -e expression)")
+		profile   = flag.String("profile", "", "write a pprof-format VM execution profile to this file when the program ends (implies -vm)")
 	)
 	flag.Parse()
 
@@ -69,7 +72,11 @@ func main() {
 	if *metrics {
 		telemetry.SetMetrics(true)
 	}
-	flush = func() { flushTelemetry(*traceFile, *metrics) }
+	if *profile != "" {
+		*useVM = true
+		vm.EnableProfiling()
+	}
+	flush = func() { flushTelemetry(*traceFile, *metrics, *profile) }
 	defer flush()
 
 	if *vet {
@@ -230,9 +237,9 @@ func fail(err error) {
 var flush = func() {}
 
 // flushTelemetry writes the buffered trace to traceFile (Chrome format
-// for .json, JSONL otherwise) and, with metrics on, a metrics snapshot
-// to stderr.
-func flushTelemetry(traceFile string, metrics bool) {
+// for .json, JSONL otherwise), with metrics on a metrics snapshot to
+// stderr, and with -profile the accumulated VM profile in pprof format.
+func flushTelemetry(traceFile string, metrics bool, profile string) {
 	if traceFile != "" {
 		evs := telemetry.Tag("junicon", telemetry.DrainTrace())
 		f, err := os.Create(traceFile)
@@ -259,5 +266,19 @@ func flushTelemetry(traceFile string, metrics bool) {
 			return
 		}
 		fmt.Fprintf(os.Stderr, "%s\n", b)
+	}
+	if profile != "" {
+		f, err := os.Create(profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "junicon: profile:", err)
+			return
+		}
+		err = vm.WritePprof(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "junicon: profile:", err)
+		}
 	}
 }

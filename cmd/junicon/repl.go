@@ -8,6 +8,8 @@ import (
 	"strings"
 
 	"junicon"
+	"junicon/internal/inspect"
+	"junicon/internal/vm"
 )
 
 // repl is the interactive mode of the harness — the paper's Junicon
@@ -50,6 +52,8 @@ func repl(in *junicon.Interp, input io.Reader, out io.Writer, prompt bool) {
 				fmt.Fprintln(out, ":facts dumps the interprocedural generator facts of loaded declarations.")
 				fmt.Fprintln(out, ":vm toggles compiled execution (bytecode vm; loaded procedures recompile).")
 				fmt.Fprintln(out, ":dis <expr> prints an expression's bytecode listing.")
+				fmt.Fprintln(out, ":streams shows the live stream topology (pipes, pools, remotes; enables inspection).")
+				fmt.Fprintln(out, ":prof shows the VM execution profile (enables profiling; run :vm code first).")
 				continue
 			case ":facts":
 				printFacts(in, history.String(), out)
@@ -61,6 +65,12 @@ func repl(in *junicon.Interp, input io.Reader, out io.Writer, prompt bool) {
 				} else {
 					fmt.Fprintln(out, "-- compiled execution off (tree walk)")
 				}
+				continue
+			case ":streams":
+				printStreams(out)
+				continue
+			case ":prof":
+				printProf(in, out)
 				continue
 			}
 			if t := strings.TrimSpace(line); t == ":dis" || strings.HasPrefix(t, ":dis ") {
@@ -82,6 +92,57 @@ func repl(in *junicon.Interp, input io.Reader, out io.Writer, prompt bool) {
 		pending.Reset()
 		evalLine(in, src, out, maxResults, &history)
 	}
+}
+
+// printStreams renders the live stream topology. The first call enables
+// inspection, so streams started afterwards register; a session that has
+// not run any transported generators yet shows an empty table.
+func printStreams(out io.Writer) {
+	if !inspect.On() {
+		inspect.Enable()
+		fmt.Fprintln(out, "-- inspection enabled; streams started from now on are tracked")
+	}
+	rows := inspect.Snapshot()
+	if len(rows) == 0 {
+		fmt.Fprintln(out, "-- no streams")
+		return
+	}
+	fmt.Fprintf(out, "%-18s %-14s %-12s %10s %10s %6s  %s\n",
+		"STREAM", "KIND", "STATE", "PRODUCED", "CONSUMED", "DEPTH", "LABEL")
+	for _, r := range rows {
+		id := r.ID
+		if !r.Live {
+			id = "(" + id + ")"
+		}
+		label := r.Label
+		if r.ConsumesFrom != "" {
+			label += "  <- " + r.ConsumesFrom
+		}
+		if r.Diagnosis != "" {
+			label += "  [" + r.Diagnosis + "]"
+		}
+		fmt.Fprintf(out, "%-18s %-14s %-12s %10d %10d %6d  %s\n",
+			id, r.Kind, r.State, r.Produced, r.Consumed, r.Depth, label)
+	}
+	for _, d := range inspect.Diagnoses() {
+		fmt.Fprintf(out, "!! %s %s: %s (idle %dms)\n", d.Kind, d.Stream, d.Cause, d.IdleNs/1e6)
+	}
+}
+
+// printProf renders the VM execution profile. The first call enables
+// profiling (and compiled execution, which the profiler measures).
+func printProf(in *junicon.Interp, out io.Writer) {
+	if !vm.ProfilingOn() {
+		vm.EnableProfiling()
+		if !in.VMEnabled() {
+			in.SetVM(true)
+			fmt.Fprintln(out, "-- profiling and compiled execution enabled; expressions run from now on are profiled")
+		} else {
+			fmt.Fprintln(out, "-- profiling enabled; expressions run from now on are profiled")
+		}
+		return
+	}
+	vm.WriteText(out)
 }
 
 // printFacts recomputes and dumps the interprocedural fact table over

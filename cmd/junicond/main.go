@@ -12,7 +12,8 @@
 //	junicond -addr :9707 -allow-source       also serve vetted Junicon source
 //	junicond -addr :9707 -max-conns 16       bound concurrent streams
 //	junicond -addr :9707 -debug-addr :9708   expose /debug/vars, /debug/pprof,
-//	                                         /debug/trace on a second listener
+//	                                         /debug/trace, /debug/streams on a
+//	                                         second listener
 //
 // Built-in generators:
 //
@@ -25,8 +26,11 @@
 // trace events; -quiet silences it, -log-json switches to JSON. With
 // -debug-addr set, telemetry metrics are enabled and served as expvar JSON
 // at /debug/vars, pprof at /debug/pprof/, and buffered trace events as
-// JSONL at /debug/trace. On SIGINT/SIGTERM it stops accepting, waits for
-// in-flight streams, and exits.
+// JSONL at /debug/trace; live-stream introspection is enabled too, served
+// as a topology snapshot at /debug/streams, with a stall watchdog logging
+// a structured diagnosis (cause, counters, labeled goroutine stacks) for
+// any stream blocked past -stall-threshold. On SIGINT/SIGTERM it stops
+// accepting, waits for in-flight streams, and exits.
 package main
 
 import (
@@ -41,6 +45,7 @@ import (
 	"time"
 
 	"junicon/internal/core"
+	"junicon/internal/inspect"
 	"junicon/internal/remote"
 	"junicon/internal/telemetry"
 	"junicon/internal/value"
@@ -58,6 +63,7 @@ func main() {
 		quiet       = flag.Bool("quiet", false, "suppress per-stream logging")
 		logJSON     = flag.Bool("log-json", false, "emit logs as JSON (default: text)")
 		traceBuf    = flag.Int("trace-buf", telemetry.DefaultRingSize, "trace ring capacity (events) for /debug/trace")
+		stallAfter  = flag.Duration("stall-threshold", 10*time.Second, "watchdog: diagnose streams blocked without activity this long (with -debug-addr)")
 	)
 	flag.Parse()
 
@@ -96,7 +102,19 @@ func main() {
 		telemetry.SetMetrics(true)
 		telemetry.StartTrace(*traceBuf)
 		telemetry.PublishExpvar()
-		dbg := &http.Server{Addr: *debugAddr, Handler: telemetry.Handler("junicond")}
+		// Live introspection rides on the same opt-in: every stream opened
+		// from here on registers a handle, the watchdog diagnoses stalls,
+		// and /debug/streams renders the topology.
+		inspect.Enable()
+		inspect.StartWatchdog(inspect.WatchdogConfig{
+			Threshold: *stallAfter,
+			Log:       logger,
+			Stacks:    true,
+		})
+		mux := http.NewServeMux()
+		mux.Handle("/debug/streams", inspect.Handler())
+		mux.Handle("/", telemetry.Handler("junicond"))
+		dbg := &http.Server{Addr: *debugAddr, Handler: mux}
 		go func() {
 			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				logger.Error("debug server failed", "addr", *debugAddr, "err", err)

@@ -1,0 +1,81 @@
+// Command inspect demonstrates the live-introspection layer: it enables
+// the stream registry, starts the stall watchdog with a short threshold,
+// builds a small pipeline, and then deliberately abandons it — the JV011
+// shape at run time. The watchdog classifies the stall (the producer is
+// blocked in put with nobody taking) and this program prints the
+// resulting topology snapshot and diagnosis, exactly what a live
+// process serves at /debug/streams.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"junicon/internal/core"
+	"junicon/internal/inspect"
+	"junicon/internal/pipe"
+	"junicon/internal/value"
+)
+
+func main() {
+	inspect.Enable()
+	w := inspect.StartWatchdog(inspect.WatchdogConfig{
+		Period:    50 * time.Millisecond,
+		Threshold: 200 * time.Millisecond,
+		Stacks:    true,
+	})
+	defer w.Stop()
+
+	// A healthy stage: produced and drained to exhaustion.
+	healthy := pipe.FromGen(core.IntRange(1, 5), 2)
+	sum := int64(0)
+	for {
+		v, ok := healthy.Next()
+		if !ok {
+			break
+		}
+		if n, ok := value.ToInteger(v); ok {
+			if x, exact := n.Int64(); exact {
+				sum += x
+			}
+		}
+	}
+	fmt.Println("healthy stage drained, sum =", sum)
+
+	// The stall: an effectively infinite producer into a buffer of 2;
+	// we take one value and walk away without Stop. The producer fills
+	// the buffer and parks in put — forever.
+	stuck := pipe.FromGen(core.IntRange(1, 1_000_000), 2)
+	defer stuck.Stop() // released at exit so `go vet`/junilint stay clean
+	if _, ok := stuck.Next(); !ok {
+		log.Fatal("pipe produced nothing")
+	}
+	fmt.Println("took one value from the doomed pipe, now abandoning it…")
+
+	// Give the watchdog time to see the stall age past the threshold.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && len(inspect.Diagnoses()) == 0 {
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	fmt.Println("\n--- topology (what /debug/streams serves) ---")
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(inspect.Snapshot()); err != nil {
+		log.Fatal(err)
+	}
+
+	ds := inspect.Diagnoses()
+	if len(ds) == 0 {
+		log.Fatal("watchdog produced no diagnosis")
+	}
+	fmt.Println("--- watchdog diagnosis ---")
+	for _, d := range ds {
+		fmt.Printf("stream %s (%s %q): %s after %v idle; produced=%d consumed=%d\n",
+			d.Stream, d.Kind, d.Label, d.Cause,
+			time.Duration(d.IdleNs).Round(time.Millisecond), d.Produced, d.Consumed)
+	}
+}

@@ -19,8 +19,15 @@ import (
 // GoBenchResult is one parsed benchmark line. BytesPerOp/AllocsPerOp are -1
 // when the run did not use -benchmem. Extra holds any further unit pairs
 // (e.g. MB/s, custom b.ReportMetric units) keyed by unit.
+//
+// Name is the benchmark function (suffix-free); Procs is the GOMAXPROCS
+// suffix, 1 when the line carries none (the Go tool omits it at
+// GOMAXPROCS=1). Series keys the (name, procs) pair — under -cpu=1,4 the
+// same function produces BenchmarkX and BenchmarkX-4 lines, and consumers
+// comparing runs over time must not collapse them into one curve.
 type GoBenchResult struct {
 	Name        string             `json:"name"`
+	Series      string             `json:"series"`
 	Procs       int                `json:"procs"`
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op"`
@@ -61,10 +68,11 @@ func ParseGoBench(r io.Reader) ([]GoBenchResult, error) {
 }
 
 func parseLine(fields []string) (GoBenchResult, error) {
-	res := GoBenchResult{BytesPerOp: -1, AllocsPerOp: -1, NsPerOp: -1}
+	res := GoBenchResult{BytesPerOp: -1, AllocsPerOp: -1, NsPerOp: -1, Procs: 1}
 	res.Name = fields[0]
+	res.Series = res.Name
 	if i := strings.LastIndex(res.Name, "-"); i > 0 {
-		if p, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+		if p, err := strconv.Atoi(res.Name[i+1:]); err == nil && p > 0 {
 			res.Procs = p
 			res.Name = res.Name[:i]
 		}

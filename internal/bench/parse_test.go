@@ -29,6 +29,9 @@ func TestParseResults(t *testing.T) {
 	if r.Name != "BenchmarkKernelPipeThroughput" || r.Procs != 8 {
 		t.Errorf("name/procs = %q/%d", r.Name, r.Procs)
 	}
+	if r.Series != "BenchmarkKernelPipeThroughput-8" {
+		t.Errorf("series = %q", r.Series)
+	}
 	if r.Iterations != 6522712 || r.NsPerOp != 184.4 {
 		t.Errorf("iters/ns = %d/%v", r.Iterations, r.NsPerOp)
 	}
@@ -41,6 +44,40 @@ func TestParseResults(t *testing.T) {
 	}
 	if r := rs[2]; r.Extra["MB/s"] != 52.3 {
 		t.Errorf("extra units = %v", r.Extra)
+	}
+}
+
+// TestParseCPUVariants pins the -cpu contract: the same benchmark run at
+// several GOMAXPROCS values must parse into distinct series, and a line
+// with no -N suffix (GOMAXPROCS=1, where the Go tool omits it) reports
+// procs 1 — not 0 — so downstream ratio math never divides by zero.
+func TestParseCPUVariants(t *testing.T) {
+	const out = `BenchmarkKernelPipeThroughputBatched   	 1000000	       120.0 ns/op
+BenchmarkKernelPipeThroughputBatched-4 	 4000000	        40.0 ns/op
+BenchmarkVMPrimes-4                    	    5000	    250000 ns/op
+`
+	rs, err := ParseGoBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rs))
+	}
+	if rs[0].Name != "BenchmarkKernelPipeThroughputBatched" || rs[0].Procs != 1 {
+		t.Errorf("no-suffix line: name/procs = %q/%d, want procs 1", rs[0].Name, rs[0].Procs)
+	}
+	if rs[1].Name != rs[0].Name || rs[1].Procs != 4 {
+		t.Errorf("suffixed line: name/procs = %q/%d", rs[1].Name, rs[1].Procs)
+	}
+	if rs[0].Series == rs[1].Series {
+		t.Errorf("cpu variants share series %q; must be distinct", rs[0].Series)
+	}
+	if rs[0].Series != "BenchmarkKernelPipeThroughputBatched" ||
+		rs[1].Series != "BenchmarkKernelPipeThroughputBatched-4" {
+		t.Errorf("series = %q, %q", rs[0].Series, rs[1].Series)
+	}
+	if rs[2].Series != "BenchmarkVMPrimes-4" {
+		t.Errorf("series = %q", rs[2].Series)
 	}
 }
 

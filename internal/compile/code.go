@@ -93,6 +93,10 @@ const (
 	opCount
 )
 
+// NumOps is the number of defined opcodes — the table size per-opcode
+// consumers (the vm profiler, the disassembler) allocate.
+const NumOps = int(opCount)
+
 // Instr is one instruction.
 type Instr struct {
 	Op      Op

@@ -1,0 +1,32 @@
+package inspect
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// HTTP exposure: the /debug/streams endpoint junicond mounts next to the
+// telemetry handler. One JSON object: the topology snapshot plus the
+// watchdog's latest diagnoses, safe to hit while streams are live.
+
+// StreamsPayload is the /debug/streams response body.
+type StreamsPayload struct {
+	At        time.Time    `json:"at"`
+	Streams   []StreamInfo `json:"streams"`
+	Diagnoses []Diagnosis  `json:"diagnoses,omitempty"`
+}
+
+// Handler serves the stream topology as JSON.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(StreamsPayload{
+			At:        time.Now(),
+			Streams:   Snapshot(),
+			Diagnoses: Diagnoses(),
+		})
+	})
+}

@@ -216,6 +216,77 @@ func hot(vs []int) {
 `, "telemetryguard")
 }
 
+func TestInspectLeak(t *testing.T) {
+	wantChecks(t, `package p
+
+func leak(id uint64) {
+	h := inspect.Register(id, inspect.KindPipe, "leaky")
+	h.Produced(1)
+}
+`, "inspectleak")
+}
+
+func TestInspectLeakDiscardedResult(t *testing.T) {
+	// A handle nobody holds can never be retired: statement position and
+	// blank assignment are both flagged.
+	wantChecks(t, `package p
+
+func drop(id uint64) {
+	inspect.Register(id, inspect.KindPipe, "dropped")
+	_ = inspect.Register(id, inspect.KindPipe, "blanked")
+}
+`, "inspectleak", "inspectleak")
+}
+
+func TestInspectLeakReleased(t *testing.T) {
+	for _, release := range []string{
+		"defer h.Close()",
+		"h.Close()",
+		"defer inspect.Unregister(h)",
+		"inspect.Unregister(h)",
+	} {
+		wantChecks(t, `package p
+
+func ok(id uint64) {
+	h := inspect.Register(id, inspect.KindPipe, "tracked")
+	`+release+`
+	h.Produced(1)
+}
+`)
+	}
+}
+
+func TestInspectLeakNilGuardStillLeaks(t *testing.T) {
+	// The disabled-registry nil guard is not a release: a handle that is
+	// only ever nil-checked and used through methods still leaks.
+	wantChecks(t, `package p
+
+func leak(id uint64) {
+	h := inspect.Register(id, inspect.KindPipe, "guarded")
+	if h != nil {
+		h.Produced(1)
+	}
+}
+`, "inspectleak")
+}
+
+func TestInspectLeakEscapes(t *testing.T) {
+	cases := []string{
+		// Returned: the caller owns the retirement.
+		`package p
+func mk(id uint64) *inspect.Handle { h := inspect.Register(id, inspect.KindPipe, "x"); return h }`,
+		// Passed as an argument.
+		`package p
+func hand(id uint64) { h := inspect.Register(id, inspect.KindPipe, "x"); watch(h) }`,
+		// Stored in a struct field.
+		`package p
+func store(id uint64, s *S) { h := inspect.Register(id, inspect.KindPipe, "x"); s.h = h }`,
+	}
+	for _, src := range cases {
+		wantChecks(t, src)
+	}
+}
+
 func TestIgnoreDirective(t *testing.T) {
 	wantChecks(t, `package p
 

@@ -18,12 +18,15 @@
 package pipe
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"junicon/internal/core"
+	"junicon/internal/inspect"
 	"junicon/internal/pool"
 	"junicon/internal/queue"
 	"junicon/internal/telemetry"
@@ -44,12 +47,14 @@ var (
 // DefaultBuffer is the output-queue bound used when none is given.
 const DefaultBuffer = 1024
 
-// generation is one producer incarnation: its transport queue and, in
-// batched mode, its batcher. Next loads it with a single atomic read once
-// the producer is running.
+// generation is one producer incarnation: its transport queue, its
+// inspection handle (nil while inspection is off — see internal/inspect)
+// and, in batched mode, its batcher. Next loads it with a single atomic
+// read once the producer is running.
 type generation struct {
 	out queue.Queue[value.V]
-	b   *batcher // nil in per-value mode
+	h   *inspect.Handle // nil: uninspected
+	b   *batcher        // nil in per-value mode
 }
 
 // Pipe is a generator proxy for a co-expression running in a separate
@@ -186,19 +191,34 @@ func (p *Pipe) start() {
 		cProducersStarted.Inc()
 		gProducersActive.Add(1)
 	}
+	// Inspection is decided the same way: an uninspected pipe carries a
+	// nil handle and the hot paths pay one nil check per value.
+	var h *inspect.Handle
+	if inspect.On() {
+		if p.stream == 0 {
+			p.stream = telemetry.NextStream()
+		}
+		h = inspect.Register(p.stream, inspect.KindPipe,
+			fmt.Sprintf("pipe(cap=%d,batch=%d)", p.out.Cap(), batch))
+		probe := p.out
+		h.SetDepthProbe(func() (int, int) { return probe.Len(), probe.Cap() })
+	}
 	var b *batcher
 	if batch > 1 {
 		b = newBatcher(p.out, batch, observed, &p.results)
 	}
-	p.cur.Store(&generation{out: p.out, b: b})
+	p.cur.Store(&generation{out: p.out, h: h, b: b})
 	src, out, stream := p.src, p.out, p.stream
 	var gen core.Gen
-	if p.ownSrc && !observed {
+	if p.ownSrc && !observed && h == nil {
 		if fc, ok := src.(*core.FirstClass); ok {
 			gen = fc.G
 		}
 	}
 	run := func() {
+		if h != nil {
+			defer inspect.BindProducer(h)()
+		}
 		var startTime time.Time
 		var produced int64
 		if observed {
@@ -266,6 +286,12 @@ func (p *Pipe) start() {
 					v = value.NullV
 				}
 				v = value.Deref(v)
+				// The blocked-put mark is set unconditionally before the
+				// (possibly blocking) publish and cleared after: only
+				// staleness makes it meaningful to the watchdog.
+				if h != nil {
+					h.BlockedPut()
+				}
 				if b != nil {
 					if !b.offer(v) {
 						return // consumer stopped the pipe
@@ -273,17 +299,33 @@ func (p *Pipe) start() {
 				} else if out.Put(v) != nil {
 					return // consumer stopped the pipe
 				}
+				if h != nil {
+					h.Running()
+					h.Produced(1)
+				}
 				if observed {
 					produced++
 					cPipeValues.Inc()
 				}
 			}
 		}
+		if h != nil {
+			h.Draining()
+		}
 		if b != nil {
 			b.finish()
 		} else {
 			out.Close()
 		}
+	}
+	if h != nil {
+		// Label the producer goroutine (or pooled worker, for the task's
+		// duration) with the stream ID, so the watchdog — and a human at
+		// /debug/pprof/goroutine?debug=1 — can find the goroutine serving
+		// a stuck stream.
+		inner := run
+		labels := pprof.Labels(inspect.ProducerLabel, inspect.StreamID(h.ID()))
+		run = func() { pprof.Do(context.Background(), labels, func(context.Context) { inner() }) }
 	}
 	if p.pool != nil {
 		if err := p.pool.Go(run); err != nil {
@@ -339,13 +381,33 @@ func (p *Pipe) Next() (value.V, bool) {
 		g = p.cur.Load()
 		p.mu.Unlock()
 	}
+	if h := g.h; h != nil {
+		// Consumer-side inspection: record the topology edge once, mark
+		// the take (cleared below), and retire the handle on exhaustion.
+		inspect.NoteConsumeOnce(h)
+		h.BlockedTake()
+	}
 	if g.b != nil {
 		// The batcher advances p.results itself, once per refill.
-		return g.b.next()
+		v, ok := g.b.next()
+		if h := g.h; h != nil {
+			if ok {
+				h.Consumed(1)
+				h.Running()
+			} else {
+				h.Close()
+			}
+		}
+		return v, ok
 	}
 	v, err := g.out.Take()
 	if err != nil {
+		g.h.Close()
 		return nil, false
+	}
+	if h := g.h; h != nil {
+		h.Consumed(1)
+		h.Running()
 	}
 	p.results.Add(1)
 	return v, true
@@ -388,8 +450,11 @@ func (p *Pipe) Stop() {
 // fails. Caller holds p.mu.
 func (p *Pipe) stopCurrentLocked() {
 	p.out.Close()
-	if g := p.cur.Load(); g != nil && g.b != nil {
-		g.b.stop()
+	if g := p.cur.Load(); g != nil {
+		if g.b != nil {
+			g.b.stop()
+		}
+		g.h.Close()
 	}
 	p.cur.Store(&generation{out: p.out})
 }
@@ -419,7 +484,7 @@ func (p *Pipe) Refresh() core.Stepper {
 }
 
 // Stream reports the pipe's telemetry stream ID — 0 unless the producer
-// started while telemetry was active.
+// started while telemetry or inspection was active.
 func (p *Pipe) Stream() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()

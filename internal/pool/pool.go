@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"junicon/internal/inspect"
 	"junicon/internal/queue"
 	"junicon/internal/telemetry"
 )
@@ -36,6 +38,11 @@ type Pool struct {
 	wg    sync.WaitGroup
 	size  int
 
+	// ih is the pool's live-introspection handle, registered lazily on the
+	// first submission while inspection is enabled. Produced counts
+	// completed tasks; the depth probe reports the task backlog.
+	ih atomic.Pointer[inspect.Handle]
+
 	mu   sync.Mutex
 	down bool
 }
@@ -56,9 +63,35 @@ func New(n int) *Pool {
 // Size reports the number of worker goroutines.
 func (p *Pool) Size() int { return p.size }
 
+// handle returns the pool's introspection handle, registering it on first
+// use while inspection is enabled. Lazy registration means a pool created
+// before Enable still shows up once it takes work.
+func (p *Pool) handle() *inspect.Handle {
+	if h := p.ih.Load(); h != nil {
+		return h
+	}
+	if !inspect.On() {
+		return nil
+	}
+	h := inspect.Register(0, inspect.KindPool, fmt.Sprintf("pool(workers=%d)", p.size))
+	h.SetDepthProbe(func() (int, int) { return p.tasks.Len(), p.size })
+	if !p.ih.CompareAndSwap(nil, h) {
+		inspect.Unregister(h) // another submitter won the race
+		return p.ih.Load()
+	}
+	return h
+}
+
 // enqueue puts a task on the work queue, wrapping it with metric updates
 // when telemetry is on at submission time.
 func (p *Pool) enqueue(task func()) error {
+	if h := p.handle(); h != nil {
+		inner := task
+		task = func() {
+			inner()
+			h.Produced(1)
+		}
+	}
 	if telemetry.On() {
 		cPoolTasks.Inc()
 		gPoolDepth.Add(1)
@@ -153,4 +186,5 @@ func (p *Pool) Shutdown() {
 	// Drain-then-fail close semantics let queued tasks finish.
 	p.tasks.Close()
 	p.wg.Wait()
+	p.ih.Load().Close()
 }

@@ -1,14 +1,17 @@
 package remote
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
 
 	"junicon/internal/core"
+	"junicon/internal/inspect"
 	"junicon/internal/queue"
 	"junicon/internal/telemetry"
 	"junicon/internal/value"
@@ -141,6 +144,9 @@ type RemotePipe struct {
 	debt    uint64
 	noBatch bool
 	redial  bool
+	// ih is the live-introspection handle for the current stream; nil when
+	// inspection was off at open time. Each (re)open registers afresh.
+	ih *inspect.Handle
 	// done is closed by readLoop when the stream ends for any reason, so
 	// pingLoop exits promptly instead of pinging a dead stream.
 	done chan struct{}
@@ -227,11 +233,22 @@ func (p *RemotePipe) start() error {
 		cClientStreams.Inc()
 		telemetry.Emit(p.stream, telemetry.KindStreamOpen, "remote:"+p.addr, int64(open.credit))
 	}
+	if inspect.On() {
+		if p.stream == 0 {
+			p.stream = telemetry.NextStream()
+		}
+		p.ih = inspect.Register(p.stream, inspect.KindRemoteClient, "remote:"+p.addr)
+		p.ih.SetCredit(int64(open.credit))
+		probe := p.out
+		p.ih.SetDepthProbe(func() (int, int) { return probe.Len(), probe.Cap() })
+	} else {
+		p.ih = nil
+	}
 	p.started = true
 	p.err = nil
 	p.pingStop = make(chan struct{})
 	p.done = make(chan struct{})
-	go p.readLoop(conn, p.out, p.done, p.stream)
+	go p.readLoop(conn, p.out, p.done, p.stream, p.ih)
 	go p.pingLoop(p.pingStop, p.done)
 	return nil
 }
@@ -239,17 +256,26 @@ func (p *RemotePipe) start() error {
 // readLoop consumes frames into the local bounded queue until the stream
 // ends (EOS), errors (ERR / connection loss / malformed frame) or the
 // consumer stops the pipe.
-func (p *RemotePipe) readLoop(conn net.Conn, out queue.Queue[value.V], done chan struct{}, stream uint64) {
+func (p *RemotePipe) readLoop(conn net.Conn, out queue.Queue[value.V], done chan struct{}, stream uint64, ih *inspect.Handle) {
 	var received int64
 	start := time.Now()
 	defer func() {
 		close(done)
 		conn.Close()
 		out.Close()
+		ih.Close()
 		if stream != 0 {
 			telemetry.EmitSpan(stream, telemetry.KindStreamEnd, "remote:"+p.addr, received, start)
 		}
 	}()
+	if ih != nil {
+		// The read loop is this stream's local producer: label and bind it
+		// so stall diagnoses can include its stack and topology edges form.
+		defer inspect.BindProducer(ih)()
+		pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+			pprof.Labels(inspect.ProducerLabel, inspect.StreamID(ih.ID()))))
+		defer pprof.SetGoroutineLabels(context.Background())
+	}
 	// A peer silent for several heartbeat intervals is lost: PONGs answer
 	// our PINGs, so frames normally arrive at least once per interval.
 	liveness := 4 * p.cfg.heartbeat()
@@ -271,10 +297,17 @@ func (p *RemotePipe) readLoop(conn net.Conn, out queue.Queue[value.V], done chan
 			if stream != 0 && telemetry.On() {
 				cClientValues.Inc()
 			}
+			if ih != nil {
+				ih.BlockedPut()
+			}
 			if out.Put(v) != nil {
 				// Consumer stopped the pipe: tell the producer.
 				p.sendFrame(frameCancel, nil)
 				return
+			}
+			if ih != nil {
+				ih.Running()
+				ih.Produced(1)
 			}
 		case frameValues:
 			vs, err := wire.UnmarshalBatch(payload, wire.DefaultLimits)
@@ -286,9 +319,16 @@ func (p *RemotePipe) readLoop(conn net.Conn, out queue.Queue[value.V], done chan
 			if stream != 0 && telemetry.On() {
 				cClientValues.Add(int64(len(vs)))
 			}
+			if ih != nil {
+				ih.BlockedPut()
+			}
 			if _, err := out.PutBatch(vs); err != nil {
 				p.sendFrame(frameCancel, nil)
 				return
+			}
+			if ih != nil {
+				ih.Running()
+				ih.Produced(int64(len(vs)))
 			}
 		case frameEOS:
 			return // clean end: generator failed
@@ -399,7 +439,13 @@ func (p *RemotePipe) Next() (value.V, bool) {
 	}
 	out, conn := p.out, p.conn
 	batched := p.batch > 0
+	ih := p.ih
 	p.mu.Unlock()
+
+	if ih != nil {
+		inspect.NoteConsumeOnce(ih)
+		ih.BlockedTake()
+	}
 
 	var timer *time.Timer
 	if d := p.cfg.Deadline; d > 0 {
@@ -446,6 +492,13 @@ func (p *RemotePipe) Next() (value.V, bool) {
 	p.results++
 	p.debt++
 	grant := !batched || p.debt >= uint64(p.batch)
+	if ih != nil {
+		ih.Running()
+		ih.Consumed(1)
+		// The credit balance is the window minus uncredited consumption:
+		// what the server may still send before its next stall.
+		ih.SetCredit(int64(uint64(p.cfg.buffer()) - p.debt))
+	}
 	p.mu.Unlock()
 	if grant {
 		// Unbatched streams credit every value (the original per-value
@@ -501,6 +554,7 @@ func (p *RemotePipe) stopLocked() {
 	if p.out != nil {
 		p.out.Close()
 	}
+	p.ih.Close()
 }
 
 // Stop terminates the stream without restarting; further Nexts fail until

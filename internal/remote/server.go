@@ -1,10 +1,12 @@
 package remote
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
 	"net"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -14,6 +16,7 @@ import (
 
 	"junicon/internal/analyze"
 	"junicon/internal/core"
+	"junicon/internal/inspect"
 	"junicon/internal/interp"
 	"junicon/internal/parser"
 	"junicon/internal/telemetry"
@@ -413,6 +416,17 @@ func (s *Server) handleConn(conn net.Conn) {
 		cServerStreams.Inc()
 		gServerStreams.Set(s.streams.Load())
 	}
+	// Live-introspection handle for this stream, keyed by the client's
+	// stream ID so /debug/streams on the server correlates with the
+	// client's logs and traces. The credit balance is the one number a
+	// stalled distributed pipeline turns on: zero + blocked-put is credit
+	// starvation, which the watchdog diagnoses by name.
+	var ih *inspect.Handle
+	if inspect.On() {
+		ih = inspect.Register(open.stream, inspect.KindRemoteServer,
+			"serve:"+what+"<-"+conn.RemoteAddr().String())
+		ih.SetCredit(int64(open.credit))
+	}
 	// The stream ID arrived in the OPEN frame: server-side events carry
 	// the client's ID, which is what stitches the two processes' traces.
 	telemetry.Emit(open.stream, telemetry.KindStreamOpen, "serve:"+what, int64(open.credit))
@@ -437,6 +451,15 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			close(prodDone)
 		}()
+		if ih != nil {
+			// Label this goroutine with the stream ID so the watchdog can
+			// pull its stack out of the goroutine profile when diagnosing a
+			// stall, and bind it as the stream's producer for edge tracking.
+			defer inspect.BindProducer(ih)()
+			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+				pprof.Labels(inspect.ProducerLabel, inspect.StreamID(ih.ID()))))
+			defer pprof.SetGoroutineLabels(context.Background())
+		}
 		sendErr := func(msg string) {
 			flush() // values produced before the error must precede it
 			wmu.Lock()
@@ -470,7 +493,14 @@ func (s *Server) handleConn(conn net.Conn) {
 						return nil
 					}
 				}
+				if ih != nil {
+					ih.BlockedPut()
+				}
 				ok, waited := st.acquire()
+				if ih != nil {
+					ih.Running()
+					ih.SetCredit(int64(st.available()))
+				}
 				if waited && telemetry.Active() {
 					// The client's credit window throttled us: the §3B
 					// bounded-queue backpressure, observed across the wire.
@@ -532,6 +562,9 @@ func (s *Server) handleConn(conn net.Conn) {
 					return nil // connection gone; reader tears down
 				}
 				sent.Add(1)
+				if ih != nil {
+					ih.Produced(1)
+				}
 				if telemetry.On() {
 					cServerValues.Inc()
 				}
@@ -583,6 +616,7 @@ reader:
 	st.cancel()
 	conn.Close()
 	<-prodDone
+	inspect.Unregister(ih)
 	why := "done"
 	if r := reason.Load(); r != nil {
 		why = *r

@@ -58,6 +58,16 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[bits.Len64(uint64(v))].Add(1)
 }
 
+// Reset zeroes the histogram (measurement-window delimiting).
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
 // Bucket is one non-empty histogram bucket: N observations with value
 // <= Le (and greater than the previous bucket's Le).
 type Bucket struct {
@@ -65,12 +75,17 @@ type Bucket struct {
 	N  int64 `json:"n"`
 }
 
-// HistogramSnapshot is a point-in-time copy of a histogram.
+// HistogramSnapshot is a point-in-time copy of a histogram. P50/P99/P999
+// are rank-based quantile estimates (Quantile) — the latency percentiles
+// a load report quotes.
 type HistogramSnapshot struct {
 	Count   int64    `json:"count"`
 	Sum     int64    `json:"sum"`
 	Max     int64    `json:"max"`
 	Mean    float64  `json:"mean"`
+	P50     float64  `json:"p50,omitempty"`
+	P99     float64  `json:"p99,omitempty"`
+	P999    float64  `json:"p999,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
@@ -93,7 +108,60 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 			s.Buckets = append(s.Buckets, Bucket{Le: le, N: n})
 		}
 	}
+	s.P50 = s.Quantile(0.50)
+	s.P99 = s.Quantile(0.99)
+	s.P999 = s.Quantile(0.999)
 	return s
+}
+
+// Quantile extracts the q-quantile (0 <= q <= 1) from the snapshot's
+// buckets: the target rank is located in its bucket and interpolated
+// linearly within the bucket's value range [lo, hi]. Log₂ buckets bound
+// the relative error at 2× worst case; the top occupied bucket is clamped
+// to the recorded Max, so Quantile(1) is exact and high quantiles never
+// overshoot the largest observation.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for _, b := range s.Buckets {
+		n := float64(b.N)
+		if cum+n < target {
+			cum += n
+			continue
+		}
+		// The rank lands in this bucket: values in (lo-1, hi], i.e. the
+		// bit-length class [2^(i-1), 2^i). Le == -1 marks the overflow
+		// buckets whose upper bound only Max knows.
+		var lo, hi float64
+		switch {
+		case b.Le == 0:
+			return 0 // the zero bucket holds exactly the value 0
+		case b.Le < 0:
+			lo, hi = float64(int64(1)<<62), float64(s.Max)
+		default:
+			lo, hi = float64(b.Le/2+1), float64(b.Le)
+		}
+		if float64(s.Max) < hi {
+			hi = float64(s.Max) // the true largest observation caps the top
+		}
+		if hi < lo {
+			return hi
+		}
+		frac := (target - cum) / n
+		return lo + frac*(hi-lo)
+	}
+	return float64(s.Max)
 }
 
 // ---- registry ----
@@ -179,12 +247,7 @@ func ResetMetrics() {
 		case *Gauge:
 			v.v.Store(0)
 		case *Histogram:
-			v.count.Store(0)
-			v.sum.Store(0)
-			v.max.Store(0)
-			for i := range v.buckets {
-				v.buckets[i].Store(0)
-			}
+			v.Reset()
 		}
 	}
 }

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %v, want 0", got)
+	}
+}
+
+func TestQuantileSingleValue(t *testing.T) {
+	var h Histogram
+	h.Observe(100)
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := s.Quantile(q)
+		// One observation in bucket [64,127], clamped to Max=100: every
+		// quantile must land within the bucket and at or below Max.
+		if got < 64 || got > 100 {
+			t.Fatalf("Quantile(%v) = %v, want within [64,100]", q, got)
+		}
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("Quantile(1) = %v, want exactly Max", got)
+	}
+}
+
+func TestQuantileZeros(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(0)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.99); got != 0 {
+		t.Fatalf("all-zero histogram p99 = %v, want 0", got)
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	// 1..1000 uniformly: p50 ≈ 500, p99 ≈ 990, p999 ≈ 999. Log₂ buckets
+	// bound the error by the width of the containing bucket.
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	cases := []struct {
+		q     float64
+		want  float64
+		slack float64 // half the containing bucket's width, roughly
+	}{
+		{0.50, 500, 260},
+		{0.99, 990, 120},
+		{0.999, 999, 120},
+	}
+	for _, c := range cases {
+		got := s.Quantile(c.q)
+		if math.Abs(got-c.want) > c.slack {
+			t.Errorf("Quantile(%v) = %v, want %v ± %v", c.q, got, c.want, c.slack)
+		}
+		if got > float64(s.Max) {
+			t.Errorf("Quantile(%v) = %v exceeds Max %d", c.q, got, s.Max)
+		}
+	}
+	// Monotonicity across the quantile range.
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		got := s.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile not monotone: q=%v got %v after %v", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestQuantileBimodal(t *testing.T) {
+	// 90% fast (≈10ns), 10% slow (≈1e6ns): p50 must sit in the fast mode,
+	// p99 in the slow mode — the shape a stalling pipeline produces and
+	// the reason mean alone is not enough.
+	var h Histogram
+	for i := 0; i < 900; i++ {
+		h.Observe(10)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(1_000_000)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 > 100 {
+		t.Errorf("p50 = %v, want fast mode (<=100)", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 500_000 {
+		t.Errorf("p99 = %v, want slow mode (>=5e5)", p99)
+	}
+}
+
+func TestSnapshotPercentileFields(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.P50 <= 0 || s.P99 <= 0 || s.P999 <= 0 {
+		t.Fatalf("snapshot percentiles not populated: %+v", s)
+	}
+	if !(s.P50 <= s.P99 && s.P99 <= s.P999) {
+		t.Fatalf("percentiles out of order: p50=%v p99=%v p999=%v", s.P50, s.P99, s.P999)
+	}
+	if s.P999 > float64(s.Max) {
+		t.Fatalf("p999 %v exceeds max %d", s.P999, s.Max)
+	}
+}

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"time"
 
 	"junicon/internal/compile"
 	"junicon/internal/core"
@@ -27,12 +28,28 @@ const (
 // continues at the saved pc; after exhaustion, begin() re-arms the frame
 // (auto-restart).
 func (f *Frame) Next() (value.V, bool) {
+	// Profiling is decided once per Next — one atomic load, mirroring the
+	// telemetry gate. An unprofiled call carries prof == nil and each
+	// instruction pays a single local nil test.
+	var prof *CodeProfile
+	if profOn.Load() {
+		prof = f.owner.profile()
+		if f.started {
+			f.noteResume(prof)
+		}
+	}
 	if !f.started {
 		f.begin()
+		if prof != nil {
+			prof.calls.Add(1)
+		}
 	}
 	code := f.code
 	for {
 		in := code.Instrs[f.pc]
+		if prof != nil {
+			prof.ops[in.Op].Add(1)
+		}
 		switch in.Op {
 
 		// ----- values and slots -----
@@ -80,11 +97,19 @@ func (f *Frame) Next() (value.V, bool) {
 		case compile.OpYield:
 			v := value.Deref(f.pop())
 			f.pc++
+			if prof != nil {
+				prof.yields.Add(1)
+				f.suspendedAt = time.Now().UnixNano()
+			}
 			return v, true
 		case compile.OpReturn:
 			v := value.Deref(f.pop())
 			f.cp = f.cp[:0]
 			f.pc++
+			if prof != nil {
+				prof.yields.Add(1)
+				f.suspendedAt = time.Now().UnixNano()
+			}
 			return v, true
 		case compile.OpReturnFail:
 			f.cp = f.cp[:0]

@@ -15,6 +15,7 @@ package vm
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"junicon/internal/compile"
 	"junicon/internal/core"
@@ -50,6 +51,9 @@ type auxCell struct {
 type Machine struct {
 	code *compile.Code
 	pool sync.Pool
+	// prof is the unit's lazily registered profile (profile.go); nil until
+	// the first Next that runs with profiling enabled.
+	prof atomic.Pointer[CodeProfile]
 }
 
 // New builds a Machine for code.
@@ -78,6 +82,7 @@ func (m *Machine) NewFrame(args ...value.V) *Frame {
 	f.args = append(f.args[:0], args...)
 	f.started = false
 	f.resumed = false
+	f.suspendedAt = 0
 	return f
 }
 
@@ -94,6 +99,9 @@ type Frame struct {
 	args    []value.V // call arguments, bound to the leading slots on begin
 	started bool      // a run is in progress (not yet exhausted)
 	resumed bool      // control arrived at pc by failure, not fall-through
+	// suspendedAt is the UnixNano of the last profiled suspension (yield or
+	// return); 0 when not suspended or profiling was off at the time.
+	suspendedAt int64
 }
 
 // begin (re)starts the frame: pc 0, empty stacks, slots nulled, parameters
@@ -115,6 +123,7 @@ func (f *Frame) begin() {
 		f.slots[i] = value.Deref(f.args[i])
 	}
 	f.started = true
+	f.suspendedAt = 0
 }
 
 // fail backtracks to the most recent choice point, restoring its operand

@@ -1,0 +1,142 @@
+package vm
+
+import (
+	"compress/gzip"
+	"io"
+	"time"
+)
+
+// WritePprof serializes the accumulated VM profile in pprof's gzipped
+// protobuf format, one sample per (procedure, opcode) pair with the opcode
+// as the leaf frame — so `go tool pprof` renders a flame graph of where
+// compiled execution spends its instructions. The encoder is hand-rolled:
+// the profile.proto subset needed here is a dozen fields, far too little
+// to justify a protobuf dependency.
+func WritePprof(w io.Writer) error {
+	snap := SnapshotProfile()
+	b := newProtoBuf()
+
+	// String table: index 0 must be "".
+	strs := []string{""}
+	strIdx := map[string]int64{"": 0}
+	str := func(s string) int64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := int64(len(strs))
+		strs = append(strs, s)
+		strIdx[s] = i
+		return i
+	}
+
+	// sample_type: {type: "ops", unit: "count"}.
+	b.msg(1, func(m *protoBuf) {
+		m.varint(1, str("ops"))
+		m.varint(2, str("count"))
+	})
+
+	// Functions and locations: one pair per distinct name. Location IDs
+	// must be non-zero; reuse the same ID space for functions.
+	locIdx := map[string]uint64{}
+	var funcs []string
+	loc := func(name string) uint64 {
+		if id, ok := locIdx[name]; ok {
+			return id
+		}
+		id := uint64(len(funcs) + 1)
+		funcs = append(funcs, name)
+		locIdx[name] = id
+		return id
+	}
+
+	// Samples: leaf = opcode, caller = procedure.
+	for _, pp := range snap {
+		procLoc := loc(pp.Name)
+		for _, oc := range pp.Ops {
+			opLoc := loc("op:" + oc.Op)
+			count := oc.Count
+			b.msg(2, func(m *protoBuf) {
+				m.packed(1, []uint64{opLoc, procLoc})
+				m.packed(2, []uint64{uint64(count)})
+			})
+		}
+	}
+
+	for i, name := range funcs {
+		id := uint64(i + 1)
+		nameIdx := str(name)
+		b.msg(4, func(m *protoBuf) { // Location
+			m.varint(1, int64(id))
+			m.msg(4, func(l *protoBuf) { // Line
+				l.varint(1, int64(id)) // function_id
+			})
+		})
+		b.msg(5, func(m *protoBuf) { // Function
+			m.varint(1, int64(id))
+			m.varint(2, nameIdx)
+			m.varint(3, nameIdx)
+			m.varint(4, str("junicon-vm"))
+		})
+	}
+
+	for _, s := range strs {
+		b.bytes(6, []byte(s))
+	}
+	b.varint(9, time.Now().UnixNano()) // time_nanos
+	b.msg(11, func(m *protoBuf) {      // period_type
+		m.varint(1, str("ops"))
+		m.varint(2, str("count"))
+	})
+	b.varint(12, 1) // period
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(b.buf); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// protoBuf is a minimal protobuf wire-format writer: varint (wire type 0)
+// and length-delimited (wire type 2) fields are all profile.proto uses.
+type protoBuf struct{ buf []byte }
+
+func newProtoBuf() *protoBuf { return &protoBuf{} }
+
+func (b *protoBuf) uvarint(v uint64) {
+	for v >= 0x80 {
+		b.buf = append(b.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	b.buf = append(b.buf, byte(v))
+}
+
+func (b *protoBuf) tag(field, wire int) { b.uvarint(uint64(field<<3 | wire)) }
+
+// varint emits a varint-typed field.
+func (b *protoBuf) varint(field int, v int64) {
+	b.tag(field, 0)
+	b.uvarint(uint64(v))
+}
+
+// bytes emits a length-delimited field.
+func (b *protoBuf) bytes(field int, p []byte) {
+	b.tag(field, 2)
+	b.uvarint(uint64(len(p)))
+	b.buf = append(b.buf, p...)
+}
+
+// msg emits an embedded message built by fn.
+func (b *protoBuf) msg(field int, fn func(*protoBuf)) {
+	var inner protoBuf
+	fn(&inner)
+	b.bytes(field, inner.buf)
+}
+
+// packed emits a packed repeated varint field.
+func (b *protoBuf) packed(field int, vs []uint64) {
+	var inner protoBuf
+	for _, v := range vs {
+		inner.uvarint(v)
+	}
+	b.bytes(field, inner.buf)
+}
