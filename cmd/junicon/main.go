@@ -21,6 +21,8 @@
 //	junicon -trace=run.json prog.jn  write a telemetry trace of the run
 //	junicon -metrics -e 'expr'       print runtime metrics after the run
 //	junicon -profile=vm.pb.gz p.jn   write a pprof VM profile (implies -vm)
+//	junicon -snapshot s -n 3 -e 'e'  print 3 results, checkpoint the rest to s
+//	junicon -resume s                restore the snapshot and keep iterating
 //
 // -trace records kernel/pipe/queue telemetry events and writes them when
 // the program ends: Chrome trace_event JSON (chrome://tracing, Perfetto)
@@ -63,6 +65,8 @@ func main() {
 		useVM     = flag.Bool("vm", false, "enable compiled execution (bytecode vm with slot-based resumable frames)")
 		dis       = flag.Bool("dis", false, "disassemble instead of running: print bytecode listings for a file (or -e expression)")
 		profile   = flag.String("profile", "", "write a pprof-format VM execution profile to this file when the program ends (implies -vm)")
+		snapshot  = flag.String("snapshot", "", "with -e/-x: print -n results, then checkpoint the suspended generator to this file (implies -vm)")
+		resume    = flag.String("resume", "", "restore a generator from this snapshot file and continue printing its sequence")
 	)
 	flag.Parse()
 
@@ -130,7 +134,16 @@ func main() {
 		return
 	}
 
+	if *resume != "" {
+		fail(resumeSnapshot(*resume, *maxRes, os.Stdout))
+		return
+	}
+
 	if *expr != "" && flag.NArg() == 0 {
+		if *snapshot != "" {
+			fail(snapshotExpr(in, "", *expr, *snapshot, *maxRes, os.Stdout))
+			return
+		}
 		evalPrint(in, *expr, *maxRes)
 		return
 	}
@@ -168,8 +181,16 @@ func main() {
 
 	switch {
 	case *exec != "":
+		if *snapshot != "" {
+			fail(snapshotExpr(in, src, *exec, *snapshot, *maxRes, os.Stdout))
+			return
+		}
 		evalPrint(in, *exec, *maxRes)
 	case *expr != "":
+		if *snapshot != "" {
+			fail(snapshotExpr(in, src, *expr, *snapshot, *maxRes, os.Stdout))
+			return
+		}
 		evalPrint(in, *expr, *maxRes)
 	default:
 		// Run main() if the program defines one.

@@ -54,6 +54,8 @@ func repl(in *junicon.Interp, input io.Reader, out io.Writer, prompt bool) {
 				fmt.Fprintln(out, ":dis <expr> prints an expression's bytecode listing.")
 				fmt.Fprintln(out, ":streams shows the live stream topology (pipes, pools, remotes; enables inspection).")
 				fmt.Fprintln(out, ":prof shows the VM execution profile (enables profiling; run :vm code first).")
+				fmt.Fprintln(out, ":snap <file> <expr> prints", maxResults, "results, then checkpoints the suspended generator.")
+				fmt.Fprintln(out, ":resume <file> restores a checkpointed generator and continues its sequence.")
 				continue
 			case ":facts":
 				printFacts(in, history.String(), out)
@@ -79,6 +81,29 @@ func repl(in *junicon.Interp, input io.Reader, out io.Writer, prompt bool) {
 					fmt.Fprintln(out, "usage: :dis <expr>")
 				} else if err := in.DisassembleExpr(rest, out); err != nil {
 					fmt.Fprintln(out, "not compiled:", err)
+				}
+				continue
+			}
+			if t := strings.TrimSpace(line); t == ":snap" || strings.HasPrefix(t, ":snap ") {
+				fields := strings.Fields(strings.TrimPrefix(t, ":snap"))
+				if len(fields) < 2 {
+					fmt.Fprintln(out, "usage: :snap <file> <expr>")
+				} else if err := snapshotExpr(in, history.String(), strings.Join(fields[1:], " "),
+					fields[0], maxResults, out); err != nil {
+					fmt.Fprintln(out, "error:", err)
+				}
+				continue
+			}
+			if t := strings.TrimSpace(line); t == ":resume" || strings.HasPrefix(t, ":resume ") {
+				file := strings.TrimSpace(strings.TrimPrefix(t, ":resume"))
+				if file == "" {
+					fmt.Fprintln(out, "usage: :resume <file>")
+				} else if data, err := os.ReadFile(file); err != nil {
+					fmt.Fprintln(out, "error:", err)
+				} else if err := resumeInto(in, data, maxResults, out); err != nil {
+					// Restoring loads the snapshot's declarations into THIS
+					// session, so cross-session :snap → :resume just works.
+					fmt.Fprintln(out, "error:", err)
 				}
 				continue
 			}

@@ -1,0 +1,268 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"junicon/internal/remote"
+	"junicon/internal/value"
+	"junicon/internal/wordcount"
+)
+
+// Crash-recovery end to end, across real process boundaries: a junicond
+// worker is SIGKILLed mid-stream and restarted on the same address with
+// the same -checkpoint-dir, and the client — opened with Config.Recover —
+// redials through the crash and delivers the exact sequence a never-killed
+// worker would have. One test pins the snapshot path (a source-compiled
+// generator the daemon can checkpoint and RESUME), the other the replay
+// path (the registered word-count generator refuses snapshots, so recovery
+// re-runs it and skips what was already delivered). Both then read the
+// restarted daemon's debug endpoints: /debug/streams must show the
+// recovered handle as resumed, and /debug/vars must count the restore.
+
+// freeAddr reserves an ephemeral port and releases it, returning an
+// address a daemon can be started — and later restarted — on.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("reserve port: %v", err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// fetchJSON GETs url and decodes the body into out, returning an error
+// rather than failing so callers can poll.
+func fetchJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, out)
+}
+
+// debugStreams polls /debug/streams on dbgAddr until pred accepts a row
+// or the deadline passes, returning the matching row.
+func debugStreams(t *testing.T, dbgAddr string, pred func(map[string]any) bool) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var payload struct {
+			Streams []map[string]any `json:"streams"`
+		}
+		err := fetchJSON("http://"+dbgAddr+"/debug/streams", &payload)
+		if err == nil {
+			for _, r := range payload.Streams {
+				if pred(r) {
+					return r
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no matching stream on %s (last err %v, %d rows)",
+				dbgAddr, err, len(payload.Streams))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// checkpointRestores reads the checkpoint.restores counter from
+// /debug/vars on dbgAddr (the telemetry registry rides expvar under the
+// "junicon" key).
+func checkpointRestores(t *testing.T, dbgAddr string) float64 {
+	t.Helper()
+	var vars struct {
+		Junicon map[string]any `json:"junicon"`
+	}
+	if err := fetchJSON("http://"+dbgAddr+"/debug/vars", &vars); err != nil {
+		t.Fatalf("fetch /debug/vars: %v", err)
+	}
+	n, _ := vars.Junicon["checkpoint.restores"].(float64)
+	return n
+}
+
+// TestE2ECrashRecoverySourceStream kills a daemon serving a checkpointed
+// source stream and restarts it on the same address: the client resumes
+// from its last acked snapshot and the full sequence arrives exactly once.
+func TestE2ECrashRecoverySourceStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	ckptDir := t.TempDir()
+	servAddr, dbgAddr := freeAddr(t), freeAddr(t)
+	args := []string{"-allow-source", "-checkpoint-dir", ckptDir, "-debug-addr", dbgAddr}
+	d := launchDaemon(t, servAddr, args...)
+
+	const n = 200
+	cfg := remote.Config{
+		Buffer:          4,
+		Recover:         true,
+		CheckpointEvery: 5,
+		RecoverWait:     30 * time.Second,
+	}
+	p := remote.OpenSource(d.addr, "def gen(a, b) { suspend a to b; }",
+		fmt.Sprintf("gen(1, %d)", n), nil, cfg)
+	defer p.Stop()
+
+	next := func() (int64, bool) {
+		v, ok := p.Next()
+		if !ok {
+			return 0, false
+		}
+		i, _ := value.ToInteger(value.Deref(v))
+		x, _ := i.Int64()
+		return x, true
+	}
+
+	// Drain past the first checkpoint cadence, then keep pulling until a
+	// snapshot has actually been acked — the kill must land with durable
+	// state on the client side, or recovery would be replay, not RESUME.
+	var got []int64
+	for len(got) < 60 {
+		x, ok := next()
+		if !ok {
+			t.Fatalf("stream ended early after %d values: %v", len(got), p.Err())
+		}
+		got = append(got, x)
+	}
+	for {
+		if _, ok := p.Checkpointed(); ok {
+			break
+		}
+		if len(got) >= n {
+			t.Fatalf("no checkpoint acked after draining all %d values", n)
+		}
+		x, ok := next()
+		if !ok {
+			t.Fatalf("stream ended early after %d values: %v", len(got), p.Err())
+		}
+		got = append(got, x)
+	}
+	if refusal := p.SnapshotRefusal(); refusal != "" {
+		t.Fatalf("source stream refused snapshot: %s", refusal)
+	}
+
+	// The daemon persisted the stream's checkpoint before dying.
+	if snaps, _ := filepath.Glob(filepath.Join(ckptDir, "*.snap")); len(snaps) == 0 {
+		t.Fatalf("no checkpoint persisted in %s before the crash", ckptDir)
+	}
+
+	d.kill()
+	launchDaemon(t, servAddr, args...) // same address, same checkpoint dir
+
+	for {
+		x, ok := next()
+		if !ok {
+			break
+		}
+		got = append(got, x)
+	}
+	if err := p.Err(); err != nil {
+		t.Fatalf("stream did not recover: %v", err)
+	}
+	if len(got) != n {
+		t.Fatalf("recovered stream delivered %d values, want %d", len(got), n)
+	}
+	for i, x := range got {
+		if x != int64(i+1) {
+			t.Fatalf("value %d: got %d, want %d (loss or duplication across the crash)", i, x, i+1)
+		}
+	}
+
+	// The restarted daemon must show the recovery: a resumed handle in the
+	// stream topology and a non-zero restore counter.
+	row := debugStreams(t, dbgAddr, func(r map[string]any) bool {
+		resumed, _ := r["resumed"].(bool)
+		return resumed
+	})
+	if kind, _ := row["kind"].(string); kind == "" {
+		t.Fatalf("resumed stream row has no kind: %v", row)
+	}
+	if restores := checkpointRestores(t, dbgAddr); restores < 1 {
+		t.Fatalf("checkpoint.restores = %v on restarted daemon, want >= 1", restores)
+	}
+}
+
+// TestE2ECrashRecoveryWordCount SIGKILLs a word-count worker mid-stream
+// and restarts it with the same -checkpoint-dir: the registered generator
+// refuses snapshots, so the client recovers by replay, and the distributed
+// total still equals the sequential reference.
+func TestE2ECrashRecoveryWordCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	ckptDir := t.TempDir()
+	servAddr, dbgAddr := freeAddr(t), freeAddr(t)
+	args := []string{"-checkpoint-dir", ckptDir, "-debug-addr", dbgAddr}
+	d := launchDaemon(t, servAddr, args...)
+
+	lines := wordcount.GenerateLines(600, 8, 7)
+	want := wordcount.SequentialTotal(lines, wordcount.Heavy)
+
+	type result struct {
+		total float64
+		err   error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		total, err := wordcount.DistributedMapReduce(lines, wordcount.Heavy, wordcount.DistributedConfig{
+			Workers:   []string{d.addr},
+			ChunkSize: 4, // 150 chunk partials — the stream outlives the kill below
+			Remote: remote.Config{
+				Buffer:      1, // one credit in flight: every partial is a roundtrip
+				Recover:     true,
+				RecoverWait: 30 * time.Second,
+			},
+		})
+		resc <- result{total, err}
+	}()
+
+	// Kill once the worker has shipped a handful of partials — observed
+	// through its own /debug/streams — so the crash lands mid-stream with
+	// most of the 150 chunks still undelivered.
+	debugStreams(t, dbgAddr, func(r map[string]any) bool {
+		label, _ := r["label"].(string)
+		produced, _ := r["produced"].(float64)
+		return strings.Contains(label, wordcount.MapReduceGenerator) && produced >= 5
+	})
+	d.kill()
+	launchDaemon(t, servAddr, args...)
+
+	select {
+	case res := <-resc:
+		if res.err != nil {
+			t.Fatalf("distributed word count did not recover: %v", res.err)
+		}
+		if math.Abs(res.total-want) > 1e-6*math.Abs(want) {
+			t.Fatalf("recovered total %v, sequential reference %v", res.total, want)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("distributed word count stalled after the crash")
+	}
+
+	// Replay recovery counts under the same restore counter as snapshot
+	// resumption, and the restarted daemon's topology marks the handle.
+	debugStreams(t, dbgAddr, func(r map[string]any) bool {
+		label, _ := r["label"].(string)
+		resumed, _ := r["resumed"].(bool)
+		return resumed && strings.Contains(label, wordcount.MapReduceGenerator)
+	})
+	if restores := checkpointRestores(t, dbgAddr); restores < 1 {
+		t.Fatalf("checkpoint.restores = %v on restarted daemon, want >= 1", restores)
+	}
+}

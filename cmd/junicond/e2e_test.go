@@ -53,8 +53,38 @@ func buildDaemon(t *testing.T) string {
 // address from its "listening" log line.
 func startDaemon(t *testing.T, extraArgs ...string) string {
 	t.Helper()
+	return launchDaemon(t, "127.0.0.1:0", extraArgs...).addr
+}
+
+// daemonProc is a junicond child process the test can SIGKILL mid-stream
+// — the crash-recovery tests need the handle, not just the address.
+type daemonProc struct {
+	addr     string
+	cmd      *exec.Cmd
+	waitOnce sync.Once
+}
+
+// wait reaps the process exactly once; both kill and the cleanup funnel
+// through it so Wait is never called twice.
+func (d *daemonProc) wait() {
+	d.waitOnce.Do(func() { d.cmd.Wait() })
+}
+
+// kill delivers SIGKILL — the unclean death the checkpoint layer exists
+// for — and reaps the process.
+func (d *daemonProc) kill() {
+	d.cmd.Process.Kill()
+	d.wait()
+}
+
+// launchDaemon starts junicond on listen (a fixed address, or
+// "127.0.0.1:0" for an ephemeral port) and parses the bound address from
+// its "listening" log line. The returned handle lets a test kill the
+// process and restart a replacement on the same address.
+func launchDaemon(t *testing.T, listen string, extraArgs ...string) *daemonProc {
+	t.Helper()
 	bin := buildDaemon(t)
-	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	args := append([]string{"-addr", listen}, extraArgs...)
 	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -63,10 +93,11 @@ func startDaemon(t *testing.T, extraArgs ...string) string {
 	if err := cmd.Start(); err != nil {
 		t.Fatalf("start junicond: %v", err)
 	}
+	d := &daemonProc{cmd: cmd}
 	t.Cleanup(func() {
 		cmd.Process.Signal(syscall.SIGTERM)
 		done := make(chan struct{})
-		go func() { cmd.Wait(); close(done) }()
+		go func() { d.wait(); close(done) }()
 		select {
 		case <-done:
 		case <-time.After(5 * time.Second):
@@ -75,6 +106,8 @@ func startDaemon(t *testing.T, extraArgs ...string) string {
 		}
 	})
 	// The daemon logs `msg=listening addr=127.0.0.1:PORT ...` once bound.
+	// Keep draining stderr afterwards so a chatty daemon never blocks on a
+	// full pipe.
 	addrc := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(stderr)
@@ -85,18 +118,21 @@ func startDaemon(t *testing.T, extraArgs ...string) string {
 			}
 			for _, tok := range strings.Fields(line) {
 				if a, ok := strings.CutPrefix(tok, "addr="); ok {
-					addrc <- a
-					return
+					select {
+					case addrc <- a:
+					default:
+					}
 				}
 			}
 		}
 	}()
 	select {
 	case addr := <-addrc:
-		return addr
+		d.addr = addr
+		return d
 	case <-time.After(10 * time.Second):
 		t.Fatal("junicond did not report a listening address")
-		return ""
+		return nil
 	}
 }
 

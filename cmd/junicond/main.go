@@ -10,6 +10,7 @@
 //
 //	junicond -addr :9707                     serve built-in generators
 //	junicond -addr :9707 -allow-source       also serve vetted Junicon source
+//	junicond -addr :9707 -checkpoint-dir d   persist stream checkpoints in d
 //	junicond -addr :9707 -max-conns 16       bound concurrent streams
 //	junicond -addr :9707 -debug-addr :9708   expose /debug/vars, /debug/pprof,
 //	                                         /debug/trace, /debug/streams on a
@@ -57,6 +58,7 @@ func main() {
 		addr        = flag.String("addr", "127.0.0.1:9707", "listen address")
 		debugAddr   = flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/trace on this address (enables metrics)")
 		allowSource = flag.Bool("allow-source", false, "serve vetted Junicon source streams")
+		ckptDir     = flag.String("checkpoint-dir", "", "persist each stream's latest checkpoint snapshot in this directory")
 		noBatch     = flag.Bool("no-batch", false, "refuse batched (v3) streams and serve one VALUE frame per value")
 		maxConns    = flag.Int("max-conns", remote.DefaultMaxConns, "maximum concurrent connections")
 		idleTimeout = flag.Duration("idle-timeout", remote.DefaultIdleTimeout, "client silence tolerated before dropping a stream")
@@ -71,6 +73,7 @@ func main() {
 
 	srv := remote.NewServer()
 	srv.AllowSource = *allowSource
+	srv.CheckpointDir = *ckptDir
 	srv.MaxConns = *maxConns
 	srv.IdleTimeout = *idleTimeout
 	srv.Log = logger

@@ -29,8 +29,10 @@ func main() {
 	})
 	defer w.Stop()
 
-	// A healthy stage: produced and drained to exhaustion.
+	// A healthy stage: produced and drained to exhaustion. The Stop is a
+	// no-op on a drained pipe but states the release explicitly.
 	healthy := pipe.FromGen(core.IntRange(1, 5), 2)
+	defer healthy.Stop()
 	sum := int64(0)
 	for {
 		v, ok := healthy.Next()

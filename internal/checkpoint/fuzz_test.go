@@ -1,0 +1,181 @@
+package checkpoint_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"junicon/internal/checkpoint"
+	"junicon/internal/core"
+	"junicon/internal/interp"
+	"junicon/internal/semtest"
+	"junicon/internal/value"
+)
+
+// vmInterpWith is vmInterp over testing.TB (fuzz seeding runs under
+// *testing.F) and an arbitrary program.
+func vmInterpWith(t testing.TB, prog string) *interp.Interp {
+	t.Helper()
+	in := interp.New(interp.WithOutput(io.Discard), interp.WithVM())
+	if prog != "" {
+		if err := in.LoadProgram(prog); err != nil {
+			t.Fatalf("load: %v", err)
+		}
+	}
+	return in
+}
+
+// validBlob snapshots a mid-iteration generator for seeding the fuzzers.
+func validBlob(t testing.TB, expr string, cut int) []byte {
+	t.Helper()
+	in := vmInterpWith(t, program)
+	g, err := in.EvalGen(expr)
+	if err != nil {
+		t.Fatalf("eval %q: %v", expr, err)
+	}
+	for i := 0; i < cut; i++ {
+		g.Next()
+	}
+	blob, err := checkpoint.Snapshot(g, checkpoint.Meta{
+		Program: program, Expr: expr, Produced: uint64(cut),
+	})
+	if err != nil {
+		t.Fatalf("seed snapshot %q: %v", expr, err)
+	}
+	return blob
+}
+
+// FuzzSnapshotRoundTrip feeds arbitrary bytes — seeded with genuine blobs
+// and targeted corruptions of them — through the full decode path: Peek,
+// then a restore into a fresh interpreter, then a bounded drain of the
+// resumed generator. Truncations, bit flips and forged headers must error
+// loudly; nothing may panic, hang, or resume into a wrong state silently.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	for _, expr := range []string{"1 to 8", "gen(2, 6)", "outer(4)", "summing(6)"} {
+		blob := validBlob(f, expr, 2)
+		f.Add(blob)
+		// Targeted corruptions: every class the decoder must reject.
+		trunc := blob[:len(blob)/2]
+		f.Add(trunc)
+		f.Add(blob[:5])
+		forged := append([]byte(nil), blob...)
+		forged[4] = 0x7f // unknown version
+		f.Add(forged)
+		flip := append([]byte(nil), blob...)
+		flip[len(flip)-1] ^= 0x01
+		f.Add(flip)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("JSNP"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		meta, err := checkpoint.Peek(data)
+		if err != nil {
+			return // loud rejection is the expected outcome for junk
+		}
+		if meta == nil {
+			t.Fatal("Peek returned nil meta with nil error")
+		}
+		in := interp.New(interp.WithOutput(io.Discard), interp.WithVM())
+		if meta.Program != "" {
+			if err := in.LoadProgram(meta.Program); err != nil {
+				return // a forged program that fails to load is a loud rejection
+			}
+		}
+		g, _, err := in.RestoreSnapshot(data)
+		if err != nil {
+			return // structural validation rejected it: fine
+		}
+		// A restore that passed validation must yield a generator that can
+		// be driven without panics, bounded by a drain cap (a forged blob
+		// must not buy an infinite loop inside the harness).
+		_ = core.Protect(func() {
+			for i := 0; i < 200; i++ {
+				if _, ok := g.Next(); !ok {
+					return
+				}
+			}
+		})
+	})
+}
+
+// FuzzExprSnapshotAtYield is the property-based durability lane: a random
+// generator expression, snapshotted at a random yield, restored into a
+// fresh interpreter, must deliver exactly the reference suffix. Refusals
+// (host generators, opaque values) are fine; wrong values are not.
+func FuzzExprSnapshotAtYield(f *testing.F) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 16; i++ {
+		f.Add(semtest.RandomExpr(rng, 3), uint8(i))
+	}
+	f.Add("summing(4) + gen(1, 2)", uint8(3))
+	f.Fuzz(func(t *testing.T, expr string, rawCut uint8) {
+		if len(expr) > 512 {
+			t.Skip("oversized input")
+		}
+		c := semtest.Case{Name: "fuzz", Program: program, Expr: expr, Max: 100}
+		ref, err := semtest.Sequential(c)
+		if err != nil || ref.Failed {
+			t.Skip("rejected or failing under the reference lane")
+		}
+		if len(ref.Images) == 0 {
+			t.Skip("empty sequence: nothing to cut")
+		}
+		cut := int(rawCut) % (len(ref.Images) + 1)
+		in := vmInterpWith(t, c.Program)
+		g, err := in.EvalGen(c.Expr)
+		if err != nil {
+			t.Skip("vm lane rejected the expression")
+		}
+		var got []string
+		derr := core.Protect(func() {
+			for i := 0; i < cut; i++ {
+				v, ok := g.Next()
+				if !ok {
+					return
+				}
+				got = append(got, value.Image(value.Deref(v)))
+			}
+		})
+		if derr != nil || len(got) != cut {
+			t.Skip("vm lane diverged before the cut; FuzzCompiledSemantics owns that property")
+		}
+		blob, err := checkpoint.Snapshot(g, checkpoint.Meta{
+			Program: c.Program, Expr: c.Expr, Produced: uint64(cut),
+		})
+		if checkpoint.IsRefused(err) {
+			t.Skip("conservative refusal")
+		}
+		if err != nil {
+			t.Fatalf("snapshot at %d: %v", cut, err)
+		}
+		rg, _, err := vmInterpWith(t, c.Program).RestoreSnapshot(blob)
+		if err != nil {
+			t.Fatalf("restore at %d: %v", cut, err)
+		}
+		rerr := core.Protect(func() {
+			for i := 0; i < c.Max; i++ {
+				v, ok := rg.Next()
+				if !ok {
+					return
+				}
+				got = append(got, value.Image(value.Deref(v)))
+			}
+		})
+		if rerr != nil {
+			t.Fatalf("resumed drain raised: %v", rerr)
+		}
+		if len(got) != len(ref.Images) {
+			t.Fatalf("%q cut %d: %d values, want %d\nref = %v\ngot = %v",
+				expr, cut, len(got), len(ref.Images), ref.Images, got)
+		}
+		for i := range got {
+			if got[i] != ref.Images[i] {
+				t.Fatalf("%q cut %d diverged at %d:\nref = %v\ngot = %v",
+					expr, cut, i, ref.Images, got)
+			}
+		}
+	})
+}

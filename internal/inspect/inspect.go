@@ -66,6 +66,9 @@ const (
 	StateBlockedTake
 	StateDraining // producer finished; values remain for the consumer
 	StateDone
+	// StateMigrating: the client is cutting the stream over to another node
+	// — source draining, snapshot in flight, target not yet serving.
+	StateMigrating
 )
 
 func stateName(s int32) string {
@@ -80,6 +83,8 @@ func stateName(s int32) string {
 		return "draining"
 	case StateDone:
 		return "done"
+	case StateMigrating:
+		return "migrating"
 	}
 	return "unknown"
 }
@@ -99,6 +104,7 @@ type Handle struct {
 	lastActive   atomic.Int64  // UnixNano of the last produce/consume
 	consumesFrom atomic.Uint64 // stream ID this handle's consumer drains next
 	noted        atomic.Bool   // consumer edge recorded (once per generation)
+	resumed      atomic.Bool   // stream recovered from a checkpoint or replay
 	closed       atomic.Bool
 
 	depth atomic.Pointer[func() (int, int)] // queue depth and capacity probe
@@ -174,6 +180,27 @@ func (h *Handle) Draining() {
 		return
 	}
 	h.state.Store(StateDraining)
+}
+
+// Migrating marks the stream mid-cutover to another node (durable
+// generators: source drained, snapshot or replay in flight). Cleared by
+// Running when the target starts serving.
+func (h *Handle) Migrating() {
+	if h == nil {
+		return
+	}
+	h.state.Store(StateMigrating)
+}
+
+// NoteResumed marks the stream as having recovered — resumed from a
+// checkpoint snapshot or replayed after a crash. Sticky for the handle's
+// lifetime: /debug/streams shows which streams survived a failure.
+func (h *Handle) NoteResumed() {
+	if h == nil {
+		return
+	}
+	h.resumed.Store(true)
+	h.touch()
 }
 
 // SetDepthProbe installs a function reporting the transport queue's
@@ -356,6 +383,7 @@ type StreamInfo struct {
 	ConsumesFrom string `json:"consumes_from,omitempty"`
 	IdleNs       int64  `json:"idle_ns"`
 	AgeNs        int64  `json:"age_ns"`
+	Resumed      bool   `json:"resumed,omitempty"`
 	Diagnosis    string `json:"diagnosis,omitempty"`
 }
 
@@ -371,6 +399,7 @@ func (h *Handle) info(now time.Time, live bool) StreamInfo {
 		Credit:   h.credit.Load(),
 		IdleNs:   now.UnixNano() - h.lastActive.Load(),
 		AgeNs:    now.Sub(h.created).Nanoseconds(),
+		Resumed:  h.resumed.Load(),
 	}
 	if from := h.consumesFrom.Load(); from != 0 {
 		in.ConsumesFrom = StreamID(from)

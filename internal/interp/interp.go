@@ -20,6 +20,7 @@ import (
 	"junicon/internal/parser"
 	"junicon/internal/transform"
 	"junicon/internal/value"
+	"junicon/internal/vm"
 )
 
 // Env is a lexical scope chain of reified variables.
@@ -77,6 +78,9 @@ type Interp struct {
 	// SetVM re-toggles don't wrap wrappers.
 	vm         bool
 	vmCompiled map[*ast.ProcDecl]bool
+	// vmMachines maps compiled-unit names to their Machines — the resolver
+	// snapshot restore uses to rebuild call towers (checkpoint.Restore).
+	vmMachines map[string]*vm.Machine
 }
 
 // Option configures an interpreter.

@@ -130,6 +130,10 @@ func (in *Interp) compileProc(d *ast.ProcDecl) {
 		in.vmCompiled = map[*ast.ProcDecl]bool{}
 	}
 	in.vmCompiled[d] = true
+	if in.vmMachines == nil {
+		in.vmMachines = map[string]*vm.Machine{}
+	}
+	in.vmMachines[m.Code().Name] = m
 	cell.Set(value.NewProc(orig.Name, orig.Arity, func(args ...value.V) core.Gen {
 		if in.vm && in.tracer == nil {
 			return m.NewFrame(args...)

@@ -48,7 +48,7 @@ type Analyzer struct {
 
 // Analyzers returns the full suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{pipeStop, putAfterClose, telemetryGuard, inspectLeak}
+	return []*Analyzer{pipeStop, putAfterClose, telemetryGuard, inspectLeak, snapGuard}
 }
 
 // CheckSource parses src (named path for positions) and runs the suite,

@@ -314,3 +314,54 @@ func flush(q queue.Queue[int]) {
 		t.Fatalf("finding format: %q", s)
 	}
 }
+
+func TestSnapGuardDiscarded(t *testing.T) {
+	// Bare statement: blob and refusal both dropped.
+	wantChecks(t, `package p
+
+func save(g core.Gen) {
+	checkpoint.Snapshot(g, checkpoint.Meta{})
+}
+`, "snapguard")
+	// Blank error: the refusal vanishes.
+	wantChecks(t, `package p
+
+func save(g core.Gen) []byte {
+	blob, _ := checkpoint.Snapshot(g, checkpoint.Meta{})
+	return blob
+}
+`, "snapguard")
+	wantChecks(t, `package p
+
+func load(data []byte, m *vm.Machine) core.Gen {
+	g, _ := checkpoint.Restore(data, m, nil)
+	return g
+}
+`, "snapguard")
+}
+
+func TestSnapGuardHandled(t *testing.T) {
+	cases := []string{
+		// Error checked: the canonical refusal-aware shape.
+		`package p
+func save(g core.Gen) ([]byte, error) {
+	blob, err := checkpoint.Snapshot(g, checkpoint.Meta{})
+	if checkpoint.IsRefused(err) {
+		return nil, nil
+	}
+	return blob, err
+}`,
+		// Error propagated untouched.
+		`package p
+func peek(data []byte) (*checkpoint.Meta, error) { return checkpoint.Peek(data) }`,
+		// Suppressed explicitly.
+		`package p
+func fire(g core.Gen) {
+	//junilint:ignore — measured, refusal impossible here
+	checkpoint.Snapshot(g, checkpoint.Meta{})
+}`,
+	}
+	for _, src := range cases {
+		wantChecks(t, src)
+	}
+}

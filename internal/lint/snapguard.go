@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// snapguard keeps durable-generator host code honest about refusals. The
+// checkpoint API is deliberately two-faced: Snapshot/Peek/Restore return a
+// hard error for corruption AND a conservative Refused for state that
+// cannot travel (host generators, opaque values, mid-dispatch frames).
+// Host code that discards that error turns "this stream silently has no
+// crash protection" into a latent data-loss bug — the refusal must be
+// checked (checkpoint.IsRefused) so the caller can fall back to replay
+// recovery or surface the reason. Two shapes:
+//
+//   - a checkpoint.Snapshot/Peek/Restore call as a bare statement: every
+//     result, blob included, is dropped on the floor;
+//   - the error result assigned to the blank identifier: the blob is kept
+//     but a refusal would vanish.
+var snapGuard = &Analyzer{
+	Name: "snapguard",
+	Doc:  "checkpoint snapshot/restore results or refusal errors discarded",
+	Run:  runSnapGuard,
+}
+
+var snapCalls = map[string]bool{"Snapshot": true, "Peek": true, "Restore": true}
+
+func runSnapGuard(f *File) []Finding {
+	var out []Finding
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if name, call := pkgCall(s.X, "checkpoint"); call != nil && snapCalls[name] {
+				out = append(out, Finding{
+					Pos:   position(f, call),
+					Check: "snapguard",
+					Msg: fmt.Sprintf(
+						"checkpoint.%s result discarded: the blob is lost and a conservative refusal vanishes silently",
+						name),
+				})
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 {
+				return true
+			}
+			name, call := pkgCall(s.Rhs[0], "checkpoint")
+			if call == nil || !snapCalls[name] || len(s.Lhs) == 0 {
+				return true
+			}
+			last, ok := s.Lhs[len(s.Lhs)-1].(*ast.Ident)
+			if ok && last.Name == "_" {
+				out = append(out, Finding{
+					Pos:   position(f, call),
+					Check: "snapguard",
+					Msg: fmt.Sprintf(
+						"checkpoint.%s error discarded: check it with checkpoint.IsRefused and fall back to replay recovery",
+						name),
+				})
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -23,9 +24,11 @@ import (
 // ID as this client's consumer events — the hook that lets a distributed
 // trace be stitched across the process boundary.
 var (
-	cClientStreams = telemetry.NewCounter("remote.client.streams_opened")
-	cClientValues  = telemetry.NewCounter("remote.client.values")
-	cCreditsSent   = telemetry.NewCounter("remote.client.credits_sent")
+	cClientStreams    = telemetry.NewCounter("remote.client.streams_opened")
+	cClientValues     = telemetry.NewCounter("remote.client.values")
+	cCreditsSent      = telemetry.NewCounter("remote.client.credits_sent")
+	cClientRecoveries = telemetry.NewCounter("remote.client.recoveries")
+	cClientMigrations = telemetry.NewCounter("remote.client.migrations")
 )
 
 // Defaults for Config zero values.
@@ -42,11 +45,18 @@ const (
 	// Config.Batch is zero: the server may pack up to this many values
 	// into one frame.
 	DefaultBatch = 64
+	// DefaultRecoverWait bounds how long a recovering pipe keeps redialing
+	// a lost server before giving up and surfacing the original error.
+	DefaultRecoverWait = 10 * time.Second
 )
 
 // ErrDeadline reports that a Next call waited longer than Config.Deadline;
 // the stream is torn down so the pipe fails instead of hanging.
 var ErrDeadline = errors.New("remote: deadline exceeded waiting for next value")
+
+// errConnLost is the sentinel under every connection-loss failure — the
+// one class of stream death a Config.Recover pipe redials through.
+var errConnLost = errors.New("remote: connection lost")
 
 // RemoteError is a server-reported stream error: the serving generator
 // raised a runtime error or panicked (the remote analogue of pipe.Pipe's
@@ -79,6 +89,21 @@ type Config struct {
 	// Credit accounting is per value either way, so the Buffer bound —
 	// §3B's throttle — is unchanged by batching.
 	Batch int
+	// CheckpointEvery asks a v4 server to checkpoint the stream after every
+	// N delivered values (a SNAPSHOT frame piggybacked on the credit
+	// cadence, so the Buffer bound also bounds checkpoint lag); 0 disables
+	// interval checkpointing. Servers that refuse (non-resumable
+	// generators) say so once; the stream flows on regardless.
+	CheckpointEvery int
+	// Recover redials a lost connection and resumes the stream in place:
+	// from the last received checkpoint snapshot when one exists, else by
+	// deterministic replay (the server re-runs the generator and skips the
+	// values this pipe already delivered). The consumer sees one unbroken
+	// sequence — no values lost or duplicated.
+	Recover bool
+	// RecoverWait bounds total redial time per recovery; <= 0 selects
+	// DefaultRecoverWait.
+	RecoverWait time.Duration
 }
 
 func (c Config) buffer() int {
@@ -110,6 +135,13 @@ func (c Config) batch() int {
 		return DefaultBatch
 	}
 	return c.Batch
+}
+
+func (c Config) recoverWait() time.Duration {
+	if c.RecoverWait <= 0 {
+		return DefaultRecoverWait
+	}
+	return c.RecoverWait
 }
 
 // RemotePipe is a generator proxy whose producer runs in another process:
@@ -144,6 +176,24 @@ type RemotePipe struct {
 	debt    uint64
 	noBatch bool
 	redial  bool
+	// Durability state (protocol v4). verCap is the protocol ceiling
+	// learned from a server's versioned rejection (0 = newest); openedVer
+	// is what the current stream actually opened with. epoch counts stream
+	// incarnations — a credit grant captured under one epoch is dropped
+	// rather than written to a different incarnation's connection (the
+	// redial double-grant race). lastSnap/lastSnapAt hold the most recent
+	// checkpoint blob and the delivered count it corresponds to; snapWait
+	// is signaled when a SNAPSHOT answer (blob or refusal) lands; replay
+	// buffers values drained off a dying stream during migration, delivered
+	// before the target stream's.
+	verCap     byte
+	openedVer  byte
+	epoch      uint64
+	lastSnap   []byte
+	lastSnapAt uint64
+	snapReason string
+	snapWait   chan struct{}
+	replay     []value.V
 	// ih is the live-introspection handle for the current stream; nil when
 	// inspection was off at open time. Each (re)open registers afresh.
 	ih *inspect.Handle
@@ -210,19 +260,52 @@ func (p *RemotePipe) start() error {
 	if err != nil {
 		return fmt.Errorf("remote: dial %s: %w", p.addr, err)
 	}
+	ver := byte(openVersion)
+	if p.verCap != 0 && p.verCap < ver {
+		ver = p.verCap
+	}
+	if p.noBatch && ver > 2 {
+		// A server that rejected batching predates v3 entirely: speak the
+		// pre-batching protocol, which every server accepts.
+		ver = 2
+	}
 	open := p.spec
+	open.version = ver
 	open.credit = uint64(p.cfg.buffer())
 	open.stream = p.stream
 	if b := p.cfg.batch(); b > 1 && !p.noBatch {
 		open.batch = uint64(b)
-	} else {
-		// No batch capability to advertise: speak the pre-batching
-		// protocol, which every server accepts.
-		open.version = 2
+	}
+	if ver >= 4 && p.cfg.CheckpointEvery > 0 {
+		open.interval = uint64(p.cfg.CheckpointEvery)
+	}
+	// Continuation: a (re)open with results already delivered is a
+	// recovery or migration, not a fresh evaluation. Resume from the last
+	// checkpoint when one covers the delivered prefix (skip bridges the
+	// values delivered past the snapshot); otherwise ask the server to
+	// re-run the generator and skip the whole delivered prefix.
+	typ := frameOpen
+	if p.results > 0 {
+		if ver < 4 {
+			conn.Close()
+			return fmt.Errorf("remote: cannot resume stream at %s: server speaks protocol %d, need >= 4", p.addr, ver)
+		}
+		if p.lastSnap != nil && uint64(p.results) >= p.lastSnapAt {
+			open.mode = openResume
+			open.name, open.program, open.expr = "", "", ""
+			open.blob = p.lastSnap
+			open.skip = uint64(p.results) - p.lastSnapAt
+			typ = frameResume
+		} else {
+			open.skip = uint64(p.results)
+		}
 	}
 	p.batch = int(open.batch)
 	p.debt = 0
-	if err := writeFrame(conn, frameOpen, open.marshal()); err != nil {
+	p.openedVer = ver
+	p.epoch++
+	p.snapWait = nil
+	if err := writeFrame(conn, typ, open.marshal()); err != nil {
 		conn.Close()
 		return fmt.Errorf("remote: open %s: %w", p.addr, err)
 	}
@@ -239,10 +322,16 @@ func (p *RemotePipe) start() error {
 		}
 		p.ih = inspect.Register(p.stream, inspect.KindRemoteClient, "remote:"+p.addr)
 		p.ih.SetCredit(int64(open.credit))
+		if p.results > 0 {
+			p.ih.NoteResumed()
+		}
 		probe := p.out
 		p.ih.SetDepthProbe(func() (int, int) { return probe.Len(), probe.Cap() })
 	} else {
 		p.ih = nil
+	}
+	if p.results > 0 && telemetry.On() {
+		cClientRecoveries.Inc()
 	}
 	p.started = true
 	p.err = nil
@@ -283,7 +372,7 @@ func (p *RemotePipe) readLoop(conn net.Conn, out queue.Queue[value.V], done chan
 		conn.SetReadDeadline(time.Now().Add(liveness))
 		typ, payload, err := readFrame(conn)
 		if err != nil {
-			p.fail(fmt.Errorf("remote: connection lost: %w", err))
+			p.fail(fmt.Errorf("%w: %v", errConnLost, err))
 			return
 		}
 		switch typ {
@@ -332,6 +421,13 @@ func (p *RemotePipe) readLoop(conn net.Conn, out queue.Queue[value.V], done chan
 			}
 		case frameEOS:
 			return // clean end: generator failed
+		case frameSnapshot:
+			produced, ok, rest, err := parseSnapshot(payload)
+			if err != nil {
+				p.fail(err)
+				return
+			}
+			p.noteSnapshot(produced, ok, rest)
 		case frameErr:
 			if p.noteDowngrade(string(payload)) {
 				// A pre-batching server refused our v3 OPEN; the teardown in
@@ -369,34 +465,79 @@ func (p *RemotePipe) pingLoop(stop, done chan struct{}) {
 	}
 }
 
-// noteDowngrade recognizes a version rejection from a pre-batching server
-// and arranges a silent reopen at protocol v2 instead of surfacing the
-// rejection as a stream error. Only the versioned-OPEN rejection message
-// is treated this way, and only once per pipe.
+// noteDowngrade recognizes a version rejection from an older server and
+// arranges a silent reopen at the version the server names instead of
+// surfacing the rejection as a stream error. Only the versioned-OPEN
+// rejection message is treated this way, and only when it actually names
+// a lower version than we sent (anything else is a real error).
 func (p *RemotePipe) noteDowngrade(msg string) bool {
-	if !strings.Contains(msg, "protocol version") || !strings.Contains(msg, "want <= ") {
+	if !strings.Contains(msg, "protocol version") {
+		return false
+	}
+	i := strings.LastIndex(msg, "want <= ")
+	if i < 0 {
+		return false
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(msg[i+len("want <= "):]))
+	if err != nil || n < 1 {
 		return false
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.batch == 0 || p.noBatch {
-		return false // we already spoke v2; this is a real error
+	if byte(n) >= p.openedVer {
+		return false // the server accepts what we sent; this is a real error
 	}
-	p.noBatch = true
+	p.verCap = byte(n)
+	if n < 3 {
+		p.noBatch = true // pre-batching server
+	}
 	p.redial = true
 	return true
 }
+
+// noteSnapshot records a SNAPSHOT answer: the latest checkpoint blob (or
+// the server's refusal) plus the delivered count it corresponds to, and
+// wakes a Migrate waiting on it.
+func (p *RemotePipe) noteSnapshot(produced uint64, ok bool, rest []byte) {
+	p.mu.Lock()
+	if ok {
+		p.lastSnap = append([]byte(nil), rest...)
+		p.lastSnapAt = produced
+		p.snapReason = ""
+	} else {
+		p.snapReason = string(rest)
+	}
+	ch := p.snapWait
+	p.snapWait = nil
+	p.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// testHookFlushPause, when set, runs between a flushCredits debt capture
+// and its CREDIT write — the window the double-grant regression test uses
+// to interleave a redial deterministically.
+var testHookFlushPause func()
 
 // flushCredits grants the producer every credit accumulated since the last
 // grant in one CREDIT frame. With demand set a frame is sent even when no
 // credits are owed: CREDIT(0) is the pure demand ping a consumer about to
 // block sends so a batching server flushes its partial run (a pre-batching
 // server deposits zero, harmlessly).
+//
+// The grant is pinned to the stream incarnation it was captured under:
+// debt is zeroed under p.mu, but the CREDIT write happens later, and a
+// redial (version downgrade, crash recovery, migration) can swap p.conn in
+// between. A fresh stream already opens with a full-buffer grant, so a
+// stale grant landing on it would over-credit the producer past the §3B
+// bound — the epoch check drops it instead.
 func (p *RemotePipe) flushCredits(demand bool) {
 	p.mu.Lock()
 	debt := p.debt
 	p.debt = 0
 	stream := p.stream
+	epoch := p.epoch
 	p.mu.Unlock()
 	if debt == 0 && !demand {
 		return
@@ -404,18 +545,35 @@ func (p *RemotePipe) flushCredits(demand bool) {
 	if stream != 0 && telemetry.On() {
 		cCreditsSent.Inc()
 	}
-	p.sendFrame(frameCredit, creditPayload(debt)) // best effort; loss surfaces in readLoop
+	if testHookFlushPause != nil {
+		testHookFlushPause()
+	}
+	p.sendFrameEpoch(frameCredit, creditPayload(debt), epoch) // best effort; loss surfaces in readLoop
 }
 
-// sendFrame serializes control-frame writes.
+// sendFrame serializes control-frame writes against the current stream.
 func (p *RemotePipe) sendFrame(typ byte, payload []byte) error {
+	p.mu.Lock()
+	epoch := p.epoch
+	p.mu.Unlock()
+	return p.sendFrameEpoch(typ, payload, epoch)
+}
+
+// sendFrameEpoch writes a control frame only if the stream incarnation is
+// still the one the frame was composed for; a frame that raced a redial is
+// dropped, not delivered to the wrong stream.
+func (p *RemotePipe) sendFrameEpoch(typ byte, payload []byte, epoch uint64) error {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
 	p.mu.Lock()
 	conn := p.conn
+	cur := p.epoch
 	p.mu.Unlock()
 	if conn == nil {
 		return errors.New("remote: stream not open")
+	}
+	if cur != epoch {
+		return nil // stale frame for a dead incarnation: drop silently
 	}
 	return writeFrame(conn, typ, payload)
 }
@@ -427,6 +585,16 @@ func (p *RemotePipe) sendFrame(typ byte, payload []byte) error {
 // wire.
 func (p *RemotePipe) Next() (value.V, bool) {
 	p.mu.Lock()
+	if len(p.replay) > 0 {
+		// Values drained off the previous incarnation during migration:
+		// deliver them before touching the new stream. Their credits were
+		// spent on the old connection, so no grant is owed here.
+		v := p.replay[0]
+		p.replay = p.replay[1:]
+		p.results++
+		p.mu.Unlock()
+		return v, true
+	}
 	if !p.started {
 		if err := p.start(); err != nil {
 			p.started = true // don't re-dial every Next; Restart resets
@@ -473,17 +641,28 @@ func (p *RemotePipe) Next() (value.V, bool) {
 	if err != nil {
 		p.mu.Lock()
 		if p.redial {
-			// The server rejected our v3 OPEN; reopen at v2 transparently.
+			// The server named a lower protocol version; reopen there
+			// transparently.
 			p.redial = false
-			p.started = false
-			p.err = nil
-			if p.pingStop != nil {
-				close(p.pingStop)
-				p.pingStop = nil
-			}
-			p.conn = nil
+			p.detachLocked()
 			p.mu.Unlock()
 			return p.Next()
+		}
+		serr := p.err
+		if p.recoverableLocked(serr) {
+			var re *RemoteError
+			if errors.As(serr, &re) && strings.Contains(re.Msg, "resume rejected") {
+				// The snapshot didn't take (stale blob, resume disabled):
+				// drop it and recover by deterministic replay instead.
+				p.lastSnap = nil
+				p.lastSnapAt = 0
+			}
+			p.detachLocked()
+			p.mu.Unlock()
+			if p.reconnect() {
+				return p.Next()
+			}
+			return nil, false
 		}
 		p.mu.Unlock()
 		return nil, false
@@ -538,6 +717,185 @@ func (p *RemotePipe) StartEager() {
 	}
 }
 
+// detachLocked abandons the current stream's client state so the next
+// Next opens a fresh one; the readLoop's teardown (triggered by the queue
+// close that got us here) owns the connection. Caller holds p.mu.
+func (p *RemotePipe) detachLocked() {
+	p.started = false
+	p.err = nil
+	if p.pingStop != nil {
+		close(p.pingStop)
+		p.pingStop = nil
+	}
+	p.conn = nil
+}
+
+// recoverableLocked reports whether a terminated stream should be redialed
+// and resumed rather than surfaced: only under Config.Recover, and only
+// for connection loss or a rejected resume (which retries as replay). A
+// server-side producer error, a vet rejection, or a consumer deadline is
+// final either way. Caller holds p.mu.
+func (p *RemotePipe) recoverableLocked(err error) bool {
+	if !p.cfg.Recover || err == nil {
+		return false
+	}
+	if errors.Is(err, errConnLost) {
+		return true
+	}
+	var re *RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, "resume rejected")
+}
+
+// reconnect redials until a stream opens or RecoverWait elapses — the
+// window a crashed server (junicond restarting under a supervisor) has to
+// come back. Returns false with the final dial error recorded.
+func (p *RemotePipe) reconnect() bool {
+	deadline := time.Now().Add(p.cfg.recoverWait())
+	for {
+		p.mu.Lock()
+		if p.started {
+			p.mu.Unlock()
+			return true
+		}
+		err := p.start()
+		p.mu.Unlock()
+		if err == nil {
+			return true
+		}
+		if time.Now().After(deadline) {
+			p.fail(err)
+			p.mu.Lock()
+			p.started = true // stop re-dialing on every Next; Restart resets
+			if p.out == nil {
+				p.out = queue.NewArrayBlocking[value.V](1)
+			}
+			p.out.Close()
+			p.mu.Unlock()
+			return false
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// Migrate moves the live stream to the junicond at target mid-iteration
+// with no values lost or duplicated: demand a snapshot from the source
+// (SNAPREQ), drain everything the source already shipped into the replay
+// buffer, cut the connection, and let the next Next open the target with
+// RESUME (or deterministic replay when the source refused to snapshot).
+// The §3B credit window caps what can be in flight during the cutover, so
+// the drain is bounded by the pipe's buffer.
+func (p *RemotePipe) Migrate(target string) error {
+	p.mu.Lock()
+	if !p.started || p.conn == nil || p.err != nil {
+		// Nothing live to hand over: just point the pipe at the target.
+		// With results already delivered, the next Next resumes there.
+		p.addr = target
+		p.mu.Unlock()
+		return nil
+	}
+	ih := p.ih
+	out := p.out
+	done := p.done
+	var ch chan struct{}
+	if p.openedVer >= 4 {
+		ch = make(chan struct{})
+		p.snapWait = ch
+	}
+	p.mu.Unlock()
+	ih.Migrating()
+	if telemetry.On() {
+		cClientMigrations.Inc()
+	}
+
+	var replay []value.V
+	drain := func() {
+		for {
+			v, ok, err := out.TryTake()
+			if err != nil || !ok {
+				return
+			}
+			replay = append(replay, v)
+		}
+	}
+	if ch != nil {
+		p.sendFrame(frameSnapReq, nil)
+		// Wait for the snapshot answer while draining the queue: the
+		// producer may need the read loop unblocked (queue full) before it
+		// can reach the SNAPREQ, and every value it ships before the
+		// SNAPSHOT marker must be in hand for the resume arithmetic.
+		deadline := time.Now().Add(p.cfg.recoverWait())
+		for waiting := true; waiting; {
+			drain()
+			select {
+			case <-ch:
+				waiting = false
+			case <-done:
+				waiting = false
+			case <-time.After(time.Millisecond):
+				if time.Now().After(deadline) {
+					waiting = false // no answer: fall back to replay recovery
+				}
+			}
+		}
+	}
+	// Cut over: stop the source stream and collect everything it shipped.
+	// The SNAPSHOT frame is ordered after every value its count covers, so
+	// after this final drain delivered+replay >= lastSnapAt — the resume
+	// skip is never negative.
+	p.sendFrame(frameCancel, nil)
+	p.mu.Lock()
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+	if p.pingStop != nil {
+		close(p.pingStop)
+		p.pingStop = nil
+	}
+	p.mu.Unlock()
+	if done != nil {
+		<-done // readLoop finished: the queue is closed, nothing more arrives
+	}
+	drain()
+	p.mu.Lock()
+	p.started = false
+	p.err = nil
+	p.addr = target
+	p.replay = append(p.replay, replay...)
+	p.mu.Unlock()
+	return nil
+}
+
+// KillConn severs the transport abruptly — no CANCEL, no teardown of the
+// local state machine — exactly what a crashed peer or cut network looks
+// like. It is the chaos hook the kill/recovery tests drive; real code has
+// no reason to call it.
+func (p *RemotePipe) KillConn() {
+	p.mu.Lock()
+	conn := p.conn
+	p.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// Checkpointed reports the delivered-value count of the last checkpoint
+// snapshot received, and whether one exists.
+func (p *RemotePipe) Checkpointed() (uint64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastSnapAt, p.lastSnap != nil
+}
+
+// SnapshotRefusal reports the server's reason for declining to checkpoint
+// this stream, if it has declined ("" otherwise) — surfaced so operators
+// can tell replay-recovery streams from snapshot-recovery ones.
+func (p *RemotePipe) SnapshotRefusal() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snapReason
+}
+
 // stopLocked cancels the current stream. Caller holds p.mu.
 func (p *RemotePipe) stopLocked() {
 	if p.conn != nil {
@@ -582,6 +940,10 @@ func (p *RemotePipe) Restart() {
 	}
 	p.err = nil
 	p.results = 0
+	p.lastSnap = nil
+	p.lastSnapAt = 0
+	p.snapReason = ""
+	p.replay = nil
 }
 
 // Step implements the activation operator @ on the remote pipe.

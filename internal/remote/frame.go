@@ -69,6 +69,15 @@ const (
 	framePong   byte = 0x07 // either: probe answer
 	frameCancel byte = 0x08 // client→server: stop the stream
 	frameValues byte = 0x09 // server→client: a batch of wire-encoded results
+	// Durable-generator frames (protocol v4). SNAPSHOT piggybacks on the
+	// credit-grant cadence — the server emits one after every checkpoint
+	// interval of delivered values, so §3B flow control bounds checkpoint
+	// lag exactly as it bounds queue depth. RESUME is an alternative opening
+	// frame carrying a snapshot blob; SNAPREQ forces an immediate snapshot
+	// (the migration handshake).
+	frameSnapshot byte = 0x0a // server→client: checkpoint blob or refusal
+	frameResume   byte = 0x0b // client→server: open by restoring a snapshot
+	frameSnapReq  byte = 0x0c // client→server: demand a snapshot now
 )
 
 // MaxFrame bounds a single frame payload; larger length prefixes are
@@ -96,6 +105,12 @@ func frameName(t byte) string {
 		return "CANCEL"
 	case frameValues:
 		return "VALUES"
+	case frameSnapshot:
+		return "SNAPSHOT"
+	case frameResume:
+		return "RESUME"
+	case frameSnapReq:
+		return "SNAPREQ"
 	}
 	return fmt.Sprintf("frame %#x", t)
 }
@@ -152,14 +167,18 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 // added the client's batch capability — the largest VALUES frame element
 // count it accepts, 0 meaning per-value VALUE frames only. Lower-version
 // peers (missing fields) are still accepted and read as zero values, and
-// a server capped below 3 (Server.MaxProtocol) rejects a v3 OPEN with a
-// versioned message the client recognizes and redials down from.
-const openVersion = 3
+// a server capped below the client's version (Server.MaxProtocol) rejects
+// the OPEN with a versioned message the client recognizes and redials down
+// from. Version 4 added durable generators: the checkpoint interval and
+// recovery skip count in OPEN, the RESUME opening frame, and the
+// SNAPSHOT/SNAPREQ exchange.
+const openVersion = 4
 
 // Open modes.
 const (
 	openNamed  byte = 0 // a generator registered on the server
 	openSource byte = 1 // a vetted Junicon source program + expression
+	openResume byte = 2 // a checkpoint snapshot to restore (v4)
 )
 
 // openReq is the decoded OPEN payload.
@@ -169,10 +188,17 @@ type openReq struct {
 	credit  uint64 // initial credit grant == client pipe buffer
 	stream  uint64 // client telemetry stream ID; 0 = unobserved client
 	batch   uint64 // max VALUES batch the client accepts; 0 = no batching
-	name    string // openNamed
-	program string // openSource: declarations (may be empty)
-	expr    string // openSource: the generator expression
-	args    []byte // wire-encoded argument list (decoded lazily server-side)
+	// v4 durability fields. interval asks the server to emit a SNAPSHOT
+	// after every interval delivered values (0 = never). skip asks the
+	// server to discard that many leading values before the first delivery
+	// — crash recovery replays deterministically up to the resume point.
+	interval uint64
+	skip     uint64
+	name     string // openNamed
+	program  string // openSource: declarations (may be empty)
+	expr     string // openSource: the generator expression
+	blob     []byte // openResume: the checkpoint snapshot
+	args     []byte // wire-encoded argument list (decoded lazily server-side)
 }
 
 func appendUvarint(b []byte, u uint64) []byte {
@@ -196,12 +222,19 @@ func (o *openReq) marshal() []byte {
 	if ver >= 3 {
 		b = appendUvarint(b, o.batch)
 	}
+	if ver >= 4 {
+		b = appendUvarint(b, o.interval)
+		b = appendUvarint(b, o.skip)
+	}
 	switch o.mode {
 	case openNamed:
 		b = appendString(b, o.name)
 	case openSource:
 		b = appendString(b, o.program)
 		b = appendString(b, o.expr)
+	case openResume:
+		b = appendUvarint(b, uint64(len(o.blob)))
+		b = append(b, o.blob...)
 	}
 	return append(b, o.args...)
 }
@@ -242,6 +275,19 @@ func (r *byteReader) string() (string, error) {
 	return s, nil
 }
 
+func (r *byteReader) bytes() ([]byte, error) {
+	u, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if u > uint64(len(r.buf)-r.pos) {
+		return nil, errors.New("remote: truncated bytes in OPEN payload")
+	}
+	b := r.buf[r.pos : r.pos+int(u)]
+	r.pos += int(u)
+	return b, nil
+}
+
 func parseOpen(payload []byte, maxVer byte) (*openReq, error) {
 	r := &byteReader{buf: payload}
 	ver, err := r.byte()
@@ -268,6 +314,14 @@ func parseOpen(payload []byte, maxVer byte) (*openReq, error) {
 			return nil, err
 		}
 	}
+	if ver >= 4 {
+		if o.interval, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if o.skip, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+	}
 	switch o.mode {
 	case openNamed:
 		if o.name, err = r.string(); err != nil {
@@ -280,11 +334,47 @@ func parseOpen(payload []byte, maxVer byte) (*openReq, error) {
 		if o.expr, err = r.string(); err != nil {
 			return nil, err
 		}
+	case openResume:
+		if ver < 4 {
+			return nil, fmt.Errorf("remote: RESUME requires protocol version 4, got %d", ver)
+		}
+		if o.blob, err = r.bytes(); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("remote: unknown OPEN mode %d", o.mode)
 	}
 	o.args = payload[r.pos:]
 	return o, nil
+}
+
+// ---- SNAPSHOT payload ----
+
+// snapshotPayload encodes a SNAPSHOT frame: the delivered-value count the
+// snapshot corresponds to, an ok byte, then either the checkpoint blob
+// (ok=1) or a human-readable refusal reason (ok=0). A refusal is a normal
+// answer, not an error — the stream keeps flowing and the client falls
+// back to replay recovery.
+func snapshotPayload(produced uint64, ok bool, rest []byte) []byte {
+	b := appendUvarint(nil, produced)
+	if ok {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return append(b, rest...)
+}
+
+func parseSnapshot(payload []byte) (produced uint64, ok bool, rest []byte, err error) {
+	r := &byteReader{buf: payload}
+	if produced, err = r.uvarint(); err != nil {
+		return 0, false, nil, errors.New("remote: bad SNAPSHOT payload")
+	}
+	okb, err := r.byte()
+	if err != nil {
+		return 0, false, nil, errors.New("remote: bad SNAPSHOT payload")
+	}
+	return produced, okb != 0, payload[r.pos:], nil
 }
 
 // creditPayload encodes a CREDIT grant.

@@ -6,6 +6,8 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"os"
+	"path/filepath"
 	"runtime/pprof"
 	"sort"
 	"strconv"
@@ -15,6 +17,7 @@ import (
 	"time"
 
 	"junicon/internal/analyze"
+	"junicon/internal/checkpoint"
 	"junicon/internal/core"
 	"junicon/internal/inspect"
 	"junicon/internal/interp"
@@ -83,6 +86,12 @@ type Server struct {
 	// message newer clients recognize and redial down from — the knob the
 	// interop tests (and junicond -no-batch) use.
 	MaxProtocol int
+	// CheckpointDir, when set, persists the latest checkpoint snapshot of
+	// every stream that produces one (interval or SNAPREQ) to
+	// <dir>/<stream>.snap via atomic rename — the durable server-side copy
+	// behind junicond -checkpoint-dir. Persistence failures are logged,
+	// never fatal to the stream.
+	CheckpointDir string
 	// Log, when set, receives structured per-connection lifecycle events
 	// (stream open / done / refused) including the stream's telemetry ID,
 	// so log lines correlate with trace events and client-side logs.
@@ -285,6 +294,7 @@ type stream struct {
 	cond      sync.Cond
 	credits   uint64
 	cancelled bool
+	snapReq   bool // a SNAPREQ frame awaits a forced snapshot answer
 }
 
 func newStream(initial uint64) *stream {
@@ -293,22 +303,30 @@ func newStream(initial uint64) *stream {
 	return st
 }
 
-// acquire blocks until one credit is available or the stream is cancelled;
-// it reports whether a credit was taken and whether it had to wait. A
-// wait is a credit stall: the client's buffer bound throttling this
-// producer across the wire.
-func (st *stream) acquire() (ok, waited bool) {
+// acquire blocks until one credit is available, the stream is cancelled,
+// or a forced snapshot is demanded; it reports whether a credit was taken,
+// whether it had to wait, and whether a SNAPREQ must be answered first
+// (snap consumes the request; no credit is taken). A wait is a credit
+// stall: the client's buffer bound throttling this producer across the
+// wire. Checking snapReq before the credit balance guarantees a migrating
+// client — which has stopped consuming — always gets its snapshot answer
+// instead of the producer racing ahead on leftover credits.
+func (st *stream) acquire() (ok, waited, snap bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	for st.credits == 0 && !st.cancelled {
+	for st.credits == 0 && !st.cancelled && !st.snapReq {
 		waited = true
 		st.cond.Wait()
 	}
 	if st.cancelled {
-		return false, waited
+		return false, waited, false
+	}
+	if st.snapReq {
+		st.snapReq = false
+		return false, waited, true
 	}
 	st.credits--
-	return true, waited
+	return true, waited, false
 }
 
 // available reports the current credit balance without taking any — the
@@ -333,14 +351,22 @@ func (st *stream) cancel() {
 	st.mu.Unlock()
 }
 
+// requestSnap demands a forced snapshot from the producer (SNAPREQ).
+func (st *stream) requestSnap() {
+	st.mu.Lock()
+	st.snapReq = true
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
 // handleConn runs one stream: OPEN, then produce under credit control
 // until EOS/ERR/cancel.
 func (s *Server) handleConn(conn net.Conn) {
 	idle := s.idleTimeout()
 	conn.SetReadDeadline(time.Now().Add(idle))
 	typ, payload, err := readFrame(conn)
-	if err != nil || typ != frameOpen {
-		writeFrame(conn, frameErr, []byte("expected OPEN frame"))
+	if err != nil || (typ != frameOpen && typ != frameResume) {
+		writeFrame(conn, frameErr, []byte("expected OPEN or RESUME frame"))
 		return
 	}
 	open, err := parseOpen(payload, s.maxProtocol())
@@ -348,7 +374,11 @@ func (s *Server) handleConn(conn net.Conn) {
 		writeFrame(conn, frameErr, []byte(err.Error()))
 		return
 	}
-	gen, err := s.buildGenerator(open)
+	if (typ == frameResume) != (open.mode == openResume) {
+		writeFrame(conn, frameErr, []byte("RESUME frame and resume mode must pair"))
+		return
+	}
+	gen, smeta, base, err := s.buildGenerator(open)
 	if err != nil {
 		writeFrame(conn, frameErr, []byte(err.Error()))
 		s.log().Warn("stream refused",
@@ -362,8 +392,11 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	// The generator this stream serves, for logs and trace labels.
 	what := open.name
-	if open.mode == openSource {
+	switch open.mode {
+	case openSource:
 		what = "source"
+	case openResume:
+		what = "resume"
 	}
 	st := newStream(open.credit)
 	var wmu sync.Mutex // serializes VALUE/EOS/ERR (producer) with PONG (reader)
@@ -427,6 +460,16 @@ func (s *Server) handleConn(conn net.Conn) {
 			"serve:"+what+"<-"+conn.RemoteAddr().String())
 		ih.SetCredit(int64(open.credit))
 	}
+	// A resumed stream (snapshot restore or replay skip) is a recovery:
+	// mark the handle so /debug/streams shows which streams survived, and
+	// count replay recoveries under the same counter as snapshot restores
+	// (which count inside checkpoint.Restore).
+	if open.mode == openResume || open.skip > 0 {
+		if open.mode != openResume {
+			checkpoint.MarkRestored()
+		}
+		ih.NoteResumed()
+	}
 	// The stream ID arrived in the OPEN frame: server-side events carry
 	// the client's ID, which is what stitches the two processes' traces.
 	telemetry.Emit(open.stream, telemetry.KindStreamOpen, "serve:"+what, int64(open.credit))
@@ -466,6 +509,49 @@ func (s *Server) handleConn(conn net.Conn) {
 			writeFrame(conn, frameErr, []byte(msg))
 			wmu.Unlock()
 		}
+		// takeSnap checkpoints the stream between Next calls (only this
+		// goroutine drives gen, so the frame is suspended and consistent)
+		// and answers with one SNAPSHOT frame — the blob on success, the
+		// refusal reason otherwise. The batch flush first means every
+		// delivered value the snapshot accounts for precedes the marker on
+		// the wire. Returns false when interval snapshotting should stop
+		// (refusal is sticky; a forced SNAPREQ still always gets an answer).
+		interval := open.interval
+		snapFile := fmt.Sprintf("%016x", open.stream)
+		if open.stream == 0 {
+			snapFile = fmt.Sprintf("conn-%d", s.served.Load())
+		}
+		takeSnap := func() bool {
+			if flush() != nil {
+				return false
+			}
+			total := base + open.skip + uint64(sent.Load())
+			answer := func(ok bool, rest []byte) error {
+				wmu.Lock()
+				defer wmu.Unlock()
+				return writeFrame(conn, frameSnapshot, snapshotPayload(total, ok, rest))
+			}
+			if smeta.Expr == "" {
+				answer(false, []byte("named generator has no source expression to restore from"))
+				return false
+			}
+			meta := smeta
+			meta.Produced = total
+			blob, serr := checkpoint.Snapshot(gen, meta)
+			if serr != nil {
+				answer(false, []byte(serr.Error()))
+				return false
+			}
+			if werr := answer(true, blob); werr != nil {
+				return false
+			}
+			if s.CheckpointDir != "" {
+				if perr := persistSnapshot(s.CheckpointDir, snapFile, blob); perr != nil {
+					s.log().Warn("checkpoint persist failed", "file", snapFile, "err", perr.Error())
+				}
+			}
+			return true
+		}
 		// Contain panics like pipe.start does: an Icon runtime error or a
 		// foreign panic in a served generator must not crash the daemon —
 		// it becomes an ERR frame, the remote Pipe.Err.
@@ -479,6 +565,21 @@ func (s *Server) handleConn(conn net.Conn) {
 					}
 				}
 			}()
+			// Recovery skip: replay the deterministic prefix the client
+			// already delivered before its crash (or beyond its last
+			// snapshot), discarding without consuming credits — the skipped
+			// values were paid for by the previous incarnation's credits.
+			for skipped := uint64(0); skipped < open.skip; skipped++ {
+				if _, ok := gen.Next(); !ok {
+					flush()
+					wmu.Lock()
+					writeFrame(conn, frameEOS, nil)
+					wmu.Unlock()
+					setReason("eos during recovery skip")
+					return nil
+				}
+			}
+			snapOK := true
 			for {
 				var stallStart time.Time
 				if telemetry.Active() {
@@ -496,7 +597,7 @@ func (s *Server) handleConn(conn net.Conn) {
 				if ih != nil {
 					ih.BlockedPut()
 				}
-				ok, waited := st.acquire()
+				ok, waited, snap := st.acquire()
 				if ih != nil {
 					ih.Running()
 					ih.SetCredit(int64(st.available()))
@@ -509,6 +610,12 @@ func (s *Server) handleConn(conn net.Conn) {
 						cCreditStallNs.Add(time.Since(stallStart).Nanoseconds())
 					}
 					telemetry.EmitSpan(open.stream, telemetry.KindCreditStall, "serve:"+what, 0, stallStart)
+				}
+				if snap {
+					// SNAPREQ: the migration handshake. Always answered —
+					// with the blob or a refusal — so Migrate never hangs.
+					takeSnap()
+					continue
 				}
 				if !ok {
 					setReason("cancelled")
@@ -568,6 +675,13 @@ func (s *Server) handleConn(conn net.Conn) {
 				if telemetry.On() {
 					cServerValues.Inc()
 				}
+				// Interval checkpointing piggybacks on the credit cadence:
+				// a snapshot lands after every interval delivered values, so
+				// the client's buffer bound also bounds checkpoint lag.
+				if interval > 0 && snapOK &&
+					(base+open.skip+uint64(sent.Load()))%interval == 0 {
+					snapOK = takeSnap()
+				}
 			}
 		}()
 		if err != nil {
@@ -602,6 +716,8 @@ reader:
 			wmu.Lock()
 			writeFrame(conn, framePong, nil)
 			wmu.Unlock()
+		case frameSnapReq:
+			st.requestSnap()
 		case frameCancel:
 			st.cancel()
 		default:
@@ -631,26 +747,57 @@ reader:
 		"dur", time.Since(opened))
 }
 
-// buildGenerator resolves an OPEN request to the generator it serves.
-func (s *Server) buildGenerator(open *openReq) (core.Gen, error) {
+// buildGenerator resolves an OPEN or RESUME request to the generator it
+// serves, the metadata future snapshots of this stream carry, and — for a
+// restored snapshot — the count of values its generator already delivered
+// in a previous incarnation (the stream's absolute position is base +
+// skip + values sent here).
+func (s *Server) buildGenerator(open *openReq) (gen core.Gen, smeta checkpoint.Meta, base uint64, err error) {
 	args, err := decodeArgs(open.args)
 	if err != nil {
-		return nil, err
+		return nil, smeta, 0, err
 	}
 	switch open.mode {
 	case openNamed:
 		g, ok := s.lookup(open.name)
 		if !ok {
-			return nil, fmt.Errorf("unknown generator %q (registered: %s)", open.name, strings.Join(s.Names(), ", "))
+			return nil, smeta, 0, fmt.Errorf("unknown generator %q (registered: %s)", open.name, strings.Join(s.Names(), ", "))
 		}
-		return g(args)
+		gen, err = g(args)
+		return gen, checkpoint.Meta{Name: open.name, Args: args}, 0, err
 	case openSource:
 		if !s.AllowSource {
-			return nil, fmt.Errorf("source streams are disabled on this server")
+			return nil, smeta, 0, fmt.Errorf("source streams are disabled on this server")
 		}
-		return s.sourceGenerator(open.program, open.expr, args)
+		in, err := s.sourceInterp(open.program, open.expr, args)
+		if err != nil {
+			return nil, smeta, 0, err
+		}
+		gen, err = in.EvalGen(open.expr)
+		return gen, checkpoint.Meta{Program: open.program, Expr: open.expr, Args: args}, 0, err
+	case openResume:
+		// A snapshot blob carries arbitrary source, so restoring is gated
+		// exactly like source streams, with the same vet. The "resume
+		// rejected" prefix is the client's cue to drop a stale blob and
+		// retry with deterministic replay instead.
+		if !s.AllowSource {
+			return nil, smeta, 0, fmt.Errorf("resume rejected: source streams are disabled on this server")
+		}
+		meta, err := checkpoint.Peek(open.blob)
+		if err != nil {
+			return nil, smeta, 0, fmt.Errorf("resume rejected: %w", err)
+		}
+		in, err := s.sourceInterp(meta.Program, meta.Expr, meta.Args)
+		if err != nil {
+			return nil, smeta, 0, fmt.Errorf("resume rejected: %w", err)
+		}
+		gen, meta, err = in.RestoreSnapshot(open.blob)
+		if err != nil {
+			return nil, smeta, 0, fmt.Errorf("resume rejected: %w", err)
+		}
+		return gen, checkpoint.Meta{Program: meta.Program, Expr: meta.Expr, Name: meta.Name, Args: meta.Args}, meta.Produced, nil
 	}
-	return nil, fmt.Errorf("unknown OPEN mode %d", open.mode)
+	return nil, smeta, 0, fmt.Errorf("unknown OPEN mode %d", open.mode)
 }
 
 func decodeArgs(data []byte) ([]value.V, error) {
@@ -668,11 +815,15 @@ func decodeArgs(data []byte) ([]value.V, error) {
 	return l.Elems(), nil
 }
 
-// sourceGenerator vets, loads and evaluates a source stream. The analyzer
-// gate refuses error-level findings exactly as the translator does
-// (migrating statically wrong code across the network is as worthless as
-// compiling it); warnings are tolerated, as on the interpreter paths.
-func (s *Server) sourceGenerator(program, expr string, args []value.V) (core.Gen, error) {
+// sourceInterp vets and loads a source stream's evaluation environment.
+// The analyzer gate refuses error-level findings exactly as the
+// translator does (migrating statically wrong code across the network is
+// as worthless as compiling it); warnings are tolerated, as on the
+// interpreter paths. Source streams run compiled (WithVM): semantically
+// identical to the tree walk — the compiler falls back on anything it
+// cannot lower — and it is what makes a source stream's frame a
+// checkpointable continuation.
+func (s *Server) sourceInterp(program, expr string, args []value.V) (*interp.Interp, error) {
 	known := func(name string) bool { return name == "args" }
 	if program != "" {
 		prog, err := parser.ParseProgram(program)
@@ -687,34 +838,38 @@ func (s *Server) sourceGenerator(program, expr string, args []value.V) (core.Gen
 	if err != nil {
 		return nil, fmt.Errorf("parse expression: %w", err)
 	}
-	// The expression may use names the program defines; vet it with those
-	// known. Re-parsing the program for its globals is cheaper than
-	// plumbing a symbol table out of the analyzer.
-	knownExpr := known
+	in := interp.New(interp.WithOutput(io.Discard), interp.WithVM())
 	if program != "" {
-		in := interp.New(interp.WithOutput(io.Discard))
 		if err := in.LoadProgram(program); err != nil {
 			return nil, fmt.Errorf("load program: %w", err)
 		}
-		knownExpr = func(name string) bool {
-			if name == "args" {
-				return true
-			}
-			_, ok := in.Global(name)
-			return ok
+	}
+	// The expression may use names the program defines; vet it with those
+	// known. Reusing the loaded interpreter's globals is cheaper than
+	// plumbing a symbol table out of the analyzer.
+	knownExpr := func(name string) bool {
+		if name == "args" {
+			return true
 		}
-		if diags := analyze.Expr(e, analyze.Options{Known: knownExpr}); analyze.HasErrors(diags) {
-			return nil, fmt.Errorf("vet rejected expression: %s", diagErrors(diags))
-		}
-		in.Define("args", value.NewList(args...))
-		return in.EvalGen(expr)
+		_, ok := in.Global(name)
+		return ok
 	}
 	if diags := analyze.Expr(e, analyze.Options{Known: knownExpr}); analyze.HasErrors(diags) {
 		return nil, fmt.Errorf("vet rejected expression: %s", diagErrors(diags))
 	}
-	in := interp.New(interp.WithOutput(io.Discard))
 	in.Define("args", value.NewList(args...))
-	return in.EvalGen(expr)
+	return in, nil
+}
+
+// persistSnapshot writes the stream's latest checkpoint durably: write to
+// a temp file, then atomically rename over <dir>/<name>.snap, so a crash
+// mid-write never leaves a torn snapshot where a recovery would read it.
+func persistSnapshot(dir, name string, blob []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, name+".snap"))
 }
 
 func diagErrors(diags []analyze.Diag) string {

@@ -1,0 +1,154 @@
+package semtest
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+	"time"
+
+	"junicon/internal/remote"
+	"junicon/internal/value"
+)
+
+// chaosSeed derives a per-case schedule seed so kill/migrate points are
+// deterministic (replayable from the test log) yet spread across cases.
+func chaosSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64())
+}
+
+// chaosCorpus trims the streams whose full length would make a dozen
+// redials per case needlessly slow; the disruption points still land
+// inside the trimmed window.
+func chaosCorpus(t *testing.T) []Case {
+	cases := corpus(t)
+	for i := range cases {
+		if cases[i].Name == "big-stream" {
+			cases[i].Max = 300
+		}
+	}
+	return cases
+}
+
+func chaosCells(t *testing.T) []GridCell {
+	cells := Grid()
+	if testing.Short() {
+		cells = cells[:4]
+	}
+	return cells
+}
+
+// TestChaosKilledGrid is the crash lane: every corpus case, across the
+// buffer × batch grid, with the connection severed at a seeded point
+// mid-iteration. Even-numbered cells recover by deterministic replay,
+// odd-numbered cells checkpoint every 3 values and recover by snapshot
+// RESUME. Both paths must reproduce the sequential trace byte-for-byte —
+// including the failure-propagation cases, whose raised error must
+// survive a crash that lands before it.
+func TestChaosKilledGrid(t *testing.T) {
+	addr := loopback(t)
+	for _, c := range chaosCorpus(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			ref := reference(t, c)
+			if c.Max > 0 && len(ref.Images) > c.Max {
+				ref.Images = ref.Images[:c.Max]
+			}
+			rng := rand.New(rand.NewSource(chaosSeed(c.Name)))
+			for i, cell := range chaosCells(t) {
+				after := rng.Intn(len(ref.Images) + 2) // sometimes past EOS
+				cfg := remote.Config{
+					Buffer:      cell.Buffer,
+					Batch:       cell.Batch,
+					RecoverWait: 5 * time.Second,
+				}
+				if i%2 == 1 {
+					cfg.CheckpointEvery = 3
+				}
+				got, err := Killed(c, addr, cfg, after)
+				if err != nil {
+					t.Fatalf("killed %+v after=%d: %v", cell, after, err)
+				}
+				if !got.Equal(ref) {
+					t.Fatalf("killed %+v after=%d ckpt=%d diverged:\nref = %s\ngot = %s",
+						cell, after, cfg.CheckpointEvery, ref, got)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosMigratedGrid is the migration lane: every corpus case, across
+// the grid, live-migrated between two nodes at a seeded point. The
+// snapshot handshake (SNAPREQ → SNAPSHOT → RESUME on the target) carries
+// compiled frames; named refusals and post-EOS migrations fall back to
+// replay — either way the trace must not move.
+func TestChaosMigratedGrid(t *testing.T) {
+	addrA := loopback(t)
+	addrB := loopback(t)
+	for _, c := range chaosCorpus(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			ref := reference(t, c)
+			if c.Max > 0 && len(ref.Images) > c.Max {
+				ref.Images = ref.Images[:c.Max]
+			}
+			rng := rand.New(rand.NewSource(chaosSeed(c.Name) + 1))
+			for i, cell := range chaosCells(t) {
+				after := rng.Intn(len(ref.Images) + 2)
+				cfg := remote.Config{
+					Buffer:      cell.Buffer,
+					Batch:       cell.Batch,
+					RecoverWait: 5 * time.Second,
+				}
+				if i%2 == 1 {
+					cfg.CheckpointEvery = 3
+				}
+				got, err := Migrated(c, addrA, addrB, cfg, after)
+				if err != nil {
+					t.Fatalf("migrated %+v after=%d: %v", cell, after, err)
+				}
+				if !got.Equal(ref) {
+					t.Fatalf("migrated %+v after=%d ckpt=%d diverged:\nref = %s\ngot = %s",
+						cell, after, cfg.CheckpointEvery, ref, got)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosKilledTwice kills the same stream at two different points: the
+// second recovery stacks on the first (replay skip compounds, snapshots
+// advance), and the trace still must not move.
+func TestChaosKilledTwice(t *testing.T) {
+	addr := loopback(t)
+	c := Case{Name: "killed-twice", Program: "def gen(a, b) { suspend a to b; }",
+		Expr: "gen(1, 40) + 100"}
+	ref := reference(t, c)
+	for _, interval := range []int{0, 4} {
+		cfg := remote.Config{Buffer: 4, Batch: 2, Recover: true,
+			RecoverWait: 5 * time.Second, CheckpointEvery: interval}
+		p := remote.OpenSource(addr, c.Program, c.Expr, nil, cfg)
+		p.StartEager()
+		kills := map[int]bool{9: true, 23: true}
+		var got Result
+		func() {
+			defer p.Stop()
+			for i := 0; i < c.max(); i++ {
+				if kills[i] {
+					p.KillConn()
+				}
+				v, ok := p.Next()
+				if !ok {
+					break
+				}
+				got.Images = append(got.Images, value.Image(value.Deref(v)))
+			}
+			got.Failed = p.Err() != nil
+		}()
+		if !got.Equal(ref) {
+			t.Fatalf("ckpt=%d diverged:\nref = %s\ngot = %s", interval, ref, got)
+		}
+	}
+}

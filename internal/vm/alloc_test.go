@@ -12,6 +12,7 @@ import (
 
 	"junicon/internal/interp"
 	"junicon/internal/value"
+	"junicon/internal/vm"
 )
 
 // TestSteadyStateAllocs pins the headline frame property: once a frame is
@@ -85,6 +86,40 @@ func TestCompiledCallAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("compiled call drain allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestSnapshotLeavesDrainAllocFree pins the durability layer's zero-cost
+// claim: the snapshot machinery lives entirely off the hot path, so a
+// frame that has been captured mid-iteration still drains with zero
+// allocations afterwards — Next pays nothing for snapshot support,
+// before or after a capture.
+func TestSnapshotLeavesDrainAllocFree(t *testing.T) {
+	in := interp.New(interp.WithOutput(io.Discard), interp.WithVM())
+	if err := in.LoadProgram(`def gen(n) { suspend 1 to n; }`); err != nil {
+		t.Fatal(err)
+	}
+	f := mustFrame(t, in, "gen(200)")
+	// Suspend mid-iteration and capture the tower (caller + live child).
+	for i := 0; i < 7; i++ {
+		if _, ok := f.Next(); !ok {
+			t.Fatalf("frame exhausted after %d values", i)
+		}
+	}
+	if _, err := vm.Capture(f); err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	if n := drainCountFast(f); n != 193 {
+		t.Fatalf("post-capture drain produced %d results, want 193", n)
+	}
+	// Auto-restarted steady-state drains after the capture stay free.
+	allocs := testing.AllocsPerRun(10, func() {
+		if n := drainCountFast(f); n != 200 {
+			t.Fatalf("steady drain produced %d results, want 200", n)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("drain after snapshot allocates %.1f per run, want 0", allocs)
 	}
 }
 

@@ -26,8 +26,17 @@ const (
 // until one of them suspends (OpYield/OpReturn) or the frame fails with no
 // choice point left. Resumption re-enters here: after a yield, execution
 // continues at the saved pc; after exhaustion, begin() re-arms the frame
-// (auto-restart).
+// (auto-restart). The running flag brackets the dispatch so Capture can
+// refuse a frame that is mid-instruction — two plain bool stores, nothing
+// on the per-instruction path.
 func (f *Frame) Next() (value.V, bool) {
+	f.running = true
+	v, ok := f.next()
+	f.running = false
+	return v, ok
+}
+
+func (f *Frame) next() (value.V, bool) {
 	// Profiling is decided once per Next — one atomic load, mirroring the
 	// telemetry gate. An unprofiled call carries prof == nil and each
 	// instruction pays a single local nil test.

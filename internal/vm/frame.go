@@ -99,6 +99,12 @@ type Frame struct {
 	args    []value.V // call arguments, bound to the leading slots on begin
 	started bool      // a run is in progress (not yet exhausted)
 	resumed bool      // control arrived at pc by failure, not fall-through
+	// running is set for the duration of a Next dispatch: between calls the
+	// frame is suspended and its state is a consistent continuation; during
+	// a call it is mid-instruction and must not be captured (snapshot.go
+	// refuses). A panic escaping Next leaves running set — correct, since
+	// an abandoned mid-instruction frame is exactly what must not snapshot.
+	running bool
 	// suspendedAt is the UnixNano of the last profiled suspension (yield or
 	// return); 0 when not suspended or profiling was off at the time.
 	suspendedAt int64

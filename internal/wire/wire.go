@@ -87,6 +87,13 @@ var ErrTooDeep = errors.New("wire: structure nesting exceeds depth limit")
 // ErrTooLarge is returned when a decoded length prefix exceeds the limits.
 var ErrTooLarge = errors.New("wire: length prefix exceeds limit")
 
+// ErrOpaque is returned by MarshalStrict when a value would have to encode
+// as an opaque handle: host-resident state (a procedure, co-expression,
+// pipe) that a structural copy cannot carry. Checkpoint encoding uses the
+// strict mode — a snapshot holding a dead handle would not resume, it
+// would merely fail later, so the refusal must happen at snapshot time.
+var ErrOpaque = errors.New("wire: value is host-resident and cannot encode strictly")
+
 // Opaque is the decoded form of a value that cannot cross address spaces:
 // procedures, co-expressions, pipes, reified variables' underlying hosts.
 // It is a first-class value (it can be stored, compared by identity,
@@ -115,7 +122,20 @@ func Marshal(v value.V) ([]byte, error) { return MarshalLimits(v, DefaultLimits)
 // MarshalLimits encodes v under explicit limits.
 func MarshalLimits(v value.V, lim Limits) ([]byte, error) {
 	var b bytes.Buffer
-	if err := encode(&b, v, lim, 0); err != nil {
+	if err := encode(&b, v, lim, 0, false); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// MarshalStrict encodes v under explicit limits, refusing (ErrOpaque) any
+// value that would degrade to an opaque handle instead of silently
+// encoding a dead proxy. Pre-existing *Opaque values — handles that
+// already crossed a boundary once — still re-encode, keeping multi-hop
+// honesty; only the lossy host-value-to-handle step is refused.
+func MarshalStrict(v value.V, lim Limits) ([]byte, error) {
+	var b bytes.Buffer
+	if err := encode(&b, v, lim, 0, true); err != nil {
 		return nil, err
 	}
 	return b.Bytes(), nil
@@ -157,7 +177,7 @@ func putString(b *bytes.Buffer, s string) {
 	b.WriteString(s)
 }
 
-func encode(b *bytes.Buffer, v value.V, lim Limits, depth int) error {
+func encode(b *bytes.Buffer, v value.V, lim Limits, depth int, strict bool) error {
 	if depth > lim.MaxDepth {
 		return ErrTooDeep
 	}
@@ -196,22 +216,22 @@ func encode(b *bytes.Buffer, v value.V, lim Limits, depth int) error {
 		putUvarint(b, uint64(x.Len()))
 		for i := 1; i <= x.Len(); i++ {
 			e, _ := x.At(i)
-			if err := encode(b, e, lim, depth+1); err != nil {
+			if err := encode(b, e, lim, depth+1, strict); err != nil {
 				return err
 			}
 		}
 	case *value.Table:
 		b.WriteByte(tagTable)
-		if err := encode(b, x.Default(), lim, depth+1); err != nil {
+		if err := encode(b, x.Default(), lim, depth+1, strict); err != nil {
 			return err
 		}
 		keys := x.Keys()
 		putUvarint(b, uint64(len(keys)))
 		for _, k := range keys {
-			if err := encode(b, k, lim, depth+1); err != nil {
+			if err := encode(b, k, lim, depth+1, strict); err != nil {
 				return err
 			}
-			if err := encode(b, x.Get(k), lim, depth+1); err != nil {
+			if err := encode(b, x.Get(k), lim, depth+1, strict); err != nil {
 				return err
 			}
 		}
@@ -220,7 +240,7 @@ func encode(b *bytes.Buffer, v value.V, lim Limits, depth int) error {
 		members := x.Members()
 		putUvarint(b, uint64(len(members)))
 		for _, m := range members {
-			if err := encode(b, m, lim, depth+1); err != nil {
+			if err := encode(b, m, lim, depth+1, strict); err != nil {
 				return err
 			}
 		}
@@ -232,7 +252,7 @@ func encode(b *bytes.Buffer, v value.V, lim Limits, depth int) error {
 			putString(b, f)
 		}
 		for _, fv := range x.Values {
-			if err := encode(b, fv, lim, depth+1); err != nil {
+			if err := encode(b, fv, lim, depth+1, strict); err != nil {
 				return err
 			}
 		}
@@ -244,7 +264,10 @@ func encode(b *bytes.Buffer, v value.V, lim Limits, depth int) error {
 		putString(b, x.Desc)
 	default:
 		// Procedures, natives, co-expressions, pipes, anything host-bound:
-		// a typed opaque handle.
+		// a typed opaque handle — or, in strict mode, a refusal.
+		if strict {
+			return fmt.Errorf("%w: %s %s", ErrOpaque, x.Type(), x.Image())
+		}
 		b.WriteByte(tagOpaque)
 		putString(b, x.Type())
 		putString(b, x.Image())
