@@ -15,6 +15,7 @@ package junicon_test
 import (
 	"io"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"junicon"
@@ -683,3 +684,111 @@ func BenchmarkVMFig6_WordCount_Translated(b *testing.B) {
 		wordcount.JuniconSequential(small, wordcount.Light, wordcount.EmbeddedConfig{})
 	}
 }
+
+// ---- multiplexed session benchmarks (Ablation L) ----
+//
+// benchMuxedLifecycle measures the full many-stream lifecycle: one
+// iteration opens `streams` concurrent remote generators, drains a few
+// values from each, and tears everything down. Streams are deliberately
+// short — the session pool's economics live in the per-stream setup cost
+// (dial, socket, handshake, read loop), so the benchmark models the
+// many-short-streams storm that junistorm drives at scale; long streams
+// amortize setup and converge toward the shared wire's throughput. mux=true routes every
+// stream through one pooled Dialer (streamsPerConn caps sharing;
+// 0 = DefaultStreamsPerConn), mux=false dials one classic connection per
+// stream — the pre-v5 economics the session protocol exists to beat. The
+// headline comparison is BenchmarkMuxedRemote_256 against
+// BenchmarkMuxedRemotePerConn_256: identical work, ~5× apart, because
+// the muxed side pays 1 dial, 1 socket and 1 read loop where the classic
+// side pays 256 of each.
+
+var (
+	muxBenchOnce sync.Once
+	muxBenchAddr string
+)
+
+// muxBenchServer serves the mux benchmarks; unlike remoteBenchServer it
+// lifts MaxConns, since the per-conn baseline needs hundreds of
+// concurrent dedicated connections.
+func muxBenchServer(b *testing.B) string {
+	b.Helper()
+	muxBenchOnce.Do(func() {
+		s := remote.NewServer()
+		s.MaxConns = 8192
+		s.Register("range", func(args []value.V) (core.Gen, error) {
+			lo := int64(value.MustInt(args[0]))
+			hi := int64(value.MustInt(args[1]))
+			return core.IntRange(lo, hi), nil
+		})
+		addr, err := s.Start("127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		muxBenchAddr = addr.String()
+	})
+	return muxBenchAddr
+}
+
+func benchMuxedLifecycle(b *testing.B, streams, streamsPerConn int, mux bool) {
+	addr := muxBenchServer(b)
+	const vals = 5 // short streams: the lifecycle-storm workload junistorm models
+	cfg := remote.Config{Buffer: 64}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		var d *remote.Dialer
+		if mux {
+			d = &remote.Dialer{StreamsPerConn: streamsPerConn}
+		}
+		var wg sync.WaitGroup
+		var short atomic.Int64
+		for i := 0; i < streams; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				args := []value.V{value.NewInt(1), value.NewInt(int64(vals))}
+				var p *remote.RemotePipe
+				if mux {
+					p = d.Open(addr, "range", args, cfg)
+				} else {
+					p = remote.Open(addr, "range", args, cfg)
+				}
+				defer p.Stop()
+				for j := 0; j < vals; j++ {
+					if _, ok := p.Next(); !ok {
+						short.Add(1)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if mux {
+			d.Close()
+		}
+		if c := short.Load(); c != 0 {
+			b.Fatalf("%d of %d streams ended early", c, streams)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(streams*vals)*float64(b.N)/b.Elapsed().Seconds(), "values/s")
+}
+
+// The headline pair: 256 concurrent streams, shared sessions vs one
+// connection per stream.
+func BenchmarkMuxedRemote_256(b *testing.B)         { benchMuxedLifecycle(b, 256, 0, true) }
+func BenchmarkMuxedRemotePerConn_256(b *testing.B)  { benchMuxedLifecycle(b, 256, 0, false) }
+func BenchmarkMuxedRemote_1024(b *testing.B)        { benchMuxedLifecycle(b, 1024, 0, true) }
+func BenchmarkMuxedRemotePerConn_1024(b *testing.B) { benchMuxedLifecycle(b, 1024, 0, false) }
+
+// The streams-per-conn sweep (Ablation L): 256 streams at caps 1, 16 and
+// 4096. Cap 1 is the degenerate case — session framing with none of the
+// sharing; cap 4096 collapses onto one connection exactly like the
+// default 256.
+func BenchmarkMuxedRemoteStreamsPerConn_1(b *testing.B)    { benchMuxedLifecycle(b, 256, 1, true) }
+func BenchmarkMuxedRemoteStreamsPerConn_16(b *testing.B)   { benchMuxedLifecycle(b, 256, 16, true) }
+func BenchmarkMuxedRemoteStreamsPerConn_4096(b *testing.B) { benchMuxedLifecycle(b, 256, 4096, true) }
+
+// The single-stream case bounds the mux tax when there is nothing to
+// share: one stream over a session vs one stream over a dedicated
+// connection should be within noise of each other.
+func BenchmarkMuxedRemoteSingle(b *testing.B) { benchMuxedLifecycle(b, 1, 0, true) }

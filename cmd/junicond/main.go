@@ -60,6 +60,7 @@ func main() {
 		allowSource = flag.Bool("allow-source", false, "serve vetted Junicon source streams")
 		ckptDir     = flag.String("checkpoint-dir", "", "persist each stream's latest checkpoint snapshot in this directory")
 		noBatch     = flag.Bool("no-batch", false, "refuse batched (v3) streams and serve one VALUE frame per value")
+		noMux       = flag.Bool("no-mux", false, "refuse multiplexed (v5) sessions and serve one stream per connection")
 		maxConns    = flag.Int("max-conns", remote.DefaultMaxConns, "maximum concurrent connections")
 		idleTimeout = flag.Duration("idle-timeout", remote.DefaultIdleTimeout, "client silence tolerated before dropping a stream")
 		quiet       = flag.Bool("quiet", false, "suppress per-stream logging")
@@ -81,6 +82,11 @@ func main() {
 		// Cap OPEN negotiation at the pre-batching protocol; v3 clients
 		// recognize the rejection and redial per-value.
 		srv.MaxProtocol = 2
+	}
+	if *noMux && srv.MaxProtocol == 0 {
+		// Cap negotiation below the session protocol; v5 Dialers recognize
+		// the rejection and fall back to one connection per stream.
+		srv.MaxProtocol = 4
 	}
 
 	srv.Register("range", func(args []value.V) (core.Gen, error) {

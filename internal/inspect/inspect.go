@@ -54,6 +54,10 @@ const (
 	KindRemoteClient = "remote-client"
 	KindRemoteServer = "remote-server"
 	KindPool         = "pool"
+	// KindSession is a multiplexed connection (protocol v5): its handle's
+	// state is the shared writer's (blocked-put = wedged in the socket
+	// write), and its produced count is flushes, not values.
+	KindSession = "session"
 )
 
 // Stream states. The producer side owns BlockedPut/Running/Draining; the
@@ -101,6 +105,7 @@ type Handle struct {
 	produced     atomic.Int64
 	consumed     atomic.Int64
 	credit       atomic.Int64
+	conn         atomic.Uint64 // owning connection ID; 0 = dedicated/none
 	lastActive   atomic.Int64  // UnixNano of the last produce/consume
 	consumesFrom atomic.Uint64 // stream ID this handle's consumer drains next
 	noted        atomic.Bool   // consumer edge recorded (once per generation)
@@ -145,6 +150,16 @@ func (h *Handle) SetCredit(n int64) {
 		return
 	}
 	h.credit.Store(n)
+}
+
+// SetConn records the multiplexed connection this stream travels on (the
+// session's connection ID), letting /debug/streams group the streams that
+// share a socket. Streams on dedicated connections leave it zero.
+func (h *Handle) SetConn(id uint64) {
+	if h == nil {
+		return
+	}
+	h.conn.Store(id)
 }
 
 // BlockedPut marks the producer as possibly blocked publishing a value.
@@ -378,6 +393,7 @@ type StreamInfo struct {
 	Produced     int64  `json:"produced"`
 	Consumed     int64  `json:"consumed"`
 	Credit       int64  `json:"credit,omitempty"`
+	Conn         string `json:"conn,omitempty"`
 	Depth        int    `json:"depth"`
 	Capacity     int    `json:"capacity,omitempty"`
 	ConsumesFrom string `json:"consumes_from,omitempty"`
@@ -403,6 +419,9 @@ func (h *Handle) info(now time.Time, live bool) StreamInfo {
 	}
 	if from := h.consumesFrom.Load(); from != 0 {
 		in.ConsumesFrom = StreamID(from)
+	}
+	if c := h.conn.Load(); c != 0 {
+		in.Conn = StreamID(c)
 	}
 	if probe := h.depth.Load(); probe != nil {
 		in.Depth, in.Capacity = (*probe)()

@@ -41,6 +41,11 @@ const (
 	CauseConsumerAbandoned = "consumer-abandoned"
 	CauseCreditStarvation  = "credit-starvation"
 	CauseActivationCycle   = "activation-cycle"
+	// CauseConnBackpressure: a multiplexed session's shared writer is
+	// wedged in the socket write (the peer stopped reading), so every
+	// stream on that connection stalls together. Diagnosed on the session
+	// handle and on each stuck stream riding it.
+	CauseConnBackpressure = "conn-backpressure"
 )
 
 // Diagnosis is one structured stall report.
@@ -230,6 +235,20 @@ func (w *Watchdog) Scan() []Diagnosis {
 		}
 	}
 
+	// A multiplexed session handle stuck in blocked-put is a shared writer
+	// wedged in its socket write: the whole connection is backpressured,
+	// and every stale stream riding it shares that cause (including ones
+	// in blocked-take — their values are stuck behind the wedged writer,
+	// not behind a slow producer).
+	stuckConns := make(map[uint64]bool)
+	for _, c := range stale {
+		if c.h.kind == KindSession && c.state == StateBlockedPut {
+			if conn := c.h.conn.Load(); conn != 0 {
+				stuckConns[conn] = true
+			}
+		}
+	}
+
 	var out []Diagnosis
 	for id, c := range stale {
 		cause := ""
@@ -241,6 +260,10 @@ func (w *Watchdog) Scan() []Diagnosis {
 				cycleIDs = append(cycleIDs, StreamID(m))
 			}
 			sort.Strings(cycleIDs)
+		case c.h.kind == KindSession && c.state == StateBlockedPut:
+			cause = CauseConnBackpressure
+		case c.h.conn.Load() != 0 && stuckConns[c.h.conn.Load()]:
+			cause = CauseConnBackpressure
 		case c.state == StateBlockedPut && c.h.kind == KindRemoteServer && c.h.credit.Load() == 0:
 			cause = CauseCreditStarvation
 		case c.state == StateBlockedPut:

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"net"
 	"runtime/pprof"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -159,8 +158,11 @@ type RemotePipe struct {
 	cfg  Config
 	spec openReq // immutable template (credit filled per open)
 
-	conn     net.Conn
-	wmu      sync.Mutex // serializes writes: CREDIT, PING, CANCEL
+	// dialer, when non-nil, pools this pipe's stream onto a shared
+	// multiplexed session (set by Dialer.Open/OpenSource; nil for the
+	// package-level constructors, which keep one connection per stream).
+	dialer   *Dialer
+	tr       transport
 	out      queue.Queue[value.V]
 	started  bool
 	err      error
@@ -208,6 +210,57 @@ var (
 	_ value.Sized  = (*RemotePipe)(nil)
 )
 
+// transport abstracts how a stream incarnation reaches the wire: a
+// dedicated connection (one stream per connection, protocols v1–v4) or a
+// logical stream on a multiplexed v5 session. The pipe's state machine —
+// credits, epochs, recovery, migration — is identical over both.
+type transport interface {
+	// send writes one control frame (CREDIT, PING, CANCEL, SNAPREQ).
+	send(typ byte, payload []byte) error
+	// kill severs the underlying connection abruptly — the chaos hook. On
+	// a shared session this kills every sibling stream too, exactly as a
+	// crashed peer would.
+	kill()
+	// close ends this one stream gracefully: best-effort CANCEL, then
+	// local teardown. On a session it must not disturb siblings.
+	close()
+}
+
+// connTransport is the classic dedicated connection.
+type connTransport struct {
+	mu   sync.Mutex // serializes writes: CREDIT, PING, CANCEL
+	conn net.Conn
+}
+
+func (t *connTransport) send(typ byte, payload []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return writeFrame(t.conn, typ, payload)
+}
+
+func (t *connTransport) kill() { t.conn.Close() }
+
+func (t *connTransport) close() {
+	// Best-effort CANCEL so the server can release the stream promptly;
+	// closing the connection is the authoritative signal.
+	t.send(frameCancel, nil)
+	t.conn.Close()
+}
+
+// muxTransport is one logical stream on a shared session.
+type muxTransport struct {
+	s   *Session
+	sid uint32
+}
+
+func (t *muxTransport) send(typ byte, payload []byte) error {
+	return t.s.io.enqueue(typ, t.sid, payload)
+}
+
+func (t *muxTransport) kill() { t.s.Kill() }
+
+func (t *muxTransport) close() { t.s.closeStream(t.sid) }
+
 // Open returns a remote pipe over the generator registered under name on
 // the server at addr, applied to args. No connection is made until the
 // first Next.
@@ -250,25 +303,9 @@ func (p *RemotePipe) fail(err error) {
 	p.mu.Unlock()
 }
 
-// start dials and opens the stream. Caller holds p.mu.
-func (p *RemotePipe) start() error {
-	observed := telemetry.Active()
-	if observed && p.stream == 0 {
-		p.stream = telemetry.NextStream()
-	}
-	conn, err := net.DialTimeout("tcp", p.addr, p.cfg.dialTimeout())
-	if err != nil {
-		return fmt.Errorf("remote: dial %s: %w", p.addr, err)
-	}
-	ver := byte(openVersion)
-	if p.verCap != 0 && p.verCap < ver {
-		ver = p.verCap
-	}
-	if p.noBatch && ver > 2 {
-		// A server that rejected batching predates v3 entirely: speak the
-		// pre-batching protocol, which every server accepts.
-		ver = 2
-	}
+// composeOpen builds the OPEN (or RESUME, for a continuation) for a new
+// stream incarnation at protocol ver. Caller holds p.mu.
+func (p *RemotePipe) composeOpen(ver byte) (openReq, byte, error) {
 	open := p.spec
 	open.version = ver
 	open.credit = uint64(p.cfg.buffer())
@@ -287,8 +324,7 @@ func (p *RemotePipe) start() error {
 	typ := frameOpen
 	if p.results > 0 {
 		if ver < 4 {
-			conn.Close()
-			return fmt.Errorf("remote: cannot resume stream at %s: server speaks protocol %d, need >= 4", p.addr, ver)
+			return open, typ, fmt.Errorf("remote: cannot resume stream at %s: server speaks protocol %d, need >= 4", p.addr, ver)
 		}
 		if p.lastSnap != nil && uint64(p.results) >= p.lastSnapAt {
 			open.mode = openResume
@@ -300,28 +336,28 @@ func (p *RemotePipe) start() error {
 			open.skip = uint64(p.results)
 		}
 	}
-	p.batch = int(open.batch)
+	return open, typ, nil
+}
+
+// armLocal initializes the local consumer state for a fresh stream
+// incarnation: bounded queue, telemetry, live-introspection handle.
+// Caller holds p.mu and has already set batch/openedVer/epoch.
+func (p *RemotePipe) armLocal(observed bool, credit, connID uint64) {
 	p.debt = 0
-	p.openedVer = ver
-	p.epoch++
 	p.snapWait = nil
-	if err := writeFrame(conn, typ, open.marshal()); err != nil {
-		conn.Close()
-		return fmt.Errorf("remote: open %s: %w", p.addr, err)
-	}
-	p.conn = conn
 	p.out = queue.NewArrayBlocking[value.V](p.cfg.buffer())
 	if observed {
 		p.out = queue.Instrument(p.out, p.stream, "remote")
 		cClientStreams.Inc()
-		telemetry.Emit(p.stream, telemetry.KindStreamOpen, "remote:"+p.addr, int64(open.credit))
+		telemetry.Emit(p.stream, telemetry.KindStreamOpen, "remote:"+p.addr, int64(credit))
 	}
 	if inspect.On() {
 		if p.stream == 0 {
 			p.stream = telemetry.NextStream()
 		}
 		p.ih = inspect.Register(p.stream, inspect.KindRemoteClient, "remote:"+p.addr)
-		p.ih.SetCredit(int64(open.credit))
+		p.ih.SetCredit(int64(credit))
+		p.ih.SetConn(connID)
 		if p.results > 0 {
 			p.ih.NoteResumed()
 		}
@@ -335,8 +371,94 @@ func (p *RemotePipe) start() error {
 	}
 	p.started = true
 	p.err = nil
-	p.pingStop = make(chan struct{})
 	p.done = make(chan struct{})
+}
+
+// startMux opens the stream as a logical stream on a pooled session when
+// the pipe was created through a Dialer. handled=false falls back to a
+// dedicated connection: no dialer, a pre-v5 server (the transparent
+// downgrade), or a per-stream state that already forced an older
+// protocol. Caller holds p.mu.
+func (p *RemotePipe) startMux(observed bool) (bool, error) {
+	if p.dialer == nil || p.verCap != 0 || p.noBatch {
+		return false, nil
+	}
+	sess, err := p.dialer.session(p.addr)
+	if err != nil {
+		if errors.Is(err, errMuxUnsupported) {
+			return false, nil
+		}
+		return true, err
+	}
+	open, typ, err := p.composeOpen(openVersion)
+	if err != nil {
+		return true, err
+	}
+	p.batch = int(open.batch)
+	p.openedVer = openVersion
+	p.epoch++
+	p.armLocal(observed, open.credit, sess.id)
+	rx := &muxRx{
+		p:      p,
+		stream: p.stream,
+		label:  "remote:" + p.addr,
+		out:    p.out,
+		ih:     p.ih,
+		done:   p.done,
+		start:  time.Now(),
+	}
+	sid, err := sess.openStream(rx, typ, open.marshal())
+	if err != nil {
+		// The session died between reserve and open. Unwind the armed
+		// state; the error already wraps errConnLost, so Recover redials.
+		p.started = false
+		p.out.Close()
+		p.ih.Close()
+		p.ih = nil
+		return true, err
+	}
+	p.tr = &muxTransport{s: sess, sid: sid}
+	p.pingStop = nil // liveness is per connection: the session pings
+	return true, nil
+}
+
+// start dials and opens the stream. Caller holds p.mu.
+func (p *RemotePipe) start() error {
+	observed := telemetry.Active()
+	if observed && p.stream == 0 {
+		p.stream = telemetry.NextStream()
+	}
+	if handled, err := p.startMux(observed); handled {
+		return err
+	}
+	conn, err := net.DialTimeout("tcp", p.addr, p.cfg.dialTimeout())
+	if err != nil {
+		return fmt.Errorf("remote: dial %s: %w", p.addr, err)
+	}
+	ver := byte(openVersion)
+	if p.verCap != 0 && p.verCap < ver {
+		ver = p.verCap
+	}
+	if p.noBatch && ver > 2 {
+		// A server that rejected batching predates v3 entirely: speak the
+		// pre-batching protocol, which every server accepts.
+		ver = 2
+	}
+	open, typ, err := p.composeOpen(ver)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	p.batch = int(open.batch)
+	p.openedVer = ver
+	p.epoch++
+	if err := writeFrame(conn, typ, open.marshal()); err != nil {
+		conn.Close()
+		return fmt.Errorf("remote: open %s: %w", p.addr, err)
+	}
+	p.tr = &connTransport{conn: conn}
+	p.armLocal(observed, open.credit, 0)
+	p.pingStop = make(chan struct{})
 	go p.readLoop(conn, p.out, p.done, p.stream, p.ih)
 	go p.pingLoop(p.pingStop, p.done)
 	return nil
@@ -368,9 +490,15 @@ func (p *RemotePipe) readLoop(conn net.Conn, out queue.Queue[value.V], done chan
 	// A peer silent for several heartbeat intervals is lost: PONGs answer
 	// our PINGs, so frames normally arrive at least once per interval.
 	liveness := 4 * p.cfg.heartbeat()
+	// Recycled buffers for the steady-state VALUES path: the frame reader
+	// reuses one payload buffer, and batch decoding reuses one value
+	// slice (PutBatch copies the elements into the ring, and the codec
+	// never aliases the payload).
+	fr := newFrameReader(conn)
+	var vals []value.V
 	for {
 		conn.SetReadDeadline(time.Now().Add(liveness))
-		typ, payload, err := readFrame(conn)
+		typ, payload, err := fr.read()
 		if err != nil {
 			p.fail(fmt.Errorf("%w: %v", errConnLost, err))
 			return
@@ -399,25 +527,25 @@ func (p *RemotePipe) readLoop(conn net.Conn, out queue.Queue[value.V], done chan
 				ih.Produced(1)
 			}
 		case frameValues:
-			vs, err := wire.UnmarshalBatch(payload, wire.DefaultLimits)
+			vals, err = wire.UnmarshalBatchInto(vals[:0], payload, wire.DefaultLimits)
 			if err != nil {
 				p.fail(fmt.Errorf("remote: malformed batch frame: %w", err))
 				return
 			}
-			received += int64(len(vs))
+			received += int64(len(vals))
 			if stream != 0 && telemetry.On() {
-				cClientValues.Add(int64(len(vs)))
+				cClientValues.Add(int64(len(vals)))
 			}
 			if ih != nil {
 				ih.BlockedPut()
 			}
-			if _, err := out.PutBatch(vs); err != nil {
+			if _, err := out.PutBatch(vals); err != nil {
 				p.sendFrame(frameCancel, nil)
 				return
 			}
 			if ih != nil {
 				ih.Running()
-				ih.Produced(int64(len(vs)))
+				ih.Produced(int64(len(vals)))
 			}
 		case frameEOS:
 			return // clean end: generator failed
@@ -471,23 +599,16 @@ func (p *RemotePipe) pingLoop(stop, done chan struct{}) {
 // rejection message is treated this way, and only when it actually names
 // a lower version than we sent (anything else is a real error).
 func (p *RemotePipe) noteDowngrade(msg string) bool {
-	if !strings.Contains(msg, "protocol version") {
-		return false
-	}
-	i := strings.LastIndex(msg, "want <= ")
-	if i < 0 {
-		return false
-	}
-	n, err := strconv.Atoi(strings.TrimSpace(msg[i+len("want <= "):]))
-	if err != nil || n < 1 {
+	n, ok := versionCap(msg)
+	if !ok {
 		return false
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if byte(n) >= p.openedVer {
+	if n >= p.openedVer {
 		return false // the server accepts what we sent; this is a real error
 	}
-	p.verCap = byte(n)
+	p.verCap = n
 	if n < 3 {
 		p.noBatch = true // pre-batching server
 	}
@@ -561,21 +682,22 @@ func (p *RemotePipe) sendFrame(typ byte, payload []byte) error {
 
 // sendFrameEpoch writes a control frame only if the stream incarnation is
 // still the one the frame was composed for; a frame that raced a redial is
-// dropped, not delivered to the wrong stream.
+// dropped, not delivered to the wrong stream. (The transport is captured
+// together with the epoch, so a frame that loses the race after the check
+// goes to the old incarnation's transport — a dead connection or a
+// finished session stream id, both of which discard it.)
 func (p *RemotePipe) sendFrameEpoch(typ byte, payload []byte, epoch uint64) error {
-	p.wmu.Lock()
-	defer p.wmu.Unlock()
 	p.mu.Lock()
-	conn := p.conn
+	tr := p.tr
 	cur := p.epoch
 	p.mu.Unlock()
-	if conn == nil {
+	if tr == nil {
 		return errors.New("remote: stream not open")
 	}
 	if cur != epoch {
 		return nil // stale frame for a dead incarnation: drop silently
 	}
-	return writeFrame(conn, typ, payload)
+	return tr.send(typ, payload)
 }
 
 // Next takes the next remote result, failing when the serving generator
@@ -605,7 +727,7 @@ func (p *RemotePipe) Next() (value.V, bool) {
 			return nil, false
 		}
 	}
-	out, conn := p.out, p.conn
+	out, tr := p.out, p.tr
 	batched := p.batch > 0
 	ih := p.ih
 	p.mu.Unlock()
@@ -619,8 +741,10 @@ func (p *RemotePipe) Next() (value.V, bool) {
 	if d := p.cfg.Deadline; d > 0 {
 		timer = time.AfterFunc(d, func() {
 			p.fail(ErrDeadline)
-			if conn != nil {
-				conn.Close()
+			if tr != nil {
+				// Tear down this stream only: on a shared session the
+				// per-stream close leaves siblings undisturbed.
+				tr.close()
 			}
 			out.Close()
 		})
@@ -718,7 +842,7 @@ func (p *RemotePipe) StartEager() {
 }
 
 // detachLocked abandons the current stream's client state so the next
-// Next opens a fresh one; the readLoop's teardown (triggered by the queue
+// Next opens a fresh one; the stream's teardown (triggered by the queue
 // close that got us here) owns the connection. Caller holds p.mu.
 func (p *RemotePipe) detachLocked() {
 	p.started = false
@@ -727,7 +851,7 @@ func (p *RemotePipe) detachLocked() {
 		close(p.pingStop)
 		p.pingStop = nil
 	}
-	p.conn = nil
+	p.tr = nil
 }
 
 // recoverableLocked reports whether a terminated stream should be redialed
@@ -786,7 +910,7 @@ func (p *RemotePipe) reconnect() bool {
 // the drain is bounded by the pipe's buffer.
 func (p *RemotePipe) Migrate(target string) error {
 	p.mu.Lock()
-	if !p.started || p.conn == nil || p.err != nil {
+	if !p.started || p.tr == nil || p.err != nil {
 		// Nothing live to hand over: just point the pipe at the target.
 		// With results already delivered, the next Next resumes there.
 		p.addr = target
@@ -844,15 +968,16 @@ func (p *RemotePipe) Migrate(target string) error {
 	// skip is never negative.
 	p.sendFrame(frameCancel, nil)
 	p.mu.Lock()
-	if p.conn != nil {
-		p.conn.Close()
-		p.conn = nil
-	}
+	tr := p.tr
+	p.tr = nil
 	if p.pingStop != nil {
 		close(p.pingStop)
 		p.pingStop = nil
 	}
 	p.mu.Unlock()
+	if tr != nil {
+		tr.close()
+	}
 	if done != nil {
 		<-done // readLoop finished: the queue is closed, nothing more arrives
 	}
@@ -872,10 +997,10 @@ func (p *RemotePipe) Migrate(target string) error {
 // no reason to call it.
 func (p *RemotePipe) KillConn() {
 	p.mu.Lock()
-	conn := p.conn
+	tr := p.tr
 	p.mu.Unlock()
-	if conn != nil {
-		conn.Close()
+	if tr != nil {
+		tr.kill()
 	}
 }
 
@@ -898,12 +1023,9 @@ func (p *RemotePipe) SnapshotRefusal() string {
 
 // stopLocked cancels the current stream. Caller holds p.mu.
 func (p *RemotePipe) stopLocked() {
-	if p.conn != nil {
-		// Best-effort CANCEL so the server can release the stream promptly;
-		// closing the connection is the authoritative signal.
-		writeFrame(p.conn, frameCancel, nil)
-		p.conn.Close()
-		p.conn = nil
+	if p.tr != nil {
+		p.tr.close()
+		p.tr = nil
 	}
 	if p.pingStop != nil {
 		close(p.pingStop)

@@ -281,7 +281,7 @@ func TestRedialCreditGrantCannotDoubleGrant(t *testing.T) {
 	defer bServer.Close()
 
 	p := &RemotePipe{addr: "test"}
-	p.conn = aClient
+	p.tr = &connTransport{conn: aClient}
 	p.epoch = 1
 	p.debt = 3
 
@@ -290,7 +290,7 @@ func TestRedialCreditGrantCannotDoubleGrant(t *testing.T) {
 	// while a grant is in flight.
 	testHookFlushPause = func() {
 		p.mu.Lock()
-		p.conn = bClient
+		p.tr = &connTransport{conn: bClient}
 		p.epoch++ // the reopened stream's incarnation
 		p.mu.Unlock()
 	}
@@ -327,7 +327,7 @@ func TestFreshGrantStillFlows(t *testing.T) {
 	defer aClient.Close()
 	defer aServer.Close()
 	p := &RemotePipe{addr: "test"}
-	p.conn = aClient
+	p.tr = &connTransport{conn: aClient}
 	p.epoch = 1
 	p.debt = 5
 

@@ -43,6 +43,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
+	"sync"
 
 	"junicon/internal/telemetry"
 )
@@ -78,6 +81,11 @@ const (
 	frameSnapshot byte = 0x0a // server→client: checkpoint blob or refusal
 	frameResume   byte = 0x0b // client→server: open by restoring a snapshot
 	frameSnapReq  byte = 0x0c // client→server: demand a snapshot now
+	// frameHello (protocol v5) is the server's answer to a session OPEN
+	// (mode openMux at version 5): from the byte after it, both directions
+	// switch to multiplexed framing — every frame gains a stream-id header
+	// and one connection carries many logical streams.
+	frameHello byte = 0x0d
 )
 
 // MaxFrame bounds a single frame payload; larger length prefixes are
@@ -111,25 +119,51 @@ func frameName(t byte) string {
 		return "RESUME"
 	case frameSnapReq:
 		return "SNAPREQ"
+	case frameHello:
+		return "HELLO"
 	}
 	return fmt.Sprintf("frame %#x", t)
 }
 
+// frameCopyLimit is the payload size up to which writeFrame stages the
+// header and payload in one recycled buffer for a single Write call —
+// halving syscalls on the steady VALUES path. Larger payloads are written
+// header-then-payload: copying megabytes to save one syscall is a loss.
+const frameCopyLimit = 64 << 10
+
+// frameBufPool recycles writeFrame's staging buffers. Buffers are bounded
+// by frameCopyLimit + header, so the pool never pins large payloads.
+var frameBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
 // writeFrame emits one frame: 1-byte type, 4-byte big-endian payload
-// length, payload. Callers serialize access to w.
+// length, payload. Callers serialize access to w. Small frames are staged
+// in a pooled buffer and written in one call.
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("remote: %s payload %d exceeds MaxFrame", frameName(typ), len(payload))
 	}
-	hdr := [5]byte{typ}
-	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if len(payload) > 0 {
-		if _, err := w.Write(payload); err != nil {
-			return err
+	var err error
+	if len(payload) <= frameCopyLimit {
+		bp := frameBufPool.Get().(*[]byte)
+		b := (*bp)[:0]
+		b = append(b, typ)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(payload)))
+		b = append(b, payload...)
+		_, err = w.Write(b)
+		*bp = b[:0]
+		frameBufPool.Put(bp)
+	} else {
+		hdr := [5]byte{typ}
+		binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+		if _, err = w.Write(hdr[:]); err == nil {
+			_, err = w.Write(payload)
 		}
+	}
+	if err != nil {
+		return err
 	}
 	if telemetry.On() {
 		cFramesTx.Inc()
@@ -139,7 +173,10 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 }
 
 // readFrame reads one frame, rejecting oversized length prefixes before
-// allocating.
+// allocating. It allocates a fresh payload per frame and is kept for
+// one-shot reads (handshakes, raw protocol tests) where the payload's
+// lifetime is unknown; the long-lived read loops use a frameReader, whose
+// recycled buffer makes the steady-state VALUES path allocation-free.
 func readFrame(r io.Reader) (byte, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -160,6 +197,101 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 	return hdr[0], payload, nil
 }
 
+// frameReader reads frames into a reusable payload buffer. The returned
+// payload is valid only until the next read — exactly the lifetime the
+// decode paths need, since wire.Unmarshal copies everything it keeps and
+// OPEN payloads (whose parse aliases the buffer) are copied explicitly by
+// the session demux. One reader per connection read loop: no pool
+// contention and no cross-goroutine aliasing.
+type frameReader struct {
+	r   io.Reader
+	buf []byte
+	// hdr is the header scratch; a local array would escape through the
+	// io.Reader interface and cost one allocation per frame.
+	hdr [muxHeaderLen]byte
+}
+
+func newFrameReader(r io.Reader) *frameReader { return &frameReader{r: r} }
+
+// payload returns the scratch buffer sized to n, growing (and
+// occasionally shrinking, so one huge frame does not pin its high-water
+// mark for the connection's lifetime) as needed.
+func (f *frameReader) payload(n uint32) []byte {
+	if uint32(cap(f.buf)) < n || (cap(f.buf) > 1<<20 && n < 1<<16) {
+		f.buf = make([]byte, n)
+	}
+	return f.buf[:n]
+}
+
+// read reads one classic frame (type, length, payload).
+func (f *frameReader) read() (byte, []byte, error) {
+	hdr := f.hdr[:5]
+	if _, err := io.ReadFull(f.r, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("remote: frame length %d exceeds MaxFrame", n)
+	}
+	payload := f.payload(n)
+	if _, err := io.ReadFull(f.r, payload); err != nil {
+		return 0, nil, err
+	}
+	if telemetry.On() {
+		cFramesRx.Inc()
+		cBytesRx.Add(int64(5 + n))
+	}
+	return hdr[0], payload, nil
+}
+
+// ---- multiplexed framing (protocol v5) ----
+//
+// After the session handshake (a classic OPEN in mode openMux answered by
+// a classic HELLO), every frame in both directions carries a stream id
+// between the type and the length: [type:1][stream:4 BE][len:4 BE]
+// [payload]. Stream id 0 is the connection itself — PING/PONG liveness is
+// per-connection under v5, not per-stream.
+
+// muxHeaderLen is the multiplexed frame header size.
+const muxHeaderLen = 9
+
+// appendMuxFrame appends one multiplexed frame to dst — the shared
+// session writer builds its coalesced write buffers with this.
+func appendMuxFrame(dst []byte, typ byte, sid uint32, payload []byte) []byte {
+	dst = append(dst, typ)
+	dst = binary.BigEndian.AppendUint32(dst, sid)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	if telemetry.On() {
+		cFramesTx.Inc()
+		cBytesTx.Add(int64(muxHeaderLen + len(payload)))
+	}
+	return dst
+}
+
+// readMux reads one multiplexed frame (type, stream id, payload) into the
+// recycled buffer.
+func (f *frameReader) readMux() (byte, uint32, []byte, error) {
+	hdr := f.hdr[:]
+	if _, err := io.ReadFull(f.r, hdr); err != nil {
+		return 0, 0, nil, err
+	}
+	sid := binary.BigEndian.Uint32(hdr[1:5])
+	n := binary.BigEndian.Uint32(hdr[5:])
+	if n > MaxFrame {
+		return 0, 0, nil, fmt.Errorf("remote: frame length %d exceeds MaxFrame", n)
+	}
+	payload := f.payload(n)
+	if _, err := io.ReadFull(f.r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	if telemetry.On() {
+		cFramesRx.Inc()
+		cBytesRx.Add(int64(muxHeaderLen + n))
+	}
+	return hdr[0], sid, payload, nil
+}
+
 // ---- OPEN payload ----
 
 // openVersion guards against skew between mixed-version peers. Version 2
@@ -172,13 +304,26 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 // from. Version 4 added durable generators: the checkpoint interval and
 // recovery skip count in OPEN, the RESUME opening frame, and the
 // SNAPSHOT/SNAPREQ exchange.
-const openVersion = 4
+//
+// Version 5 added multiplexed sessions. It is deliberately NOT the
+// version individual stream opens marshal at: a stream OPEN still speaks
+// openVersion (4) whether it travels on a dedicated connection or inside
+// a session, so plain RemotePipe behaviour is byte-identical to v4.
+// Version 5 appears on the wire only as the session handshake — an OPEN
+// in mode openMux at sessionVersion — which a pre-v5 server rejects with
+// the same versioned message every other downgrade uses, and the Dialer
+// recognizes to fall back to one connection per stream.
+const (
+	openVersion    = 4
+	sessionVersion = 5
+)
 
 // Open modes.
 const (
 	openNamed  byte = 0 // a generator registered on the server
 	openSource byte = 1 // a vetted Junicon source program + expression
 	openResume byte = 2 // a checkpoint snapshot to restore (v4)
+	openMux    byte = 3 // a multiplexed session handshake (v5); no generator
 )
 
 // openReq is the decoded OPEN payload.
@@ -235,6 +380,9 @@ func (o *openReq) marshal() []byte {
 	case openResume:
 		b = appendUvarint(b, uint64(len(o.blob)))
 		b = append(b, o.blob...)
+	case openMux:
+		// A session handshake names no generator: credit carries the
+		// client's streams-per-conn hint and stream its connection id.
 	}
 	return append(b, o.args...)
 }
@@ -341,6 +489,10 @@ func parseOpen(payload []byte, maxVer byte) (*openReq, error) {
 		if o.blob, err = r.bytes(); err != nil {
 			return nil, err
 		}
+	case openMux:
+		if ver < sessionVersion {
+			return nil, fmt.Errorf("remote: multiplexed session requires protocol version %d, got %d", sessionVersion, ver)
+		}
 	default:
 		return nil, fmt.Errorf("remote: unknown OPEN mode %d", o.mode)
 	}
@@ -375,6 +527,25 @@ func parseSnapshot(payload []byte) (produced uint64, ok bool, rest []byte, err e
 		return 0, false, nil, errors.New("remote: bad SNAPSHOT payload")
 	}
 	return produced, okb != 0, payload[r.pos:], nil
+}
+
+// versionCap parses the version ceiling out of a server's versioned
+// rejection message ("remote: protocol version %d, want <= %d"). Both
+// downgrade paths key on it: the per-stream redial (noteDowngrade) and
+// the Dialer's v5→v4 session fallback. ok is false for any other message.
+func versionCap(msg string) (byte, bool) {
+	if !strings.Contains(msg, "protocol version") {
+		return 0, false
+	}
+	i := strings.LastIndex(msg, "want <= ")
+	if i < 0 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(msg[i+len("want <= "):]))
+	if err != nil || n < 1 || n > 255 {
+		return 0, false
+	}
+	return byte(n), true
 }
 
 // creditPayload encodes a CREDIT grant.

@@ -201,3 +201,65 @@ func TestBatchedProducerErrorAfterValues(t *testing.T) {
 		t.Fatal("producer runtime error was not surfaced")
 	}
 }
+
+// Session interop: a pooled (v5) client and a pre-session server — and a
+// classic client against a session-capable server — must converge exactly
+// like the batching pair above: silent fallback, identical values, no
+// stream-id bytes leaking into classic frames.
+
+// TestInteropPooledClientLegacyServers runs a Dialer against servers
+// capped at v4 (no sessions) and v2 (no sessions, no batching): the pipe
+// must fall back to a dedicated classic connection, then keep negotiating
+// downward from there as before.
+func TestInteropPooledClientLegacyServers(t *testing.T) {
+	for _, cap := range []int{4, 2} {
+		t.Run(fmt.Sprintf("v%d", cap), func(t *testing.T) {
+			_, addr := startServer(t, func(s *Server) { s.MaxProtocol = cap })
+			d := &Dialer{}
+			defer d.Close()
+			p := d.Open(addr, "range", []value.V{value.NewInt(1), value.NewInt(200)}, testConfig())
+			defer p.Stop()
+			var got []int64
+			within(t, 5*time.Second, "drain via legacy server", func() {
+				got = drainInts(t, p, 1000)
+			})
+			assertInts(t, got, wantRange(1, 200))
+			if err := p.Err(); err != nil {
+				t.Fatalf("fallback surfaced as stream error: %v", err)
+			}
+			if d.Sessions() != 0 {
+				t.Fatalf("%d sessions against a v%d server, want 0", d.Sessions(), cap)
+			}
+			// A second stream must reuse the cached fallback without a
+			// probing handshake failure showing anywhere.
+			q := d.Open(addr, "range", []value.V{value.NewInt(1), value.NewInt(5)}, testConfig())
+			defer q.Stop()
+			within(t, 5*time.Second, "second stream", func() {
+				assertInts(t, drainInts(t, q, 100), wantRange(1, 5))
+			})
+			if q.Err() != nil {
+				t.Fatalf("second fallback stream errored: %v", q.Err())
+			}
+		})
+	}
+}
+
+// TestInteropClassicClientSessionServer: a plain Open (v4, no dialer)
+// against a fully session-capable server takes the classic path — one
+// connection, classic frames — and streams identically.
+func TestInteropClassicClientSessionServer(t *testing.T) {
+	srv, addr := startServer(t, nil)
+	p := Open(addr, "range", []value.V{value.NewInt(1), value.NewInt(200)}, testConfig())
+	defer p.Stop()
+	var got []int64
+	within(t, 5*time.Second, "classic drain", func() {
+		got = drainInts(t, p, 1000)
+	})
+	assertInts(t, got, wantRange(1, 200))
+	if err := p.Err(); err != nil {
+		t.Fatalf("classic stream against v5 server errored: %v", err)
+	}
+	if srv.ActiveConns() != 1 {
+		t.Fatalf("conns = %d, want 1 dedicated", srv.ActiveConns())
+	}
+}

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -175,11 +176,24 @@ func (s *Server) maxConns() int {
 	return s.MaxConns
 }
 
-func (s *Server) maxProtocol() byte {
+// maxStream is the version ceiling for individual stream opens (classic
+// connections and per-stream OPENs inside a session).
+func (s *Server) maxStream() byte {
 	if s.MaxProtocol >= 1 && s.MaxProtocol <= openVersion {
 		return byte(s.MaxProtocol)
 	}
 	return openVersion
+}
+
+// maxSession is the version ceiling for the first frame of a connection,
+// which may be a v5 session handshake. MaxProtocol below sessionVersion
+// (junicond -no-mux sets 4) refuses sessions with the standard versioned
+// message, which Dialers recognize and fall back from.
+func (s *Server) maxSession() byte {
+	if s.MaxProtocol >= 1 && s.MaxProtocol <= sessionVersion {
+		return byte(s.MaxProtocol)
+	}
+	return sessionVersion
 }
 
 func (s *Server) idleTimeout() time.Duration {
@@ -359,8 +373,50 @@ func (st *stream) requestSnap() {
 	st.mu.Unlock()
 }
 
-// handleConn runs one stream: OPEN, then produce under credit control
-// until EOS/ERR/cancel.
+// streamWriter abstracts how one served stream's frames reach its
+// client: a dedicated connection (classic, one stream per conn) or a
+// stream id on a shared session writer.
+type streamWriter interface {
+	writeStream(typ byte, payload []byte) error
+}
+
+// connWriter writes classic frames on a dedicated connection,
+// serializing the producer's VALUE/EOS/ERR against the reader's PONG.
+type connWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (w *connWriter) writeStream(typ byte, payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return writeFrame(w.conn, typ, payload)
+}
+
+// muxWriter tags a stream's frames with its id and hands them to the
+// session's shared writer; serialization is the enqueue's.
+type muxWriter struct {
+	io  *muxIO
+	sid uint32
+}
+
+func (w *muxWriter) writeStream(typ byte, payload []byte) error {
+	return w.io.enqueue(typ, w.sid, payload)
+}
+
+// servedStream is the connection reader's control surface over one
+// producer goroutine: the credit account, the on-demand flush, the
+// teardown reason, and completion.
+type servedStream struct {
+	st        *stream
+	flush     func() error
+	setReason func(string)
+	done      chan struct{}
+}
+
+// handleConn runs one connection: its first frame is either a classic
+// stream OPEN (one stream per connection, protocols v1–v4) or a v5
+// session handshake carrying many logical streams.
 func (s *Server) handleConn(conn net.Conn) {
 	idle := s.idleTimeout()
 	conn.SetReadDeadline(time.Now().Add(idle))
@@ -369,27 +425,102 @@ func (s *Server) handleConn(conn net.Conn) {
 		writeFrame(conn, frameErr, []byte("expected OPEN or RESUME frame"))
 		return
 	}
-	open, err := parseOpen(payload, s.maxProtocol())
+	open, err := parseOpen(payload, s.maxSession())
 	if err != nil {
 		writeFrame(conn, frameErr, []byte(err.Error()))
+		return
+	}
+	if open.mode == openMux {
+		s.serveSession(conn, open)
+		return
+	}
+	if open.version > s.maxStream() {
+		// A classic stream open above the stream ceiling (possible when the
+		// session ceiling is higher): the same versioned rejection
+		// parseOpen produces, which downgrade-aware clients recognize.
+		writeFrame(conn, frameErr,
+			[]byte(fmt.Sprintf("remote: protocol version %d, want <= %d", open.version, s.maxStream())))
 		return
 	}
 	if (typ == frameResume) != (open.mode == openResume) {
 		writeFrame(conn, frameErr, []byte("RESUME frame and resume mode must pair"))
 		return
 	}
+	w := &connWriter{conn: conn}
+	ss := s.openStream(w, open, conn.RemoteAddr().String(), 0)
+	if ss == nil {
+		return // refused; ERR already sent
+	}
+
+	// Connection reader: credits, pings, cancel; any read error (including
+	// the rolling idle deadline) or protocol violation cancels the stream.
+	fr := newFrameReader(conn)
+reader:
+	for {
+		conn.SetReadDeadline(time.Now().Add(idle))
+		typ, payload, err := fr.read()
+		if err != nil {
+			ss.setReason("connection lost")
+			break
+		}
+		switch typ {
+		case frameCredit:
+			n, err := parseCredit(payload)
+			if err != nil {
+				ss.setReason("protocol violation")
+				break reader
+			}
+			ss.st.deposit(n)
+			// A CREDIT frame is the demand signal: the client drained its
+			// queue far enough to grant more, so any buffered run should
+			// travel now. A write failure surfaces on the next read.
+			ss.flush()
+		case framePing:
+			w.writeStream(framePong, nil)
+		case frameSnapReq:
+			ss.st.requestSnap()
+		case frameCancel:
+			ss.st.cancel()
+		default:
+			// Protocol violation: drop the stream.
+			ss.setReason("protocol violation")
+			break reader
+		}
+	}
+	// Connection lost or cancelled: stop the producer (closing the conn
+	// unblocks any in-flight write) and wait for it so stream accounting
+	// is exact.
+	ss.st.cancel()
+	conn.Close()
+	<-ss.done
+}
+
+// openStream resolves an OPEN to the generator it names and spawns its
+// producer. A rejected open (unknown generator, vet error, bad resume
+// blob) answers ERR on w and returns nil — which on a session fails one
+// logical stream, never the connection.
+func (s *Server) openStream(w streamWriter, open *openReq, remoteAddr string, connID uint64) *servedStream {
 	gen, smeta, base, err := s.buildGenerator(open)
 	if err != nil {
-		writeFrame(conn, frameErr, []byte(err.Error()))
+		w.writeStream(frameErr, []byte(err.Error()))
 		s.log().Warn("stream refused",
-			"remote", conn.RemoteAddr().String(),
+			"remote", remoteAddr,
 			"reason", err.Error())
 		if telemetry.On() {
 			cServerRefused.Inc()
 		}
-		return
+		return nil
 	}
+	return s.startStream(w, open, gen, smeta, base, remoteAddr, connID)
+}
 
+// startStream spawns the producer goroutine serving one opened stream
+// over w: iterate the generator to failure, one value per credit.
+// Runtime errors and panics become ERR frames, mirroring pipe.Pipe's
+// producer containment. Completion (accounting, unregistration, the
+// stream-done log) rides the producer's exit, so on a shared session
+// each stream retires independently of its siblings.
+func (s *Server) startStream(w streamWriter, open *openReq, gen core.Gen, smeta checkpoint.Meta, base uint64, remoteAddr string, connID uint64) *servedStream {
 	// The generator this stream serves, for logs and trace labels.
 	what := open.name
 	switch open.mode {
@@ -399,7 +530,6 @@ func (s *Server) handleConn(conn net.Conn) {
 		what = "resume"
 	}
 	st := newStream(open.credit)
-	var wmu sync.Mutex // serializes VALUE/EOS/ERR (producer) with PONG (reader)
 
 	// Batched delivery (OPEN v3): when the client advertises a batch
 	// capability > 1, marshaled values accumulate in pending and ship as
@@ -413,7 +543,10 @@ func (s *Server) handleConn(conn net.Conn) {
 	// block), stall (credits exhausted: everything the client allows is
 	// in hand, so ship it before waiting), and EOS/ERR (flush the run
 	// before the terminal frame). bmu is held across the frame write so
-	// racing flushes emit runs in production order; wmu nests inside bmu.
+	// racing flushes emit runs in production order; the stream writer's
+	// own serialization nests inside bmu. encBuf is the recycled batch
+	// encoding scratch — both writer kinds are done with the payload when
+	// writeStream returns, so reuse across flushes is safe.
 	batch := int(open.batch)
 	if batch > MaxServerBatch {
 		batch = MaxServerBatch
@@ -423,6 +556,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	var bmu sync.Mutex
 	var pending [][]byte
+	var encBuf []byte
 	flush := func() error {
 		if batch == 0 {
 			return nil
@@ -432,15 +566,12 @@ func (s *Server) handleConn(conn net.Conn) {
 		if len(pending) == 0 {
 			return nil
 		}
-		payload := wire.EncodeBatch(pending)
+		encBuf = wire.AppendBatch(encBuf[:0], pending)
 		if telemetry.On() {
 			hServerFlush.Observe(int64(len(pending)))
 		}
 		pending = pending[:0]
-		wmu.Lock()
-		err := writeFrame(conn, frameValues, payload)
-		wmu.Unlock()
-		return err
+		return w.writeStream(frameValues, encBuf)
 	}
 	s.served.Add(1)
 	s.streams.Add(1)
@@ -457,8 +588,9 @@ func (s *Server) handleConn(conn net.Conn) {
 	var ih *inspect.Handle
 	if inspect.On() {
 		ih = inspect.Register(open.stream, inspect.KindRemoteServer,
-			"serve:"+what+"<-"+conn.RemoteAddr().String())
+			"serve:"+what+"<-"+remoteAddr)
 		ih.SetCredit(int64(open.credit))
+		ih.SetConn(connID)
 	}
 	// A resumed stream (snapshot restore or replay skip) is a recovery:
 	// mark the handle so /debug/streams shows which streams survived, and
@@ -474,14 +606,11 @@ func (s *Server) handleConn(conn net.Conn) {
 	// the client's ID, which is what stitches the two processes' traces.
 	telemetry.Emit(open.stream, telemetry.KindStreamOpen, "serve:"+what, int64(open.credit))
 	s.log().Info("stream open",
-		"remote", conn.RemoteAddr().String(),
+		"remote", remoteAddr,
 		"generator", what,
 		"stream", streamID(open.stream),
 		"credit", open.credit)
 
-	// Producer goroutine: iterate the generator to failure, one VALUE per
-	// credit. Runtime errors and panics become ERR frames, mirroring
-	// pipe.Pipe's producer containment.
 	prodDone := make(chan struct{})
 	var sent atomic.Int64
 	var reason atomic.Pointer[string]
@@ -492,6 +621,19 @@ func (s *Server) handleConn(conn net.Conn) {
 			if telemetry.On() {
 				gServerStreams.Set(s.streams.Load())
 			}
+			inspect.Unregister(ih)
+			why := "done"
+			if r := reason.Load(); r != nil {
+				why = *r
+			}
+			telemetry.EmitSpan(open.stream, telemetry.KindStreamEnd, "serve:"+what, sent.Load(), opened)
+			s.log().Info("stream done",
+				"remote", remoteAddr,
+				"generator", what,
+				"stream", streamID(open.stream),
+				"values", sent.Load(),
+				"reason", why,
+				"dur", time.Since(opened))
 			close(prodDone)
 		}()
 		if ih != nil {
@@ -505,9 +647,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		sendErr := func(msg string) {
 			flush() // values produced before the error must precede it
-			wmu.Lock()
-			writeFrame(conn, frameErr, []byte(msg))
-			wmu.Unlock()
+			w.writeStream(frameErr, []byte(msg))
 		}
 		// takeSnap checkpoints the stream between Next calls (only this
 		// goroutine drives gen, so the frame is suspended and consistent)
@@ -527,9 +667,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			total := base + open.skip + uint64(sent.Load())
 			answer := func(ok bool, rest []byte) error {
-				wmu.Lock()
-				defer wmu.Unlock()
-				return writeFrame(conn, frameSnapshot, snapshotPayload(total, ok, rest))
+				return w.writeStream(frameSnapshot, snapshotPayload(total, ok, rest))
 			}
 			if smeta.Expr == "" {
 				answer(false, []byte("named generator has no source expression to restore from"))
@@ -572,9 +710,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			for skipped := uint64(0); skipped < open.skip; skipped++ {
 				if _, ok := gen.Next(); !ok {
 					flush()
-					wmu.Lock()
-					writeFrame(conn, frameEOS, nil)
-					wmu.Unlock()
+					w.writeStream(frameEOS, nil)
 					setReason("eos during recovery skip")
 					return nil
 				}
@@ -632,9 +768,7 @@ func (s *Server) handleConn(conn net.Conn) {
 						telemetry.EmitSpan(open.stream, telemetry.KindFail, "serve:"+what, 0, genStart)
 					}
 					flush() // the final partial run precedes EOS
-					wmu.Lock()
-					writeFrame(conn, frameEOS, nil)
-					wmu.Unlock()
+					w.writeStream(frameEOS, nil)
 					setReason("eos")
 					return nil
 				}
@@ -660,9 +794,7 @@ func (s *Server) handleConn(conn net.Conn) {
 						werr = flush()
 					}
 				} else {
-					wmu.Lock()
-					werr = writeFrame(conn, frameValue, data)
-					wmu.Unlock()
+					werr = w.writeStream(frameValue, data)
 				}
 				if werr != nil {
 					setReason("connection lost")
@@ -690,61 +822,180 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 	}()
 
-	// Connection reader: credits, pings, cancel; any read error (including
-	// the rolling idle deadline) or protocol violation cancels the stream.
-reader:
+	return &servedStream{st: st, flush: flush, setReason: setReason, done: prodDone}
+}
+
+// serveSession runs a v5 multiplexed connection: one shared writer, one
+// demux reader, many logical streams riding the startStream producers.
+//
+// Why the demux never head-of-line blocks: handleStreamFrame on the
+// client delivers into a queue the client itself sized, and credit
+// accounting guarantees the server never has more values in flight per
+// stream than that queue has room for — so the per-stream Put the demux
+// performs cannot stall siblings. Symmetrically here, the only per-frame
+// work is a credit deposit or a cancel, both non-blocking.
+func (s *Server) serveSession(conn net.Conn, hello *openReq) {
+	remoteAddr := conn.RemoteAddr().String()
+	// HELLO answers the handshake in classic framing; everything after it
+	// on this connection is mux-framed.
+	if err := writeFrame(conn, frameHello, nil); err != nil {
+		return
+	}
+	connID := hello.stream
+	var ih *inspect.Handle
+	if inspect.On() {
+		ih = inspect.Register(telemetry.NextStream(), inspect.KindSession,
+			"session:"+remoteAddr+" (serve)")
+		ih.SetConn(connID)
+	}
+	muxSessions.Add(1)
+	if telemetry.On() {
+		gMuxSess.Set(muxSessions.Load())
+	}
+	mio := newMuxIO(conn, ih)
+	s.log().Info("session open",
+		"remote", remoteAddr,
+		"conn", streamID(connID),
+		"streams_hint", hello.credit)
+
+	streams := make(map[uint32]*servedStream)
+	var smu sync.Mutex
+	// Finished streams are reaped lazily: each OPEN that finds the table
+	// past the high-water mark sweeps out entries whose producer has
+	// retired. Amortized O(1) per stream, no goroutine per stream, and the
+	// table stays within 2× the live count — what a session storm of
+	// millions of short streams needs.
+	sweepAt := 64
+	idle := s.idleTimeout()
+	fr := newFrameReader(conn)
+	var serr error
+loop:
 	for {
 		conn.SetReadDeadline(time.Now().Add(idle))
-		typ, payload, err := readFrame(conn)
+		typ, sid, payload, err := fr.readMux()
 		if err != nil {
-			setReason("connection lost")
+			serr = err
 			break
 		}
-		switch typ {
-		case frameCredit:
-			n, err := parseCredit(payload)
-			if err != nil {
-				setReason("protocol violation")
-				break reader
+		if sid == 0 {
+			// Connection-level liveness.
+			switch typ {
+			case framePing:
+				mio.enqueue(framePong, 0, nil)
+			case framePong:
+				// Answer to our own ping; nothing to do.
+			default:
+				serr = errors.New("protocol violation on stream 0")
+				break loop
 			}
-			st.deposit(n)
-			// A CREDIT frame is the demand signal: the client drained its
-			// queue far enough to grant more, so any buffered run should
-			// travel now. A write failure surfaces on the next read.
-			flush()
-		case framePing:
-			wmu.Lock()
-			writeFrame(conn, framePong, nil)
-			wmu.Unlock()
+			continue
+		}
+		switch typ {
+		case frameOpen, frameResume:
+			smu.Lock()
+			_, dup := streams[sid]
+			smu.Unlock()
+			if dup {
+				serr = errors.New("duplicate stream id in OPEN")
+				break loop
+			}
+			// parseOpen aliases args/program/expr sub-slices of its input,
+			// and the reader's buffer is recycled on the next frame — copy
+			// before parsing so the stream owns its open for its lifetime.
+			open, perr := parseOpen(append([]byte(nil), payload...), s.maxStream())
+			if perr != nil {
+				mio.enqueue(frameErr, sid, []byte(perr.Error()))
+				continue
+			}
+			if (typ == frameResume) != (open.mode == openResume) {
+				mio.enqueue(frameErr, sid, []byte("RESUME frame and resume mode must pair"))
+				continue
+			}
+			if open.mode == openMux {
+				mio.enqueue(frameErr, sid, []byte("nested session open"))
+				continue
+			}
+			ss := s.openStream(&muxWriter{io: mio, sid: sid}, open, remoteAddr, connID)
+			if ss == nil {
+				continue // refused; ERR already sent on sid
+			}
+			smu.Lock()
+			streams[sid] = ss
+			if len(streams) >= sweepAt {
+				for id, old := range streams {
+					select {
+					case <-old.done:
+						delete(streams, id)
+					default:
+					}
+				}
+				sweepAt = 2*len(streams) + 64
+			}
+			smu.Unlock()
+		case frameCredit:
+			n, perr := parseCredit(payload)
+			if perr != nil {
+				serr = errors.New("protocol violation in CREDIT")
+				break loop
+			}
+			smu.Lock()
+			ss := streams[sid]
+			smu.Unlock()
+			// A frame for an unknown sid is a finished stream's tail in
+			// flight — ignore, per the mux framing contract.
+			if ss != nil {
+				ss.st.deposit(n)
+				ss.flush()
+			}
 		case frameSnapReq:
-			st.requestSnap()
+			smu.Lock()
+			ss := streams[sid]
+			smu.Unlock()
+			if ss != nil {
+				ss.st.requestSnap()
+			}
 		case frameCancel:
-			st.cancel()
+			smu.Lock()
+			ss := streams[sid]
+			smu.Unlock()
+			if ss != nil {
+				ss.st.cancel()
+			}
 		default:
-			// Protocol violation: drop the stream.
-			setReason("protocol violation")
-			break reader
+			serr = fmt.Errorf("protocol violation: frame %s on session", frameName(typ))
+			break loop
 		}
 	}
-	// Connection lost or cancelled: stop the producer (closing the conn
-	// unblocks any in-flight write) and wait for it so stream accounting
-	// is exact.
-	st.cancel()
-	conn.Close()
-	<-prodDone
-	inspect.Unregister(ih)
-	why := "done"
-	if r := reason.Load(); r != nil {
-		why = *r
+	// Teardown: poison the shared writer FIRST so producers blocked in
+	// enqueue unblock with an error, then cancel every stream and wait for
+	// each producer so stream accounting is exact before the session
+	// handle closes.
+	if serr == nil {
+		serr = errors.New("session closed")
 	}
-	telemetry.EmitSpan(open.stream, telemetry.KindStreamEnd, "serve:"+what, sent.Load(), opened)
-	s.log().Info("stream done",
-		"remote", conn.RemoteAddr().String(),
-		"generator", what,
-		"stream", streamID(open.stream),
-		"values", sent.Load(),
-		"reason", why,
-		"dur", time.Since(opened))
+	mio.fail(serr)
+	smu.Lock()
+	live := make([]*servedStream, 0, len(streams))
+	for _, ss := range streams {
+		live = append(live, ss)
+	}
+	smu.Unlock()
+	for _, ss := range live {
+		ss.setReason("connection lost")
+		ss.st.cancel()
+	}
+	for _, ss := range live {
+		<-ss.done
+	}
+	ih.Close()
+	muxSessions.Add(-1)
+	if telemetry.On() {
+		gMuxSess.Set(muxSessions.Load())
+	}
+	s.log().Info("session done",
+		"remote", remoteAddr,
+		"conn", streamID(connID),
+		"reason", serr.Error())
 }
 
 // buildGenerator resolves an OPEN or RESUME request to the generator it

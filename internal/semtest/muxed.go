@@ -1,0 +1,56 @@
+package semtest
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"junicon/internal/remote"
+	"junicon/internal/value"
+)
+
+// Muxed evaluates the case as a source stream opened through a session
+// Dialer — the multiplexed transport, where this stream shares one TCP
+// connection with whatever else the dialer has open. The consumer side
+// injects pauses from a deterministically seeded schedule, forcing the
+// interleavings the shared demux must survive: a slow consumer whose
+// queue backpressures its stream while session siblings keep streaming,
+// credit grants racing the shared writer's flush coalescing, and EOS
+// landing while the consumer is parked. The trace must still be the
+// sequential reference's, value for value — multiplexing is a transport
+// economy, never a semantics change.
+func Muxed(c Case, d *remote.Dialer, addr string, cfg remote.Config, seed int64) (Result, error) {
+	p := d.OpenSource(addr, c.Program, c.Expr, nil, cfg)
+	defer p.Stop()
+	rng := rand.New(rand.NewSource(seed))
+	var r Result
+	for i := 0; i < c.max(); i++ {
+		// Seeded consumer pacing: mostly full speed, sometimes a yield,
+		// occasionally a real stall — enough to swing the credit window
+		// between empty and full across the run.
+		switch n := rng.Intn(8); {
+		case n < 4:
+		case n < 7:
+			runtime.Gosched()
+		default:
+			time.Sleep(50 * time.Microsecond)
+		}
+		v, ok := p.Next()
+		if !ok {
+			break
+		}
+		r.Images = append(r.Images, value.Image(value.Deref(v)))
+	}
+	r.Failed = p.Err() != nil
+	// Same OPEN-rejection carve-out as Remote: a parse/vet refusal means
+	// the sequential reference could not have run either.
+	if len(r.Images) == 0 && r.Failed {
+		if re, ok := p.Err().(*remote.RemoteError); ok &&
+			(strings.Contains(re.Msg, "parse") || strings.Contains(re.Msg, "vet rejected")) {
+			return Result{}, fmt.Errorf("muxed remote rejected %s: %v", c.Name, re)
+		}
+	}
+	return r, nil
+}

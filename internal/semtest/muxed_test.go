@@ -1,0 +1,159 @@
+package semtest
+
+import (
+	"sync"
+	"testing"
+
+	"junicon/internal/remote"
+	"junicon/internal/value"
+)
+
+// muxedLoopback starts a source-serving server and returns it with its
+// address, for tests that assert connection counts.
+func muxedLoopback(t *testing.T) (*remote.Server, string) {
+	t.Helper()
+	s := remote.NewServer()
+	s.AllowSource = true
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("loopback server: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, addr.String()
+}
+
+// TestDifferentialMuxedGrid is the multiplexed headline check: every
+// corpus case over the full buffer × batch grid, every stream riding ONE
+// shared session, with seeded consumer pause schedules — and every trace
+// byte-identical to the sequential reference. One dialer lives across
+// the whole sweep precisely so that streams from different cases and
+// grid cells interleave on the same connection.
+func TestDifferentialMuxedGrid(t *testing.T) {
+	srv, addr := muxedLoopback(t)
+	d := &remote.Dialer{}
+	defer d.Close()
+	seed := int64(1)
+	for _, c := range corpus(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			ref := reference(t, c)
+			for _, cell := range Grid() {
+				cfg := remote.Config{Buffer: cell.Buffer, Batch: cell.Batch}
+				seed++
+				got, err := Muxed(c, d, addr, cfg, seed)
+				if err != nil {
+					t.Fatalf("muxed %+v: %v", cell, err)
+				}
+				if !got.Equal(ref) {
+					t.Fatalf("muxed %+v diverged:\nref = %s\ngot = %s", cell, ref, got)
+				}
+			}
+		})
+	}
+	if got := d.Sessions(); got != 1 {
+		t.Fatalf("dialer used %d sessions for the whole sweep, want 1", got)
+	}
+	if got := srv.ActiveConns(); got != 1 {
+		t.Fatalf("server saw %d connections, want 1", got)
+	}
+}
+
+// TestMuxedConcurrentStreamsIsolated runs several corpus cases
+// concurrently on one session and kills one stream of the many
+// mid-flight: the killed stream errors, every sibling's trace stays
+// byte-identical to its reference. The §3B bound is per stream, so one
+// consumer's fate must never leak into its connection neighbors.
+func TestMuxedConcurrentStreamsIsolated(t *testing.T) {
+	_, addr := muxedLoopback(t)
+	d := &remote.Dialer{}
+	defer d.Close()
+
+	cases := corpus(t)
+	if len(cases) > 6 {
+		cases = cases[:6]
+	}
+	refs := make([]Result, len(cases))
+	for i, c := range cases {
+		refs[i] = reference(t, c)
+	}
+
+	// The victim: a long stream killed after a few values.
+	victim := d.OpenSource(addr, "", "1 to 100000", nil, remote.Config{Buffer: 4})
+	defer victim.Stop()
+	for i := 0; i < 3; i++ {
+		if _, ok := victim.Next(); !ok {
+			t.Fatalf("victim refused: %v", victim.Err())
+		}
+	}
+
+	var wg sync.WaitGroup
+	results := make([]Result, len(cases))
+	errs := make([]error, len(cases))
+	for i, c := range cases {
+		wg.Add(1)
+		go func(i int, c Case) {
+			defer wg.Done()
+			results[i], errs[i] = Muxed(c, d, addr, remote.Config{Buffer: 2, Batch: 2}, int64(100+i))
+		}(i, c)
+	}
+	// Stop the victim while the siblings are mid-flight: a per-stream
+	// CANCEL on the shared session retires that one server producer and
+	// must touch nothing else on the connection.
+	victim.Stop()
+	wg.Wait()
+
+	for i, c := range cases {
+		if errs[i] != nil {
+			t.Fatalf("%s: %v", c.Name, errs[i])
+		}
+		if !results[i].Equal(refs[i]) {
+			t.Fatalf("%s diverged next to a killed sibling:\nref = %s\ngot = %s",
+				c.Name, refs[i], results[i])
+		}
+	}
+	if got := d.Sessions(); got != 1 {
+		t.Fatalf("sessions = %d, want 1", got)
+	}
+}
+
+// TestMuxedKilledStreamFailsAlone severs one stream's server producer by
+// a runtime error while siblings stream on the same session.
+func TestMuxedKilledStreamFailsAlone(t *testing.T) {
+	_, addr := muxedLoopback(t)
+	d := &remote.Dialer{}
+	defer d.Close()
+
+	sib := d.OpenSource(addr, "", "1 to 500", nil, remote.Config{Buffer: 4, Batch: 4})
+	defer sib.Stop()
+	if _, ok := sib.Next(); !ok {
+		t.Fatalf("sibling refused: %v", sib.Err())
+	}
+
+	// A dynamic type error mid-stream, hidden from the vet behind a call.
+	bad := d.OpenSource(addr, `def double(x) { return x * 2; }`,
+		"(1 to 5) | double(\"abc\")", nil, remote.Config{Buffer: 2, Batch: 2})
+	defer bad.Stop()
+	for {
+		if _, ok := bad.Next(); !ok {
+			break
+		}
+	}
+	if bad.Err() == nil {
+		t.Fatal("bad stream must fail")
+	}
+
+	n := 1
+	for {
+		v, ok := sib.Next()
+		if !ok {
+			break
+		}
+		n++
+		if img := value.Image(value.Deref(v)); img == "" {
+			t.Fatal("empty image")
+		}
+	}
+	if sib.Err() != nil || n != 500 {
+		t.Fatalf("sibling next to failed stream: err=%v n=%d want 500", sib.Err(), n)
+	}
+}

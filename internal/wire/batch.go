@@ -19,17 +19,29 @@ import (
 
 // EncodeBatch frames already-marshaled values into one batch payload.
 func EncodeBatch(items [][]byte) []byte {
+	return AppendBatch(nil, items)
+}
+
+// AppendBatch appends the batch framing of items to dst and returns the
+// extended buffer — the scratch-reuse form of EncodeBatch, so a server
+// flushing thousands of runs can recycle one buffer instead of allocating
+// per flush.
+func AppendBatch(dst []byte, items [][]byte) []byte {
 	size := binary.MaxVarintLen64
 	for _, it := range items {
 		size += binary.MaxVarintLen64 + len(it)
 	}
-	b := make([]byte, 0, size)
-	b = binary.AppendUvarint(b, uint64(len(items)))
-	for _, it := range items {
-		b = binary.AppendUvarint(b, uint64(len(it)))
-		b = append(b, it...)
+	if cap(dst)-len(dst) < size {
+		grown := make([]byte, len(dst), len(dst)+size)
+		copy(grown, dst)
+		dst = grown
 	}
-	return b
+	dst = binary.AppendUvarint(dst, uint64(len(items)))
+	for _, it := range items {
+		dst = binary.AppendUvarint(dst, uint64(len(it)))
+		dst = append(dst, it...)
+	}
+	return dst
 }
 
 // DecodeBatch splits a batch payload into its still-encoded elements. The
@@ -87,17 +99,51 @@ func MarshalBatch(vs []value.V) ([]byte, error) {
 
 // UnmarshalBatch decodes a batch payload into values under lim.
 func UnmarshalBatch(data []byte, lim Limits) ([]value.V, error) {
-	items, err := DecodeBatch(data, lim)
+	vs, err := UnmarshalBatchInto(nil, data, lim)
 	if err != nil {
 		return nil, err
 	}
-	vs := make([]value.V, len(items))
-	for i, it := range items {
-		v, err := UnmarshalLimits(it, lim)
-		if err != nil {
-			return nil, fmt.Errorf("wire: batch element %d: %w", i, err)
-		}
-		vs[i] = v
-	}
 	return vs, nil
+}
+
+// UnmarshalBatchInto decodes a batch payload, appending the values to dst
+// — the scratch-reuse form of UnmarshalBatch for long-lived read loops.
+// The decoded values never alias data (the codec copies everything it
+// keeps), so the caller may recycle both dst and data freely.
+func UnmarshalBatchInto(dst []value.V, data []byte, lim Limits) ([]value.V, error) {
+	pos := 0
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return dst, fmt.Errorf("wire: bad batch count")
+	}
+	pos += n
+	if count > uint64(lim.MaxElems) {
+		return dst, ErrTooLarge
+	}
+	if count > uint64(len(data)-pos) {
+		return dst, fmt.Errorf("wire: batch count %d exceeds payload", count)
+	}
+	for i := uint64(0); i < count; i++ {
+		sz, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return dst, fmt.Errorf("wire: bad length for batch element %d", i)
+		}
+		pos += n
+		if sz > uint64(lim.MaxBytes) {
+			return dst, ErrTooLarge
+		}
+		if sz > uint64(len(data)-pos) {
+			return dst, fmt.Errorf("wire: truncated batch element %d", i)
+		}
+		v, err := UnmarshalLimits(data[pos:pos+int(sz)], lim)
+		if err != nil {
+			return dst, fmt.Errorf("wire: batch element %d: %w", i, err)
+		}
+		dst = append(dst, v)
+		pos += int(sz)
+	}
+	if pos != len(data) {
+		return dst, fmt.Errorf("wire: %d trailing bytes after batch", len(data)-pos)
+	}
+	return dst, nil
 }
